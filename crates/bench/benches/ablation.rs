@@ -1,0 +1,69 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! scheduler selection policy and dispatch-queue insertion bandwidth
+//! (simulator wall time; the simulated-IPC ablation report comes from
+//! `cargo run -p rf-experiments --bin ablation`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rf_bench::run_bench;
+use rf_core::{ExceptionModel, MachineConfig, SchedPolicy};
+use std::hint::black_box;
+
+const COMMITS: u64 = 20_000;
+
+fn bench_sched_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/sched-policy");
+    group.throughput(Throughput::Elements(COMMITS));
+    for policy in [SchedPolicy::OldestFirst, SchedPolicy::YoungestFirst] {
+        group.bench_function(format!("{policy}"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(4)
+                    .dispatch_queue(32)
+                    .physical_regs(2048)
+                    .scheduling(policy);
+                black_box(run_bench("espresso", config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_bandwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/insert-bandwidth");
+    group.throughput(Throughput::Elements(COMMITS));
+    for bw in [4usize, 6, 8] {
+        group.bench_function(format!("{bw}/cycle"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(4)
+                    .dispatch_queue(32)
+                    .physical_regs(2048)
+                    .insert_bandwidth(bw);
+                black_box(run_bench("espresso", config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exception_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/exception-model");
+    group.throughput(Throughput::Elements(COMMITS));
+    for model in [ExceptionModel::Precise, ExceptionModel::Imprecise] {
+        group.bench_function(format!("{model}"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(4)
+                    .dispatch_queue(32)
+                    .physical_regs(64)
+                    .exceptions(model);
+                black_box(run_bench("tomcatv", config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sched_policy, bench_insert_bandwidth, bench_exception_models
+);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the simulator's component models: branch predictor,
+//! data cache, trace generator, and register-file timing model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rf_bpred::CombiningPredictor;
+use rf_mem::{CacheConfig, CacheOrg};
+use rf_timing::{RegFileGeometry, TimingModel};
+use rf_workload::{spec92, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_predictor(c: &mut Criterion) {
+    c.bench_function("bpred/predict+train 10k alternating branches", |b| {
+        b.iter_batched(
+            CombiningPredictor::default_mcfarling,
+            |mut bp| {
+                for i in 0..10_000u64 {
+                    let actual = i % 2 == 0;
+                    let pred = bp.predict(0x40 + (i % 64) * 4);
+                    let cp = bp.speculate(pred.taken());
+                    if pred.taken() != actual {
+                        bp.recover(cp, actual);
+                    }
+                    bp.train(0x40, pred, actual);
+                }
+                black_box(bp.history_bits())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    for org in [CacheOrg::Perfect, CacheOrg::Lockup, CacheOrg::LockupFree] {
+        group.bench_function(format!("10k strided loads ({org})"), |b| {
+            b.iter_batched(
+                || CacheConfig::baseline().build(org),
+                |mut cache| {
+                    let mut t = 0u64;
+                    for i in 0..10_000u64 {
+                        t += 20;
+                        cache.drain_fills(t);
+                        if cache.can_accept(t) {
+                            black_box(cache.load(i * 8, t, i));
+                        }
+                    }
+                    black_box(cache.stats().load_misses())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    for name in ["compress", "tomcatv"] {
+        let profile = spec92::by_name(name).expect("known");
+        group.bench_function(format!("generate 10k instructions ({name})"), |b| {
+            b.iter_batched(
+                || TraceGenerator::new(&profile, 3),
+                |gen| black_box(gen.take(10_000).count()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_io(c: &mut Criterion) {
+    let profile = spec92::by_name("espresso").expect("known");
+    let insts: Vec<_> = TraceGenerator::new(&profile, 1).take(10_000).collect();
+    c.bench_function("trace_io/serialise+replay 10k instructions", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(128 * 1024);
+            rf_workload::trace_io::write_trace(&mut buf, insts.iter().copied()).unwrap();
+            let replay = rf_workload::trace_io::read_trace(&mut buf.as_slice()).unwrap();
+            black_box(replay.len())
+        })
+    });
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let profile = spec92::by_name("tomcatv").expect("known");
+    let insts: Vec<_> = TraceGenerator::new(&profile, 1).take(20_000).collect();
+    let mut group = c.benchmark_group("dataflow");
+    for window in [None, Some(64usize)] {
+        let label = window.map_or("unbounded".to_owned(), |w| format!("window-{w}"));
+        group.bench_function(format!("analyze 20k ({label})"), |b| {
+            b.iter(|| black_box(rf_core::dataflow::analyze(insts.iter().copied(), window).ipc()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_timing_model(c: &mut Criterion) {
+    let model = TimingModel::cmos_05um();
+    c.bench_function("timing/full Figure-10 grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for width in [4usize, 8] {
+                for regs in [32usize, 48, 64, 80, 96, 128, 160, 256] {
+                    acc += model.cycle_time_ns(&RegFileGeometry::int_for_width(width, regs));
+                    acc += model.cycle_time_ns(&RegFileGeometry::fp_for_width(width, regs));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predictor, bench_cache, bench_tracegen, bench_trace_io, bench_dataflow,
+        bench_timing_model
+);
+criterion_main!(benches);

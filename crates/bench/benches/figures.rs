@@ -1,0 +1,37 @@
+//! One Criterion benchmark per paper table/figure harness: each target
+//! regenerates that table or figure end-to-end at a reduced commit budget
+//! (the full-scale reports come from the `rf-experiments` binaries, e.g.
+//! `cargo run --release -p rf-experiments --bin all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_experiments::runner::Scale;
+use std::hint::black_box;
+
+const SCALE: Scale = Scale { commits: 2_000 };
+
+macro_rules! figure_bench {
+    ($fn_name:ident, $module:ident, $label:expr) => {
+        fn $fn_name(c: &mut Criterion) {
+            c.bench_function(concat!("figures/", $label), |b| {
+                b.iter(|| black_box(rf_experiments::$module::run(&SCALE).len()))
+            });
+        }
+    };
+}
+
+figure_bench!(bench_table1, table1, "table1 dynamic statistics");
+figure_bench!(bench_fig3, fig3, "fig3 dispatch-queue sweep");
+figure_bench!(bench_fig4, fig4, "fig4 coverage histograms");
+figure_bench!(bench_fig5, fig5, "fig5 tomcatv fp coverage");
+figure_bench!(bench_fig6, fig6, "fig6 register sweep");
+figure_bench!(bench_fig7, fig7, "fig7 cache organisations");
+figure_bench!(bench_fig8, fig8, "fig8 compress coverage");
+figure_bench!(bench_fig10, fig10, "fig10 timing and BIPS");
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7,
+        bench_fig8, bench_fig10
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Full-pipeline simulation throughput across the benchmark suite and
+//! machine shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rf_bench::run_bench;
+use rf_core::MachineConfig;
+use std::hint::black_box;
+
+const COMMITS: u64 = 20_000;
+
+fn bench_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/widths");
+    group.throughput(Throughput::Elements(COMMITS));
+    for width in [4usize, 8] {
+        group.bench_function(format!("{width}-way compress {COMMITS} commits"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(width)
+                    .dispatch_queue(width * 8)
+                    .physical_regs(2048);
+                black_box(run_bench("compress", config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/suite");
+    group.throughput(Throughput::Elements(COMMITS));
+    for name in ["espresso", "tomcatv", "ora"] {
+        group.bench_function(format!("4-way {name} {COMMITS} commits"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(4).dispatch_queue(32).physical_regs(2048);
+                black_box(run_bench(name, config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_register_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/register-pressure");
+    group.throughput(Throughput::Elements(COMMITS));
+    for regs in [48usize, 2048] {
+        group.bench_function(format!("4-way tomcatv {regs} regs"), |b| {
+            b.iter(|| {
+                let config = MachineConfig::new(4).dispatch_queue(32).physical_regs(regs);
+                black_box(run_bench("tomcatv", config, COMMITS).commit_ipc())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_widths, bench_suite, bench_register_pressure
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Shared helpers for the rfstudy Criterion benchmarks.
+
+#![warn(missing_docs)]
+
+use rf_core::{MachineConfig, Pipeline, SimStats};
+use rf_workload::{spec92, TraceGenerator};
+
+/// Runs one benchmark profile on a machine configuration for `commits`
+/// committed instructions.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the nine SPEC92 profile names.
+pub fn run_bench(name: &str, config: MachineConfig, commits: u64) -> SimStats {
+    let profile = spec92::by_name(name).expect("known benchmark");
+    let mut trace = TraceGenerator::new(&profile, 5);
+    Pipeline::new(config).run(&mut trace, commits)
+}

@@ -1,0 +1,125 @@
+//! Two-bit saturating counters.
+
+/// A classic two-bit saturating counter.
+///
+/// States 0 and 1 predict not-taken; states 2 and 3 predict taken. The
+/// counter saturates at both ends, giving hysteresis: a single anomalous
+/// outcome in a strongly-biased branch does not flip the prediction.
+///
+/// # Examples
+///
+/// ```
+/// use rf_bpred::TwoBitCounter;
+///
+/// let mut c = TwoBitCounter::weakly_not_taken();
+/// assert!(!c.predict_taken());
+/// c.update(true);
+/// assert!(c.predict_taken());
+/// c.update(true); // now strongly taken
+/// c.update(false); // back to weakly taken
+/// assert!(c.predict_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TwoBitCounter(u8);
+
+impl TwoBitCounter {
+    /// Strongly not-taken (state 0).
+    pub fn strongly_not_taken() -> Self {
+        Self(0)
+    }
+
+    /// Weakly not-taken (state 1) — the conventional initial state.
+    pub fn weakly_not_taken() -> Self {
+        Self(1)
+    }
+
+    /// Weakly taken (state 2).
+    pub fn weakly_taken() -> Self {
+        Self(2)
+    }
+
+    /// Strongly taken (state 3).
+    pub fn strongly_taken() -> Self {
+        Self(3)
+    }
+
+    /// The raw state in `0..=3`.
+    #[inline]
+    pub fn state(self) -> u8 {
+        self.0
+    }
+
+    /// The direction this counter currently predicts.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Trains the counter with the actual outcome, saturating at 0 and 3.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.0 < 3 {
+                self.0 += 1;
+            }
+        } else if self.0 > 0 {
+            self.0 -= 1;
+        }
+    }
+
+    /// Moves the counter toward one of two choices; used by the combining
+    /// predictor's selector, where "taken" means "prefer the second
+    /// (global-history) predictor".
+    #[inline]
+    pub fn update_toward(&mut self, second_choice: bool) {
+        self.update(second_choice);
+    }
+}
+
+impl Default for TwoBitCounter {
+    /// Weakly not-taken.
+    fn default() -> Self {
+        Self::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = TwoBitCounter::strongly_taken();
+        c.update(true);
+        assert_eq!(c.state(), 3);
+        let mut c = TwoBitCounter::strongly_not_taken();
+        c.update(false);
+        assert_eq!(c.state(), 0);
+    }
+
+    #[test]
+    fn hysteresis_keeps_prediction_after_single_anomaly() {
+        let mut c = TwoBitCounter::strongly_taken();
+        c.update(false);
+        assert!(c.predict_taken(), "one not-taken shouldn't flip a strong counter");
+        c.update(false);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn walks_through_all_states() {
+        let mut c = TwoBitCounter::strongly_not_taken();
+        let mut states = vec![c.state()];
+        for _ in 0..3 {
+            c.update(true);
+            states.push(c.state());
+        }
+        assert_eq!(states, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn default_is_weakly_not_taken() {
+        assert_eq!(TwoBitCounter::default(), TwoBitCounter::weakly_not_taken());
+        assert!(!TwoBitCounter::default().predict_taken());
+    }
+}

@@ -1,0 +1,127 @@
+//! The speculatively-updated global branch-history shift register.
+
+/// An opaque checkpoint of the global history register, captured when a
+/// conditional branch is inserted into the dispatch queue and used to
+/// restore the register if that branch turns out to be mispredicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryCheckpoint(pub(crate) u64);
+
+/// The global branch-history shift register.
+///
+/// Holds the directions of the last *n* conditional branches (1 = taken).
+/// The paper updates this register *speculatively* — at the point a branch
+/// is inserted into the dispatch queue, with the predicted direction — so
+/// that already-identified patterns can steer the next fetch. The price is
+/// that on a misprediction the register must be restored to the value it
+/// held before the mispredicted branch was inserted.
+///
+/// # Examples
+///
+/// ```
+/// use rf_bpred::GlobalHistory;
+///
+/// let mut h = GlobalHistory::new(11);
+/// let cp = h.speculate(true); // predicted taken
+/// h.speculate(false);
+/// // The first branch was actually not taken: roll back, re-shift actual.
+/// h.recover(cp, false);
+/// assert_eq!(h.bits() & 1, 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalHistory {
+    bits: u64,
+    mask: u64,
+}
+
+impl GlobalHistory {
+    /// Creates an all-zero history of `n` bits (`1 <= n <= 63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 63.
+    pub fn new(n: u32) -> Self {
+        assert!((1..=63).contains(&n), "history length {n} out of range");
+        Self { bits: 0, mask: (1u64 << n) - 1 }
+    }
+
+    /// The current history bits (most recent branch in the LSB).
+    #[inline]
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// The number of history bits.
+    pub fn len(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Whether the register holds zero history bits (never true for a
+    /// constructed register; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Shifts in a *predicted* branch direction at insert time, returning a
+    /// checkpoint of the pre-shift value for misprediction recovery.
+    #[inline]
+    pub fn speculate(&mut self, predicted_taken: bool) -> HistoryCheckpoint {
+        let cp = HistoryCheckpoint(self.bits);
+        self.bits = ((self.bits << 1) | u64::from(predicted_taken)) & self.mask;
+        cp
+    }
+
+    /// Recovers from a mispredicted branch: restores the value the register
+    /// held before that branch was inserted, then shifts in the branch's
+    /// *actual* direction.
+    #[inline]
+    pub fn recover(&mut self, checkpoint: HistoryCheckpoint, actual_taken: bool) {
+        self.bits = ((checkpoint.0 << 1) | u64::from(actual_taken)) & self.mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shifts_most_recent_into_lsb() {
+        let mut h = GlobalHistory::new(4);
+        h.speculate(true);
+        h.speculate(false);
+        h.speculate(true);
+        assert_eq!(h.bits(), 0b101);
+    }
+
+    #[test]
+    fn masks_to_length() {
+        let mut h = GlobalHistory::new(2);
+        for _ in 0..10 {
+            h.speculate(true);
+        }
+        assert_eq!(h.bits(), 0b11);
+    }
+
+    #[test]
+    fn recovery_restores_then_shifts_actual() {
+        let mut h = GlobalHistory::new(8);
+        h.speculate(true);
+        h.speculate(true);
+        let cp = h.speculate(true); // mispredicted branch: predicted taken
+        h.speculate(false); // wrong-path branch polluting history
+        h.speculate(true);
+        h.recover(cp, false); // actually not taken
+        assert_eq!(h.bits(), 0b110);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_length_panics() {
+        let _ = GlobalHistory::new(0);
+    }
+
+    #[test]
+    fn len_reports_bits() {
+        assert_eq!(GlobalHistory::new(11).len(), 11);
+        assert!(!GlobalHistory::new(11).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! McFarling combining branch predictor, as modelled in the HPCA'96
+//! register-file study.
+//!
+//! The paper uses "a branch prediction scheme proposed by McFarling that
+//! includes two branch predictors and a mechanism to select between them"
+//! with a total cost of 12 Kbit:
+//!
+//! * a **bimodal** predictor: 2048 two-bit saturating counters indexed by
+//!   the branch's word address;
+//! * a **global-history** predictor: an *n*-bit shift register of recent
+//!   branch directions, XORed with the word address to index another 2048
+//!   two-bit counters (i.e. gshare);
+//! * a **selector**: a third set of 2048 two-bit counters that tracks which
+//!   predictor "has been most correct" for each branch.
+//!
+//! Two timing details from the paper are faithfully modelled:
+//!
+//! 1. The global-history shift register is updated **speculatively at
+//!    dispatch-queue insertion** with the *predicted* direction, so that
+//!    already-identified patterns help the very next fetch. On a
+//!    misprediction the register is restored to the value it held before
+//!    the mispredicted branch was inserted (then the actual outcome is
+//!    shifted in).
+//! 2. The two-bit counters (and the selector) are updated when the branch
+//!    **executes**, using the history that was live at prediction time for
+//!    the gshare index — hence [`Prediction`] carries its table indices.
+//!
+//! # Examples
+//!
+//! ```
+//! use rf_bpred::CombiningPredictor;
+//!
+//! let mut bp = CombiningPredictor::default_mcfarling();
+//! // A branch at pc 0x40 that alternates taken / not-taken is learned by
+//! // the global-history component.
+//! let mut correct = 0;
+//! for i in 0..200u32 {
+//!     let actual = i % 2 == 0;
+//!     let pred = bp.predict(0x40);
+//!     let checkpoint = bp.speculate(pred.taken());
+//!     if pred.taken() == actual {
+//!         correct += 1;
+//!     } else {
+//!         bp.recover(checkpoint, actual);
+//!     }
+//!     bp.train(0x40, pred, actual);
+//! }
+//! assert!(correct > 150, "alternating pattern should be learned");
+//! ```
+
+#![warn(missing_docs)]
+
+mod any;
+mod combining;
+mod counter;
+mod history;
+mod stats;
+mod tables;
+
+pub use any::{AnyPredictor, PredictorKind};
+pub use combining::{CombiningPredictor, Prediction};
+pub use counter::TwoBitCounter;
+pub use history::{GlobalHistory, HistoryCheckpoint};
+pub use stats::PredictorStats;
+pub use tables::{Bimodal, Gshare};

@@ -1,0 +1,87 @@
+//! Prediction accuracy accounting.
+
+/// Running prediction statistics for conditional branches.
+///
+/// The paper reports per-benchmark conditional-branch misprediction rates
+/// (Table 1); this accumulator produces the same metric.
+///
+/// # Examples
+///
+/// ```
+/// use rf_bpred::PredictorStats;
+///
+/// let mut s = PredictorStats::new();
+/// s.record(true, true);
+/// s.record(true, false);
+/// assert_eq!(s.predicted(), 2);
+/// assert_eq!(s.mispredicted(), 1);
+/// assert!((s.misprediction_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorStats {
+    predicted: u64,
+    mispredicted: u64,
+}
+
+impl PredictorStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one executed conditional branch.
+    #[inline]
+    pub fn record(&mut self, predicted_taken: bool, actual_taken: bool) {
+        self.predicted += 1;
+        if predicted_taken != actual_taken {
+            self.mispredicted += 1;
+        }
+    }
+
+    /// Total conditional branches recorded.
+    pub fn predicted(&self) -> u64 {
+        self.predicted
+    }
+
+    /// Mispredicted conditional branches.
+    pub fn mispredicted(&self) -> u64 {
+        self.mispredicted
+    }
+
+    /// Misprediction rate in `0.0..=1.0` (0 if nothing recorded).
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 / self.predicted as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &PredictorStats) {
+        self.predicted += other.predicted;
+        self.mispredicted += other.mispredicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(PredictorStats::new().misprediction_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PredictorStats::new();
+        a.record(true, true);
+        let mut b = PredictorStats::new();
+        b.record(false, true);
+        b.record(false, false);
+        a.merge(&b);
+        assert_eq!(a.predicted(), 3);
+        assert_eq!(a.mispredicted(), 1);
+    }
+}

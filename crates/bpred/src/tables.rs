@@ -1,0 +1,171 @@
+//! The two component predictors: bimodal and gshare.
+
+use crate::counter::TwoBitCounter;
+
+/// Computes a table index from a word-aligned byte PC. The paper indexes
+/// its tables with "the program counter word address", i.e. the PC shifted
+/// right by two.
+#[inline]
+fn word_addr(pc: u64) -> u64 {
+    pc >> 2
+}
+
+/// The bimodal predictor: a table of two-bit saturating counters indexed by
+/// branch word address.
+///
+/// "The bimodal predictor employs the classical branch prediction idea of
+/// having a set of counters that indicate the direction taken by the
+/// branches that shared the counter the previous times they were executed";
+/// the paper uses 2048 counters.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    counters: Vec<TwoBitCounter>,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Self { counters: vec![TwoBitCounter::default(); entries] }
+    }
+
+    /// The table index used for a branch at `pc`.
+    #[inline]
+    pub fn index(&self, pc: u64) -> usize {
+        (word_addr(pc) as usize) & (self.counters.len() - 1)
+    }
+
+    /// The predicted direction for a branch at `pc`.
+    #[inline]
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)].predict_taken()
+    }
+
+    /// Trains the counter at a previously-computed index.
+    #[inline]
+    pub fn train_index(&mut self, index: usize, taken: bool) {
+        self.counters[index].update(taken);
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Storage cost in bits (2 bits per counter).
+    pub fn cost_bits(&self) -> usize {
+        self.counters.len() * 2
+    }
+}
+
+/// The global-history (gshare) predictor: the global history register is
+/// exclusive-ORed with the branch word address to index a table of two-bit
+/// counters.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    counters: Vec<TwoBitCounter>,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Self { counters: vec![TwoBitCounter::default(); entries] }
+    }
+
+    /// The table index for a branch at `pc` under history `history`.
+    ///
+    /// The index must be computed (and remembered) at *prediction* time:
+    /// by the time the branch executes and its counter is trained, the
+    /// speculative history register has moved on.
+    #[inline]
+    pub fn index(&self, pc: u64, history: u64) -> usize {
+        ((word_addr(pc) ^ history) as usize) & (self.counters.len() - 1)
+    }
+
+    /// The predicted direction for a branch at `pc` under `history`.
+    #[inline]
+    pub fn predict(&self, pc: u64, history: u64) -> bool {
+        self.counters[self.index(pc, history)].predict_taken()
+    }
+
+    /// Trains the counter at a previously-computed index.
+    #[inline]
+    pub fn train_index(&mut self, index: usize, taken: bool) {
+        self.counters[index].update(taken);
+    }
+
+    /// Number of counters.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Storage cost in bits (2 bits per counter).
+    pub fn cost_bits(&self) -> usize {
+        self.counters.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_learns_biased_branch() {
+        let mut b = Bimodal::new(16);
+        let idx = b.index(0x40);
+        for _ in 0..4 {
+            b.train_index(idx, true);
+        }
+        assert!(b.predict(0x40));
+    }
+
+    #[test]
+    fn bimodal_aliases_by_word_address() {
+        let b = Bimodal::new(16);
+        // PCs 16*4 bytes apart alias to the same counter.
+        assert_eq!(b.index(0x0), b.index(16 * 4));
+        assert_ne!(b.index(0x0), b.index(0x4));
+    }
+
+    #[test]
+    fn gshare_distinguishes_histories() {
+        let g = Gshare::new(16);
+        assert_ne!(g.index(0x40, 0b0000), g.index(0x40, 0b0001));
+    }
+
+    #[test]
+    fn gshare_learns_per_history_pattern() {
+        let mut g = Gshare::new(1024);
+        // Under history A the branch is taken, under history B not taken.
+        let (ha, hb) = (0b1010, 0b0101);
+        for _ in 0..4 {
+            let ia = g.index(0x80, ha);
+            g.train_index(ia, true);
+            let ib = g.index(0x80, hb);
+            g.train_index(ib, false);
+        }
+        assert!(g.predict(0x80, ha));
+        assert!(!g.predict(0x80, hb));
+    }
+
+    #[test]
+    fn costs_are_two_bits_per_entry() {
+        assert_eq!(Bimodal::new(2048).cost_bits(), 4096);
+        assert_eq!(Gshare::new(2048).cost_bits(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Bimodal::new(100);
+    }
+}

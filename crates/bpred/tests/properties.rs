@@ -1,0 +1,74 @@
+//! Property tests for the branch predictor.
+
+use proptest::prelude::*;
+use rf_bpred::{CombiningPredictor, TwoBitCounter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two-bit counters never leave their state range.
+    #[test]
+    fn counter_state_stays_in_range(updates in prop::collection::vec(any::<bool>(), 0..100)) {
+        let mut c = TwoBitCounter::default();
+        for taken in updates {
+            c.update(taken);
+            prop_assert!(c.state() <= 3);
+        }
+    }
+
+    /// A fully biased branch is learned to high accuracy wherever it
+    /// lives and whichever way it leans.
+    #[test]
+    fn biased_branches_are_learned(pc in 0u64..1_000_000, taken in any::<bool>()) {
+        let mut bp = CombiningPredictor::default_mcfarling();
+        let mut correct = 0;
+        const N: usize = 500;
+        for _ in 0..N {
+            let pred = bp.predict(pc);
+            let cp = bp.speculate(pred.taken());
+            if pred.taken() == taken {
+                correct += 1;
+            } else {
+                bp.recover(cp, taken);
+            }
+            bp.train(pc, pred, taken);
+        }
+        prop_assert!(correct > N * 9 / 10, "{correct}/{N} correct");
+    }
+
+    /// The full speculate/recover protocol keeps the history register
+    /// identical to one that only ever saw actual outcomes, under any
+    /// outcome/prediction interleaving (recovering immediately on each
+    /// misprediction, as the single-pending-misprediction pipeline does).
+    #[test]
+    fn protocol_history_matches_oracle(
+        branches in prop::collection::vec((0u64..4096, any::<bool>()), 1..300)
+    ) {
+        let mut bp = CombiningPredictor::default_mcfarling();
+        let mut oracle = CombiningPredictor::default_mcfarling();
+        for (pc, actual) in branches {
+            let pred = bp.predict(pc * 4);
+            let cp = bp.speculate(pred.taken());
+            if pred.taken() != actual {
+                bp.recover(cp, actual);
+            }
+            bp.train(pc * 4, pred, actual);
+
+            let opred = oracle.predict(pc * 4);
+            oracle.speculate(actual);
+            oracle.train(pc * 4, opred, actual);
+
+            prop_assert_eq!(bp.history_bits(), oracle.history_bits());
+        }
+    }
+
+    /// Predictions are pure: predicting twice without state changes gives
+    /// the same answer.
+    #[test]
+    fn prediction_is_pure(pcs in prop::collection::vec(0u64..10_000, 1..50)) {
+        let bp = CombiningPredictor::default_mcfarling();
+        for pc in pcs {
+            prop_assert_eq!(bp.predict(pc), bp.predict(pc));
+        }
+    }
+}

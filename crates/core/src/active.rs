@@ -1,0 +1,222 @@
+//! The active list: every renamed, not-yet-committed instruction in
+//! program order.
+
+use rf_bpred::{HistoryCheckpoint, Prediction};
+use rf_isa::{OpKind, RegClass};
+use std::collections::VecDeque;
+
+/// Pipeline stage of an active instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Renamed, sitting in the dispatch queue.
+    InQueue,
+    /// Issued to a functional unit (or the memory system).
+    Issued,
+    /// Completed (result produced); awaiting commit.
+    Completed,
+}
+
+/// Branch bookkeeping carried by conditional-branch entries.
+#[derive(Debug, Clone, Copy)]
+pub struct BranchInfo {
+    /// The predictor's output, kept for training at execution.
+    pub prediction: Prediction,
+    /// The actual direction from the trace.
+    pub actual: bool,
+    /// Global-history checkpoint for misprediction recovery.
+    pub checkpoint: HistoryCheckpoint,
+}
+
+/// One renamed in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct ActiveEntry {
+    /// Monotonic program-order sequence number.
+    pub seq: u64,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Whether this instruction was fetched down a mispredicted path.
+    pub wrong_path: bool,
+    /// Current stage.
+    pub stage: Stage,
+    /// Absolute cycle at which the result is produced (valid once issued).
+    pub complete_at: u64,
+    /// Renamed destination: `(class, new_phys, virtual_index, prev_phys)`.
+    pub dest: Option<(RegClass, u32, u8, u32)>,
+    /// Renamed physical sources (zero-register reads excluded).
+    pub srcs: [Option<(RegClass, u32)>; 2],
+    /// Memory address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Branch bookkeeping for conditional branches.
+    pub branch: Option<BranchInfo>,
+    /// Program counter (predictor indexing).
+    pub pc: u64,
+    /// Index of the non-pipelined divider occupied, if any.
+    pub div_unit: Option<usize>,
+}
+
+/// The active list: a seq-indexed deque of in-flight instructions.
+///
+/// Sequence numbers are dense — every renamed instruction is appended —
+/// so `seq - front_seq` indexes the deque directly. Entries leave from
+/// the front at commit and from the back at squash; both preserve
+/// density.
+///
+/// # Examples
+///
+/// ```
+/// use rf_core::{ActiveList, Stage};
+/// use rf_isa::OpKind;
+///
+/// let mut list = ActiveList::new();
+/// let seq = list.push(OpKind::IntAlu, false, 0);
+/// assert_eq!(list.get(seq).unwrap().stage, Stage::InQueue);
+/// assert_eq!(list.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ActiveList {
+    entries: VecDeque<ActiveEntry>,
+    next_seq: u64,
+}
+
+impl ActiveList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a fresh entry in the dispatch-queue stage, returning its
+    /// sequence number. Destination/source renaming is filled in by the
+    /// caller via [`ActiveList::get_mut`].
+    pub fn push(&mut self, kind: OpKind, wrong_path: bool, pc: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back(ActiveEntry {
+            seq,
+            kind,
+            wrong_path,
+            stage: Stage::InQueue,
+            complete_at: u64::MAX,
+            dest: None,
+            srcs: [None, None],
+            mem_addr: None,
+            branch: None,
+            pc,
+            div_unit: None,
+        });
+        seq
+    }
+
+    /// The sequence number the next pushed entry will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no instructions are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by sequence number (`None` once committed or
+    /// squashed).
+    pub fn get(&self, seq: u64) -> Option<&ActiveEntry> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        self.entries.get((seq - front) as usize)
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut ActiveEntry> {
+        let front = self.entries.front()?.seq;
+        if seq < front {
+            return None;
+        }
+        self.entries.get_mut((seq - front) as usize)
+    }
+
+    /// The oldest in-flight entry.
+    pub fn front(&self) -> Option<&ActiveEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry (commit).
+    pub fn pop_front(&mut self) -> Option<ActiveEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Removes and returns the youngest entry (squash rollback). The
+    /// squashed sequence number is reused by the next push, keeping the
+    /// list dense in `seq`; the pipeline must therefore purge every
+    /// reference to squashed sequence numbers during recovery (it does:
+    /// fills are cancelled, outstanding-branch and pending-kill records
+    /// are truncated to the squash boundary).
+    pub fn pop_back(&mut self) -> Option<ActiveEntry> {
+        let e = self.entries.pop_back()?;
+        self.next_seq = e.seq;
+        Some(e)
+    }
+
+    /// The youngest in-flight entry.
+    pub fn back(&self) -> Option<&ActiveEntry> {
+        self.entries.back()
+    }
+
+    /// Iterates oldest to youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &ActiveEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably oldest to youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ActiveEntry> {
+        self.entries.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_indexing_survives_commits_and_squashes() {
+        let mut list = ActiveList::new();
+        let s0 = list.push(OpKind::IntAlu, false, 0);
+        let s1 = list.push(OpKind::Load, false, 4);
+        let s2 = list.push(OpKind::Store, false, 8);
+        assert_eq!(list.get(s1).unwrap().kind, OpKind::Load);
+        list.pop_front();
+        assert!(list.get(s0).is_none());
+        assert_eq!(list.get(s2).unwrap().kind, OpKind::Store);
+        list.pop_back();
+        assert!(list.get(s2).is_none());
+        assert_eq!(list.get(s1).unwrap().kind, OpKind::Load);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_monotonic() {
+        let mut list = ActiveList::new();
+        let a = list.push(OpKind::IntAlu, false, 0);
+        let b = list.push(OpKind::IntAlu, false, 0);
+        assert_eq!(b, a + 1);
+        list.pop_back();
+        let c = list.push(OpKind::IntAlu, false, 0);
+        // Squashed sequence numbers are reused so the list stays dense...
+        assert_eq!(c, b);
+        // ...and indexing still works.
+        assert_eq!(list.get(c).unwrap().seq, c);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let mut list = ActiveList::new();
+        assert!(list.get(0).is_none());
+        list.push(OpKind::IntAlu, false, 0);
+        assert!(list.get(99).is_none());
+    }
+}

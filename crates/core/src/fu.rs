@@ -1,0 +1,117 @@
+//! Functional-unit occupancy for the non-pipelined floating-point
+//! dividers.
+//!
+//! All other functional units in the paper's model are fully pipelined, so
+//! the per-cycle issue-class limits are the only constraint on them; the
+//! dividers additionally stay busy for the whole operation (8 cycles for
+//! 32-bit, 16 for 64-bit divides).
+
+/// The pool of non-pipelined floating-point dividers.
+///
+/// The 4-way machine has one divider (it may issue one FP divide per
+/// cycle), the 8-way machine two.
+///
+/// # Examples
+///
+/// ```
+/// use rf_core::DividerPool;
+///
+/// let mut pool = DividerPool::new(1);
+/// let unit = pool.try_reserve(10, 8).unwrap();
+/// assert!(pool.try_reserve(12, 8).is_none()); // busy until cycle 18
+/// pool.release_early(unit, 12);               // squashed: free next cycle
+/// assert!(pool.try_reserve(13, 8).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DividerPool {
+    busy_until: Vec<u64>,
+}
+
+impl DividerPool {
+    /// Creates a pool of `n` dividers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "at least one divider is required");
+        Self { busy_until: vec![0; n] }
+    }
+
+    /// Number of dividers.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Whether the pool has zero dividers (never, once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Reserves a free divider at cycle `now` for an operation of the
+    /// given latency, returning the unit index, or `None` if all dividers
+    /// are busy.
+    pub fn try_reserve(&mut self, now: u64, latency: u64) -> Option<usize> {
+        let unit = self.busy_until.iter().position(|&b| b <= now)?;
+        self.busy_until[unit] = now + latency;
+        Some(unit)
+    }
+
+    /// Releases a divider whose operation was squashed; per the paper,
+    /// "any functional units that are busy with an instruction that is
+    /// removed will be available for reuse in the cycle after" the
+    /// recovery, i.e. `now + 1`.
+    pub fn release_early(&mut self, unit: usize, now: u64) {
+        self.busy_until[unit] = self.busy_until[unit].min(now + 1);
+    }
+
+    /// How many dividers are free at cycle `now`.
+    pub fn free_at(&self, now: u64) -> usize {
+        self.busy_until.iter().filter(|&&b| b <= now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupies_for_full_latency() {
+        let mut p = DividerPool::new(1);
+        p.try_reserve(0, 16).unwrap();
+        assert_eq!(p.free_at(15), 0);
+        assert_eq!(p.free_at(16), 1);
+    }
+
+    #[test]
+    fn multiple_units_reserve_independently() {
+        let mut p = DividerPool::new(2);
+        assert_eq!(p.try_reserve(0, 8), Some(0));
+        assert_eq!(p.try_reserve(0, 8), Some(1));
+        assert_eq!(p.try_reserve(0, 8), None);
+        assert_eq!(p.free_at(8), 2);
+    }
+
+    #[test]
+    fn early_release_frees_next_cycle() {
+        let mut p = DividerPool::new(1);
+        let u = p.try_reserve(0, 16).unwrap();
+        p.release_early(u, 4);
+        assert_eq!(p.free_at(4), 0);
+        assert_eq!(p.free_at(5), 1);
+    }
+
+    #[test]
+    fn release_early_never_extends_busy_time() {
+        let mut p = DividerPool::new(1);
+        let u = p.try_reserve(0, 2).unwrap();
+        p.release_early(u, 10);
+        assert_eq!(p.free_at(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_dividers_panics() {
+        let _ = DividerPool::new(0);
+    }
+}

@@ -1,0 +1,281 @@
+//! The imprecise-exception kill engine.
+//!
+//! Under the paper's imprecise model, a retired virtual-to-physical
+//! mapping is *killed* — its physical register becomes freeable (once its
+//! writer and readers have completed) — when **any** later writer of the
+//! same virtual register completes, *provided all branches preceding that
+//! writer have completed*. The branch proviso is what keeps misprediction
+//! recovery possible: a writer with all preceding branches complete can
+//! never be squashed, so the kill is safe.
+//!
+//! This module tracks the three moving parts:
+//!
+//! * the set of outstanding (inserted, not completed) correct-path
+//!   *exception barriers* — conditional branches always; loads and stores
+//!   too under the Alpha-style hybrid model, where memory operations may
+//!   fault precisely — whose minimum sequence number is the *barrier
+//!   watermark*;
+//! * per virtual register, the queue of retired mappings in retirement
+//!   order, each tagged with the sequence number of the writer that
+//!   retired it;
+//! * completed writers awaiting branch clearance (their sequence number is
+//!   not yet below the watermark).
+
+use rf_isa::RegClass;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A physical register whose mapping was just killed.
+pub type Killed = (RegClass, u32);
+
+/// Incremental evaluator for the imprecise mapping-kill conditions.
+///
+/// The pipeline feeds it rename/complete/squash events; it hands back the
+/// physical registers whose mappings became killed. (Whether a killed
+/// register can actually be *freed* additionally requires its writer done
+/// and readers drained — the pipeline checks those.)
+///
+/// # Examples
+///
+/// ```
+/// use rf_core::KillEngine;
+/// use rf_isa::RegClass;
+///
+/// let mut eng = KillEngine::new();
+/// // Writer seq 5 of int vreg 3 retires the mapping to physical reg 7.
+/// eng.mapping_retired(RegClass::Int, 3, 7, 5);
+/// // No branches outstanding: when writer 5 completes, the kill clears.
+/// let killed = eng.writer_completed(RegClass::Int, 3, 5);
+/// assert_eq!(killed, vec![(RegClass::Int, 7)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KillEngine {
+    /// Outstanding exception barriers (branches; plus memory operations
+    /// under the hybrid model).
+    outstanding_branches: BTreeSet<u64>,
+    /// `retired[class][vreg]`: `(phys, killer_seq)` in retirement order.
+    retired: Vec<Vec<VecDeque<(u32, u64)>>>,
+    /// Completed writers awaiting branch clearance:
+    /// `(class, vreg, writer_seq)`.
+    pending: Vec<(RegClass, u8, u64)>,
+}
+
+impl Default for KillEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KillEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self {
+            outstanding_branches: BTreeSet::new(),
+            retired: vec![vec![VecDeque::new(); 31]; 2],
+            pending: Vec::new(),
+        }
+    }
+
+    /// The barrier watermark: all exception barriers with a sequence
+    /// number below this have completed.
+    pub fn watermark(&self) -> u64 {
+        self.outstanding_branches.first().copied().unwrap_or(u64::MAX)
+    }
+
+    /// Records insertion of a correct-path conditional branch.
+    pub fn branch_inserted(&mut self, seq: u64) {
+        self.outstanding_branches.insert(seq);
+    }
+
+    /// Records insertion of a non-branch exception barrier (a load or
+    /// store under the Alpha-style hybrid model, where memory operations
+    /// may raise precise exceptions and so gate early register freeing).
+    pub fn barrier_inserted(&mut self, seq: u64) {
+        self.outstanding_branches.insert(seq);
+    }
+
+    /// Records completion of a correct-path conditional branch, returning
+    /// mappings newly killed by writers that the rising watermark cleared.
+    pub fn branch_completed(&mut self, seq: u64) -> Vec<Killed> {
+        self.outstanding_branches.remove(&seq);
+        self.drain_cleared()
+    }
+
+    /// Records completion of a non-branch exception barrier.
+    pub fn barrier_completed(&mut self, seq: u64) -> Vec<Killed> {
+        self.branch_completed(seq)
+    }
+
+    /// Removes a squashed branch from the outstanding set.
+    pub fn branch_squashed(&mut self, seq: u64) {
+        self.outstanding_branches.remove(&seq);
+    }
+
+    /// Records that renaming a new writer (sequence `killer_seq`) of
+    /// `vreg` retired the mapping to physical register `phys`.
+    pub fn mapping_retired(&mut self, class: RegClass, vreg: u8, phys: u32, killer_seq: u64) {
+        self.retired[class.index()][vreg as usize].push_back((phys, killer_seq));
+    }
+
+    /// Rolls back the most recent retirement of `vreg` (its killer was
+    /// squashed and the mapping is current again).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the most recent retirement was not made by `killer_seq` —
+    /// squash rollback must proceed youngest-first.
+    pub fn rollback_retirement(&mut self, class: RegClass, vreg: u8, killer_seq: u64) {
+        let q = &mut self.retired[class.index()][vreg as usize];
+        let (_, k) = q.pop_back().expect("rollback of a retirement that never happened");
+        assert_eq!(k, killer_seq, "retirements must roll back youngest-first");
+    }
+
+    /// Records completion of a register-writing instruction, returning any
+    /// mappings this kills (possibly after waiting for branch clearance).
+    pub fn writer_completed(&mut self, class: RegClass, vreg: u8, seq: u64) -> Vec<Killed> {
+        if seq < self.watermark() {
+            self.kill_up_to(class, vreg, seq)
+        } else {
+            self.pending.push((class, vreg, seq));
+            Vec::new()
+        }
+    }
+
+    /// Discards state belonging to squashed instructions: pending writers
+    /// and outstanding branches younger than `boundary` (the mispredicted
+    /// branch), then returns kills enabled by the watermark change.
+    pub fn squash_younger_than(&mut self, boundary: u64) -> Vec<Killed> {
+        self.pending.retain(|&(_, _, seq)| seq <= boundary);
+        // Outstanding branches above the boundary are removed one by one
+        // by the pipeline via `branch_squashed`, but doing it wholesale
+        // here keeps the engine self-consistent even if it isn't.
+        while let Some(&last) = self.outstanding_branches.last() {
+            if last > boundary {
+                self.outstanding_branches.remove(&last);
+            } else {
+                break;
+            }
+        }
+        self.drain_cleared()
+    }
+
+    fn drain_cleared(&mut self) -> Vec<Killed> {
+        let watermark = self.watermark();
+        let mut killed = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let (class, vreg, seq) = self.pending[i];
+            if seq < watermark {
+                self.pending.swap_remove(i);
+                killed.extend(self.kill_up_to(class, vreg, seq));
+            } else {
+                i += 1;
+            }
+        }
+        killed
+    }
+
+    /// Kills every retired mapping of `vreg` whose killer sequence is at
+    /// most `seq` (they were all retired before the cleared writer).
+    fn kill_up_to(&mut self, class: RegClass, vreg: u8, seq: u64) -> Vec<Killed> {
+        let q = &mut self.retired[class.index()][vreg as usize];
+        let mut killed = Vec::new();
+        while let Some(&(phys, killer)) = q.front() {
+            if killer <= seq {
+                q.pop_front();
+                killed.push((class, phys));
+            } else {
+                break;
+            }
+        }
+        killed
+    }
+
+    /// Number of retired-but-unkilled mappings (diagnostics).
+    pub fn retired_pending(&self) -> usize {
+        self.retired.iter().flatten().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kill_waits_for_branch_clearance() {
+        let mut eng = KillEngine::new();
+        eng.branch_inserted(3);
+        eng.mapping_retired(RegClass::Int, 0, 10, 5);
+        // Writer 5 completes but branch 3 is outstanding: no kill yet.
+        assert!(eng.writer_completed(RegClass::Int, 0, 5).is_empty());
+        // Branch 3 completes: watermark rises past 5, kill fires.
+        let killed = eng.branch_completed(3);
+        assert_eq!(killed, vec![(RegClass::Int, 10)]);
+    }
+
+    #[test]
+    fn later_writer_kills_all_earlier_mappings() {
+        let mut eng = KillEngine::new();
+        eng.mapping_retired(RegClass::Fp, 2, 20, 4);
+        eng.mapping_retired(RegClass::Fp, 2, 21, 8);
+        // Writer 8 (which retired phys 21's predecessor... i.e. created
+        // mapping after killing 21) — a completed writer at seq 9 kills
+        // both earlier retirements.
+        eng.mapping_retired(RegClass::Fp, 2, 22, 9);
+        let killed = eng.writer_completed(RegClass::Fp, 2, 9);
+        assert_eq!(
+            killed,
+            vec![(RegClass::Fp, 20), (RegClass::Fp, 21), (RegClass::Fp, 22)]
+        );
+    }
+
+    #[test]
+    fn out_of_order_completion_respects_retirement_order() {
+        let mut eng = KillEngine::new();
+        eng.mapping_retired(RegClass::Int, 1, 30, 6);
+        eng.mapping_retired(RegClass::Int, 1, 31, 12);
+        // Writer 6 completes: only the first mapping dies.
+        assert_eq!(eng.writer_completed(RegClass::Int, 1, 6), vec![(RegClass::Int, 30)]);
+        // Writer 12 completes: the second dies.
+        assert_eq!(eng.writer_completed(RegClass::Int, 1, 12), vec![(RegClass::Int, 31)]);
+    }
+
+    #[test]
+    fn squash_discards_pending_writers_and_branches() {
+        let mut eng = KillEngine::new();
+        eng.branch_inserted(2);
+        eng.branch_inserted(7);
+        eng.mapping_retired(RegClass::Int, 0, 40, 5);
+        assert!(eng.writer_completed(RegClass::Int, 0, 5).is_empty());
+        // Branch 2 mispredicts; seqs > 2 squash. Writer 5's pending kill
+        // and branch 7 disappear; the rollback of retirement happens via
+        // rollback_retirement.
+        eng.rollback_retirement(RegClass::Int, 0, 5);
+        let killed = eng.squash_younger_than(2);
+        assert!(killed.is_empty());
+        assert_eq!(eng.retired_pending(), 0);
+        assert_eq!(eng.watermark(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_mapping() {
+        let mut eng = KillEngine::new();
+        eng.mapping_retired(RegClass::Int, 3, 50, 9);
+        eng.rollback_retirement(RegClass::Int, 3, 9);
+        // Nothing left to kill.
+        assert!(eng.writer_completed(RegClass::Int, 3, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "youngest-first")]
+    fn rollback_out_of_order_panics() {
+        let mut eng = KillEngine::new();
+        eng.mapping_retired(RegClass::Int, 3, 50, 9);
+        eng.mapping_retired(RegClass::Int, 3, 51, 12);
+        eng.rollback_retirement(RegClass::Int, 3, 9);
+    }
+
+    #[test]
+    fn watermark_with_no_branches_is_max() {
+        assert_eq!(KillEngine::new().watermark(), u64::MAX);
+    }
+}

@@ -1,0 +1,827 @@
+//! The cycle loop: complete → recover → commit → issue → insert → account.
+
+use crate::active::{ActiveList, BranchInfo, Stage};
+use crate::config::{ExceptionModel, MachineConfig};
+use crate::fu::DividerPool;
+use crate::imprecise::KillEngine;
+use crate::regfile::{Category, PhysRegFile};
+use crate::stats::SimStats;
+use rf_bpred::AnyPredictor;
+use rf_isa::{Instruction, IssueClass, IssueLimits, OpKind, RegClass};
+use rf_mem::{DataCache, InstructionCache};
+use rf_workload::{TraceGenerator, WrongPathGenerator};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// If the machine makes no commit progress for this many cycles, the
+/// simulation aborts: the configuration has deadlocked, which indicates a
+/// model bug (the paper's freeing rules are deadlock-free at >= 32
+/// registers).
+const DEADLOCK_HORIZON: u64 = 200_000;
+
+/// The simulated out-of-order processor.
+///
+/// Construct with a [`MachineConfig`], then [`run`](Pipeline::run) it over
+/// a workload trace. The pipeline owns all microarchitectural state —
+/// rename maps, dispatch queue, active list, branch predictor, data cache,
+/// register files — and produces a [`SimStats`].
+///
+/// See the [crate-level documentation](crate) for the modelled machine and
+/// an example.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: MachineConfig,
+    limits: IssueLimits,
+    cache: DataCache,
+    icache: Option<InstructionCache>,
+    bp: AnyPredictor,
+    regs: [PhysRegFile; 2],
+    /// Current rename map per class, indexed by virtual register.
+    map: [[u32; 31]; 2],
+    active: ActiveList,
+    kill: KillEngine,
+    dividers: DividerPool,
+    completions: BinaryHeap<Reverse<(u64, u64)>>,
+    now: u64,
+    /// Dispatch-queue occupancy: `[non-FP, FP]` when queues are split,
+    /// everything in slot 0 otherwise.
+    dq_counts: [usize; 2],
+    /// Sequence number of the unresolved mispredicted correct-path branch
+    /// (at most one can exist: fetch diverges immediately after it).
+    pending_mispredict: Option<u64>,
+    /// Buffered instruction whose insertion stalled, plus its path flag.
+    fetch_buffer: Option<(Instruction, bool)>,
+    /// Insertion suppressed until this cycle (misprediction redirect).
+    fetch_resume_at: u64,
+    stats: SimStats,
+    trace_done: bool,
+    /// Stop committing once this many instructions have committed, so a
+    /// run of `n` commits is exactly `n` (comparable IPCs across runs).
+    commit_target: u64,
+    // Scratch buffers reused across cycles.
+    scratch_issue: Vec<u64>,
+    scratch_store_addrs: HashSet<u64>,
+    scratch_load_addrs: HashSet<u64>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline in its initial state: all virtual registers
+    /// mapped to architectural physical registers, everything else empty.
+    pub fn new(config: MachineConfig) -> Self {
+        let limits = config.limits();
+        let cache = config.cache_geometry().build(config.cache_org());
+        let mut regs =
+            [PhysRegFile::new(config.phys_regs()), PhysRegFile::new(config.phys_regs())];
+        let mut map = [[0u32; 31]; 2];
+        for class in RegClass::ALL {
+            for slot in map[class.index()].iter_mut() {
+                *slot = regs[class.index()]
+                    .alloc_architectural()
+                    .expect("32+ registers guarantee initial mappings fit");
+            }
+        }
+        let dividers = DividerPool::new(limits[IssueClass::FpDivide]);
+        let stats = SimStats::new(config.phys_regs());
+        let icache =
+            config.icache_config().map(|(c, penalty)| InstructionCache::new(c, penalty));
+        Self {
+            limits,
+            cache,
+            icache,
+            bp: AnyPredictor::new(config.predictor_kind()),
+            regs,
+            map,
+            active: ActiveList::new(),
+            kill: KillEngine::new(),
+            dividers,
+            completions: BinaryHeap::new(),
+            now: 0,
+            dq_counts: [0, 0],
+            pending_mispredict: None,
+            fetch_buffer: None,
+            fetch_resume_at: 0,
+            stats,
+            trace_done: false,
+            commit_target: u64::MAX,
+            scratch_issue: Vec::new(),
+            scratch_store_addrs: HashSet::new(),
+            scratch_load_addrs: HashSet::new(),
+            config,
+        }
+    }
+
+    /// The configuration this pipeline was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Which dispatch queue an operation occupies: FP arithmetic goes to
+    /// queue 1 when queues are split, everything else (and everything,
+    /// when unified) to queue 0.
+    fn queue_of(split: bool, kind: OpKind) -> usize {
+        usize::from(
+            split && matches!(kind, OpKind::FpOp | OpKind::FpDiv32 | OpKind::FpDiv64),
+        )
+    }
+
+    /// Capacity of one dispatch queue.
+    fn queue_cap(&self, q: usize) -> usize {
+        let total = self.config.dq_size();
+        if self.config.has_split_queues() {
+            if q == 0 {
+                total.div_ceil(2)
+            } else {
+                total / 2
+            }
+        } else if q == 0 {
+            total
+        } else {
+            0
+        }
+    }
+
+    /// Total dispatch-queue occupancy.
+    fn dq_total(&self) -> usize {
+        self.dq_counts[0] + self.dq_counts[1]
+    }
+
+    /// Runs the pipeline over a workload trace until `n_commits`
+    /// instructions have committed, generating wrong-path instructions
+    /// from the trace's own profile. Returns the accumulated statistics.
+    pub fn run(self, trace: &mut TraceGenerator, n_commits: u64) -> SimStats {
+        let mut wrong_path =
+            WrongPathGenerator::new(trace.profile(), self.config.sim_seed());
+        self.run_with(trace, &mut wrong_path, n_commits)
+    }
+
+    /// As [`run`](Pipeline::run), but with an explicit wrong-path
+    /// instruction source. If the main trace ends before `n_commits`, the
+    /// pipeline drains and returns early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine makes no commit progress for an extended
+    /// period (a deadlock, indicating a model bug).
+    pub fn run_with(
+        mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+        n_commits: u64,
+    ) -> SimStats {
+        self.commit_target = n_commits;
+        let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        while self.stats.committed < n_commits {
+            self.step(trace, wrong_path);
+            if self.trace_done && self.active.is_empty() {
+                break;
+            }
+            if self.stats.committed > last_progress.1 {
+                last_progress = (self.now, self.stats.committed);
+            } else if self.now - last_progress.0 > DEADLOCK_HORIZON {
+                panic!(
+                    "no commit progress for {DEADLOCK_HORIZON} cycles at cycle {} \
+                     ({} committed): model deadlock",
+                    self.now, self.stats.committed
+                );
+            }
+        }
+        self.stats.cache = *self.cache.stats();
+        self.stats.peak_outstanding_fills = self.cache.peak_outstanding_fills();
+        if let Some(ic) = &self.icache {
+            self.stats.icache_miss_rate = ic.miss_rate();
+        }
+        self.stats
+    }
+
+    /// Advances the machine one cycle.
+    fn step(
+        &mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+    ) {
+        self.now += 1;
+        self.cache.drain_fills(self.now);
+        self.complete_phase();
+        self.commit_phase();
+        self.issue_phase();
+        self.insert_phase(trace, wrong_path);
+        self.account_phase();
+    }
+
+    // ------------------------------------------------------------------
+    // Completion
+    // ------------------------------------------------------------------
+
+    /// Completes every issued instruction whose result arrives this cycle.
+    ///
+    /// The heap pops in `(cycle, seq)` order, so a mispredicted branch
+    /// completes before any of the wrong-path instructions it spawned;
+    /// recovery runs *immediately* at its completion — before younger
+    /// completions are processed and, crucially, before the kill engine's
+    /// watermark is allowed to advance past wrong-path writers — so that
+    /// rollback still finds every retirement record intact.
+    fn complete_phase(&mut self) {
+        while let Some(&Reverse((cycle, seq))) = self.completions.peek() {
+            if cycle > self.now {
+                break;
+            }
+            self.completions.pop();
+            // Lazy validation: the entry may have been squashed (and its
+            // sequence number even reused) since this heap record was
+            // pushed.
+            let valid = self
+                .active
+                .get(seq)
+                .is_some_and(|e| e.stage == Stage::Issued && e.complete_at == cycle);
+            if !valid {
+                continue;
+            }
+            if self.complete_entry(seq) {
+                self.recover(seq);
+            }
+        }
+    }
+
+    /// Completes one instruction; returns true if it is a mispredicted
+    /// correct-path branch (recovery needed).
+    fn complete_entry(&mut self, seq: u64) -> bool {
+        let entry = self.active.get_mut(seq).expect("validated by caller");
+        entry.stage = Stage::Completed;
+        let kind = entry.kind;
+        let wrong_path = entry.wrong_path;
+        let srcs = entry.srcs;
+        let dest = entry.dest;
+        let branch = entry.branch;
+        let pc = entry.pc;
+
+        // Source registers: this reader has completed.
+        for (class, p) in srcs.iter().flatten().copied() {
+            let reg = self.regs[class.index()].reg_mut(p);
+            debug_assert!(reg.pending_readers > 0);
+            reg.pending_readers -= 1;
+            self.maybe_free_imprecise(class, p);
+        }
+
+        // Destination register: the value is now available.
+        if let Some((class, new, vreg, _prev)) = dest {
+            self.regs[class.index()].reg_mut(new).ready = true;
+            self.regs[class.index()].transition(new, Category::WaitImprecise);
+            self.maybe_free_imprecise(class, new);
+            // Feeding wrong-path writers to the kill engine is safe: they
+            // can never gain branch clearance while their mispredicted
+            // branch is outstanding, and squash purges them.
+            let killed = self.kill.writer_completed(class, vreg, seq);
+            self.apply_kills(killed);
+        }
+
+        // Under the Alpha-style hybrid model, completing memory
+        // operations are exception barriers whose clearance can enable
+        // kills.
+        if kind.is_mem()
+            && !wrong_path
+            && self.config.exception_model() == ExceptionModel::AlphaHybrid
+        {
+            let killed = self.kill.barrier_completed(seq);
+            self.apply_kills(killed);
+        }
+
+        // Conditional branches: train the predictor (correct path only)
+        // and check for misprediction.
+        if kind == OpKind::CondBranch {
+            if let Some(BranchInfo { prediction, actual, .. }) = branch {
+                if !wrong_path {
+                    self.bp.train(pc, prediction, actual);
+                    self.stats.bpred.record(prediction.taken(), actual);
+                    if prediction.taken() != actual {
+                        // Mispredicted: the kill-engine completion of this
+                        // branch is deferred into recover(), which must
+                        // purge squashed state before the watermark (and
+                        // hence any kills) may advance.
+                        return true;
+                    }
+                    let killed = self.kill.branch_completed(seq);
+                    self.apply_kills(killed);
+                }
+            }
+        }
+        false
+    }
+
+    /// Applies mapping kills from the kill engine: marks registers killed
+    /// and frees them if the remaining imprecise conditions hold.
+    fn apply_kills(&mut self, killed: Vec<(RegClass, u32)>) {
+        for (class, p) in killed {
+            self.regs[class.index()].reg_mut(p).killed = true;
+            self.maybe_free_imprecise(class, p);
+        }
+    }
+
+    /// If all three imprecise conditions hold for register `p` — writer
+    /// completed, readers drained, mapping killed — frees it (imprecise
+    /// model) or moves it to the wait-precise shadow category (precise
+    /// model).
+    fn maybe_free_imprecise(&mut self, class: RegClass, p: u32) {
+        let file = &mut self.regs[class.index()];
+        let reg = file.reg(p);
+        if !reg.allocated
+            || reg.imprecise_free
+            || !reg.ready
+            || reg.pending_readers > 0
+            || !reg.killed
+        {
+            return;
+        }
+        file.reg_mut(p).imprecise_free = true;
+        match self.config.exception_model() {
+            ExceptionModel::Imprecise | ExceptionModel::AlphaHybrid => file.stage_free(p),
+            ExceptionModel::Precise => file.transition(p, Category::WaitPrecise),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Misprediction recovery
+    // ------------------------------------------------------------------
+
+    /// Squashes every instruction younger than the mispredicted branch,
+    /// rolls back the rename map, frees squashed destination registers,
+    /// cancels in-flight fills, restores the global history, and redirects
+    /// fetch (resuming next cycle).
+    fn recover(&mut self, branch_seq: u64) {
+        while self.active.back().is_some_and(|e| e.seq > branch_seq) {
+            let e = self.active.pop_back().expect("back exists");
+            self.stats.squashed += 1;
+            match e.stage {
+                Stage::InQueue => {
+                    let q = Self::queue_of(self.config.has_split_queues(), e.kind);
+                    self.dq_counts[q] -= 1;
+                }
+                Stage::Issued => {
+                    if e.kind == OpKind::Load {
+                        self.cache.cancel(e.seq);
+                    }
+                    if let Some(unit) = e.div_unit {
+                        self.dividers.release_early(unit, self.now);
+                    }
+                }
+                Stage::Completed => {}
+            }
+            // Readers that never completed release their register claims.
+            if e.stage != Stage::Completed {
+                for (class, p) in e.srcs.iter().flatten().copied() {
+                    let reg = self.regs[class.index()].reg_mut(p);
+                    debug_assert!(reg.pending_readers > 0);
+                    reg.pending_readers -= 1;
+                    self.maybe_free_imprecise(class, p);
+                }
+            }
+            // Undo the rename: restore the previous mapping, free the
+            // squashed destination register.
+            if let Some((class, new, vreg, prev)) = e.dest {
+                self.map[class.index()][vreg as usize] = prev;
+                self.kill.rollback_retirement(class, vreg, e.seq);
+                self.regs[class.index()].stage_free(new);
+            }
+        }
+        // Purge kill-engine state belonging to squashed instructions,
+        // then complete the branch itself; only now may the watermark
+        // advance and kills fire.
+        let killed = self.kill.squash_younger_than(branch_seq);
+        self.apply_kills(killed);
+        let killed = self.kill.branch_completed(branch_seq);
+        self.apply_kills(killed);
+
+        // Restore the global history to its pre-insertion value, then
+        // shift in the actual direction.
+        let branch = self.active.get(branch_seq).expect("the branch itself survives");
+        let info = branch.branch.expect("recovery target is a branch");
+        self.bp.recover(info.checkpoint, info.actual);
+
+        self.pending_mispredict = None;
+        self.fetch_buffer = None;
+        self.fetch_resume_at = self.now + 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    /// Commits up to `2 x width` completed instructions in program order.
+    fn commit_phase(&mut self) {
+        for _ in 0..self.limits.commit_bandwidth() {
+            if self.stats.committed >= self.commit_target {
+                break;
+            }
+            let Some(front) = self.active.front() else { break };
+            if front.stage != Stage::Completed {
+                break;
+            }
+            debug_assert!(
+                !front.wrong_path,
+                "wrong-path instructions are squashed before reaching commit"
+            );
+            let e = self.active.pop_front().expect("front exists");
+            self.stats.committed += 1;
+            match e.kind {
+                OpKind::Load => self.stats.committed_loads += 1,
+                OpKind::CondBranch => self.stats.committed_cbr += 1,
+                _ => {}
+            }
+            if let Some((class, _new, _vreg, prev)) = e.dest {
+                if self.config.exception_model() == ExceptionModel::Precise {
+                    debug_assert!(
+                        self.regs[class.index()].reg(prev).imprecise_free,
+                        "imprecise conditions always precede precise freeing"
+                    );
+                    self.regs[class.index()].stage_free(prev);
+                }
+                // Under the imprecise model the kill engine already freed
+                // (or will free) `prev`; commit plays no role.
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Issue
+    // ------------------------------------------------------------------
+
+    /// Greedy issue under the per-class limits, with dynamic memory
+    /// disambiguation. Candidates are gathered oldest-to-youngest (the
+    /// address-hazard checks only depend on older instructions), then the
+    /// per-cycle budgets are applied in the configured policy order —
+    /// oldest-first in the paper's machine.
+    fn issue_phase(&mut self) {
+        let mut budget = self.limits.width();
+        let mut class_budget = [0usize; 5];
+        for class in IssueClass::ALL {
+            class_budget[class.index()] = self.limits[class];
+        }
+        let mut divs_free = self.dividers.free_at(self.now);
+        let cache_free = self.cache.can_accept(self.now);
+        // A lockup (blocking) cache services one access at a time: clamp
+        // memory issue to a single operation per cycle, since a miss by
+        // the first would lock the cache against a second access selected
+        // in the same scan.
+        if self.cache.org() == rf_mem::CacheOrg::Lockup {
+            let mem = IssueClass::Memory.index();
+            class_budget[mem] = class_budget[mem].min(1);
+        }
+
+        self.scratch_issue.clear();
+        self.scratch_store_addrs.clear();
+        self.scratch_load_addrs.clear();
+
+        // Pass 1: collect every data- and hazard-ready candidate.
+        for e in self.active.iter() {
+            if e.stage == Stage::InQueue {
+                'check: {
+                    for (c, p) in e.srcs.iter().flatten().copied() {
+                        if !self.regs[c.index()].reg(p).ready {
+                            break 'check;
+                        }
+                    }
+                    match e.kind {
+                        OpKind::Load => {
+                            let addr = e.mem_addr.expect("loads carry addresses");
+                            if !cache_free || self.scratch_store_addrs.contains(&addr) {
+                                break 'check;
+                            }
+                        }
+                        OpKind::Store => {
+                            let addr = e.mem_addr.expect("stores carry addresses");
+                            if !cache_free
+                                || self.scratch_store_addrs.contains(&addr)
+                                || self.scratch_load_addrs.contains(&addr)
+                            {
+                                break 'check;
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.scratch_issue.push(e.seq);
+                }
+            }
+            // Accumulate older unresolved memory addresses for
+            // disambiguation of younger candidates. Instructions selected
+            // this cycle are still InQueue here, so they naturally stay
+            // "unresolved" for younger ones.
+            if e.stage != Stage::Completed {
+                if let Some(addr) = e.mem_addr {
+                    match e.kind {
+                        OpKind::Store => {
+                            self.scratch_store_addrs.insert(addr);
+                        }
+                        OpKind::Load => {
+                            self.scratch_load_addrs.insert(addr);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        // Pass 2: apply the budgets in policy order and issue.
+        let mut candidates = std::mem::take(&mut self.scratch_issue);
+        if self.config.sched_policy() == crate::SchedPolicy::YoungestFirst {
+            candidates.reverse();
+        }
+        let mut selected = Vec::with_capacity(self.limits.width());
+        for &seq in &candidates {
+            if budget == 0 {
+                break;
+            }
+            let kind = self.active.get(seq).expect("candidate is live").kind;
+            let class = kind.issue_class();
+            if class_budget[class.index()] == 0 {
+                continue;
+            }
+            if matches!(kind, OpKind::FpDiv32 | OpKind::FpDiv64) {
+                if divs_free == 0 {
+                    continue;
+                }
+                divs_free -= 1;
+            }
+            class_budget[class.index()] -= 1;
+            budget -= 1;
+            selected.push(seq);
+        }
+        for &seq in &selected {
+            self.do_issue(seq);
+        }
+        candidates.clear();
+        self.scratch_issue = candidates;
+    }
+
+    /// Issues one selected instruction: computes its completion time,
+    /// reserves resources, and updates register categories.
+    fn do_issue(&mut self, seq: u64) {
+        let now = self.now;
+        let (kind, mem_addr) = {
+            let entry = self.active.get_mut(seq).expect("selected this cycle");
+            debug_assert_eq!(entry.stage, Stage::InQueue);
+            entry.stage = Stage::Issued;
+            (entry.kind, entry.mem_addr)
+        };
+        let complete_at = match kind {
+            OpKind::Load => {
+                let addr = mem_addr.expect("loads carry addresses");
+                self.cache.load(addr, now, seq).complete_at()
+            }
+            OpKind::Store => {
+                let addr = mem_addr.expect("stores carry addresses");
+                self.cache.store(addr, now);
+                now + u64::from(OpKind::Store.latency())
+            }
+            OpKind::FpDiv32 | OpKind::FpDiv64 => {
+                let latency = u64::from(kind.latency());
+                let unit = self
+                    .dividers
+                    .try_reserve(now, latency)
+                    .expect("reserved during selection");
+                self.active.get_mut(seq).expect("still present").div_unit = Some(unit);
+                now + latency
+            }
+            _ => now + u64::from(kind.latency()),
+        };
+        let entry = self.active.get_mut(seq).expect("still present");
+        entry.complete_at = complete_at;
+        self.completions.push(Reverse((complete_at, seq)));
+        self.dq_counts[Self::queue_of(self.config.has_split_queues(), kind)] -= 1;
+        self.stats.issued += 1;
+        match kind {
+            OpKind::Load => self.stats.issued_loads += 1,
+            OpKind::CondBranch => self.stats.issued_cbr += 1,
+            _ => {}
+        }
+        if let Some((class, new, _, _)) = self.active.get(seq).expect("present").dest {
+            self.regs[class.index()].transition(new, Category::InFlight);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (fetch + rename + dispatch)
+    // ------------------------------------------------------------------
+
+    /// Inserts up to `1.5 x width` instructions into the dispatch queue,
+    /// renaming as it goes; switches to the wrong-path stream after a
+    /// mispredicted branch is inserted.
+    fn insert_phase(
+        &mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+    ) {
+        if self.now < self.fetch_resume_at {
+            return;
+        }
+        for _slot in 0..self.config.effective_insert_bandwidth() {
+            if self.dq_total() >= self.config.dq_size() {
+                self.stats.insert_stall_dq_full += 1;
+                break;
+            }
+            // Bounded reorder buffer (extension): no insertion while the
+            // active list is at capacity.
+            if self
+                .config
+                .reorder_capacity()
+                .is_some_and(|cap| self.active.len() >= cap)
+            {
+                self.stats.insert_stall_dq_full += 1;
+                break;
+            }
+            // Fetch (or reuse the stalled buffer).
+            let (inst, on_wrong_path) = match self.fetch_buffer.take() {
+                Some(b) => b,
+                None => {
+                    if self.pending_mispredict.is_some() {
+                        let i = wrong_path.next().expect("wrong-path stream is infinite");
+                        (i, true)
+                    } else {
+                        match trace.next() {
+                            Some(i) => (i, false),
+                            None => {
+                                self.trace_done = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            };
+            // Instruction cache: a fetch miss stalls insertion for the
+            // fixed penalty (the instruction is buffered and retried).
+            if let Some(ic) = self.icache.as_mut() {
+                if let Some(resume) = ic.fetch(inst.pc(), self.now) {
+                    self.fetch_resume_at = self.fetch_resume_at.max(resume);
+                    self.fetch_buffer = Some((inst, on_wrong_path));
+                    break;
+                }
+            }
+            // Split queues: the target queue must have room (in-order
+            // insertion, so a full queue blocks everything behind it).
+            let q = Self::queue_of(self.config.has_split_queues(), inst.kind());
+            if self.dq_counts[q] >= self.queue_cap(q) {
+                self.stats.insert_stall_dq_full += 1;
+                self.fetch_buffer = Some((inst, on_wrong_path));
+                break;
+            }
+            // Rename destination; stall (buffering the instruction) if no
+            // register is free.
+            if let Some(d) = inst.dest() {
+                if self.regs[d.class().index()].free_count() == 0 {
+                    self.stats.insert_stall_no_reg += 1;
+                    self.fetch_buffer = Some((inst, on_wrong_path));
+                    break;
+                }
+            }
+            self.insert_one(inst, on_wrong_path);
+        }
+    }
+
+    /// Renames and dispatches one instruction.
+    fn insert_one(&mut self, inst: Instruction, on_wrong_path: bool) {
+        let seq = self.active.push(inst.kind(), on_wrong_path, inst.pc());
+        // Sources first (an instruction reading and writing the same
+        // virtual register reads the *old* mapping).
+        let mut srcs = [None, None];
+        for (slot, src) in srcs.iter_mut().zip(inst.srcs().iter()) {
+            if let Some(r) = src {
+                if !r.is_zero() {
+                    let p = self.map[r.class().index()][r.index() as usize];
+                    self.regs[r.class().index()].reg_mut(p).pending_readers += 1;
+                    *slot = Some((r.class(), p));
+                }
+            }
+        }
+        // Destination.
+        let mut dest = None;
+        if let Some(d) = inst.dest() {
+            let class = d.class();
+            let vreg = d.index();
+            let new = self.regs[class.index()].alloc().expect("checked by caller");
+            let prev = self.map[class.index()][vreg as usize];
+            self.map[class.index()][vreg as usize] = new;
+            self.kill.mapping_retired(class, vreg, prev, seq);
+            dest = Some((class, new, vreg, prev));
+        }
+        // Branch prediction and speculative history update.
+        let mut branch = None;
+        if inst.kind() == OpKind::CondBranch {
+            let prediction = self.bp.predict(inst.pc());
+            let checkpoint = self.bp.speculate(prediction.taken());
+            branch = Some(BranchInfo { prediction, actual: inst.taken(), checkpoint });
+            if !on_wrong_path {
+                self.kill.branch_inserted(seq);
+                if prediction.taken() != inst.taken() {
+                    debug_assert!(self.pending_mispredict.is_none());
+                    self.pending_mispredict = Some(seq);
+                }
+            }
+        }
+        // Memory operations are exception barriers under the hybrid model.
+        if inst.kind().is_mem()
+            && !on_wrong_path
+            && self.config.exception_model() == ExceptionModel::AlphaHybrid
+        {
+            self.kill.barrier_inserted(seq);
+        }
+        let entry = self.active.get_mut(seq).expect("just pushed");
+        entry.srcs = srcs;
+        entry.dest = dest;
+        entry.branch = branch;
+        entry.mem_addr = inst.mem().map(|m| m.addr());
+        self.dq_counts[Self::queue_of(self.config.has_split_queues(), inst.kind())] += 1;
+        self.stats.inserted += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /// Per-cycle statistics, then staged register frees become reusable.
+    fn account_phase(&mut self) {
+        self.stats.cycles += 1;
+        let int_empty = self.regs[0].free_count() == 0;
+        let fp_empty = self.regs[1].free_count() == 0;
+        self.stats.no_free_int_cycles += u64::from(int_empty);
+        self.stats.no_free_fp_cycles += u64::from(fp_empty);
+        self.stats.no_free_any_cycles += u64::from(int_empty || fp_empty);
+        self.stats.dq_occupancy_sum += self.dq_total() as u64;
+        for class in RegClass::ALL {
+            let file = &self.regs[class.index()];
+            let live = file.live_count();
+            let live_imp = file.live_count_imprecise();
+            self.stats.live_hist[class.index()][live] += 1;
+            self.stats.live_hist_imprecise[class.index()][live_imp] += 1;
+            let counts = file.category_counts();
+            for (sum, &c) in
+                self.stats.cat_sums[class.index()].iter_mut().zip(counts.iter())
+            {
+                *sum += u64::from(c);
+            }
+        }
+        self.regs[0].end_cycle();
+        self.regs[1].end_cycle();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    #[test]
+    fn queue_routing_is_unified_by_default() {
+        for kind in OpKind::ALL {
+            assert_eq!(Pipeline::queue_of(false, kind), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn queue_routing_splits_fp_arithmetic_only() {
+        for kind in OpKind::ALL {
+            let expected = matches!(kind, OpKind::FpOp | OpKind::FpDiv32 | OpKind::FpDiv64);
+            assert_eq!(Pipeline::queue_of(true, kind) == 1, expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn split_queue_capacities_partition_the_total() {
+        for total in [15usize, 16, 32, 33] {
+            let p = Pipeline::new(
+                MachineConfig::new(4).dispatch_queue(total).split_dispatch_queues(true),
+            );
+            assert_eq!(p.queue_cap(0) + p.queue_cap(1), total, "total {total}");
+            assert!(p.queue_cap(0) >= p.queue_cap(1));
+        }
+        let unified = Pipeline::new(MachineConfig::new(4).dispatch_queue(32));
+        assert_eq!(unified.queue_cap(0), 32);
+        assert_eq!(unified.queue_cap(1), 0);
+    }
+
+    #[test]
+    fn new_pipeline_reserves_architectural_mappings() {
+        let p = Pipeline::new(MachineConfig::new(4).physical_regs(40));
+        for class in RegClass::ALL {
+            assert_eq!(p.regs[class.index()].free_count(), 40 - 31, "{class}");
+            assert_eq!(p.regs[class.index()].live_count(), 31, "{class}");
+        }
+        assert_eq!(p.dq_total(), 0);
+        assert!(p.active.is_empty());
+    }
+
+    #[test]
+    fn category_counts_always_sum_to_live_registers() {
+        // Run a short simulation and check the invariant at the end (it
+        // is maintained incrementally, so the end state witnesses it).
+        let profile = rf_workload::spec92::compress();
+        let mut trace = rf_workload::TraceGenerator::new(&profile, 2);
+        let mut pipeline = Pipeline::new(MachineConfig::new(4).physical_regs(64));
+        let mut wp = rf_workload::WrongPathGenerator::new(&profile, 2);
+        for _ in 0..2_000 {
+            pipeline.step(&mut trace, &mut wp);
+            for class in RegClass::ALL {
+                let file = &pipeline.regs[class.index()];
+                let cat_sum: u32 = file.category_counts().iter().sum();
+                assert_eq!(cat_sum as usize, file.live_count(), "{class}");
+            }
+        }
+    }
+}

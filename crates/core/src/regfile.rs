@@ -1,0 +1,288 @@
+//! Physical register file state: allocation, liveness categories, freeing.
+
+/// The liveness category of an allocated physical register, matching the
+/// four regions of Figure 3 of the paper.
+///
+/// Every *allocated* register is in exactly one category; together the
+/// four partition the live-register count. Registers whose writer has
+/// committed but whose mapping has not yet been overwritten-and-committed
+/// (i.e. current architectural state) are in
+/// [`Category::WaitImprecise`] — they cannot be freed under either model
+/// until a later writer of the same virtual register arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Writer still sits in the dispatch queue (allocated at insertion).
+    InQueue,
+    /// Writer has issued and is executing.
+    InFlight,
+    /// Writer completed; the imprecise freeing conditions are not yet met.
+    WaitImprecise,
+    /// Imprecise conditions met (would be free under the imprecise model);
+    /// still held pending the precise conditions.
+    WaitPrecise,
+}
+
+impl Category {
+    /// All categories in display order.
+    pub const ALL: [Category; 4] =
+        [Category::InQueue, Category::InFlight, Category::WaitImprecise, Category::WaitPrecise];
+
+    /// Dense index for counters.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Category::InQueue => 0,
+            Category::InFlight => 1,
+            Category::WaitImprecise => 2,
+            Category::WaitPrecise => 3,
+        }
+    }
+}
+
+/// Per-physical-register bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RegState {
+    /// Whether the register is currently allocated (not on the free list).
+    pub allocated: bool,
+    /// Whether the writer's result is available (writer completed) — the
+    /// issue-readiness condition for readers.
+    pub ready: bool,
+    /// Renamed readers that have not yet completed (or been squashed).
+    pub pending_readers: u32,
+    /// Whether the mapping has been killed per the imprecise rules (a
+    /// later writer of the same virtual register completed with all its
+    /// preceding branches complete).
+    pub killed: bool,
+    /// Whether the imprecise freeing conditions have all been met.
+    pub imprecise_free: bool,
+    /// Current liveness category (meaningful while allocated).
+    pub category: Category,
+}
+
+impl Default for RegState {
+    fn default() -> Self {
+        Self {
+            allocated: false,
+            ready: false,
+            pending_readers: 0,
+            killed: false,
+            imprecise_free: false,
+            category: Category::WaitImprecise,
+        }
+    }
+}
+
+/// One physical register file (the machine has two: integer and FP).
+///
+/// Freed registers are *staged*: the paper assumes "a register can be
+/// reused in the cycle after the conditions for freeing it are satisfied",
+/// so frees accumulate during a cycle and only return to the free list
+/// when [`PhysRegFile::end_cycle`] runs.
+///
+/// # Examples
+///
+/// ```
+/// use rf_core::PhysRegFile;
+///
+/// let mut rf = PhysRegFile::new(34);
+/// let p = rf.alloc().unwrap();
+/// assert_eq!(rf.free_count(), 33);
+/// rf.stage_free(p);
+/// assert_eq!(rf.free_count(), 33); // not yet reusable
+/// rf.end_cycle();
+/// assert_eq!(rf.free_count(), 34);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysRegFile {
+    state: Vec<RegState>,
+    free: Vec<u32>,
+    staged: Vec<u32>,
+    /// Live-category counters, kept incrementally.
+    cat_counts: [u32; 4],
+}
+
+impl PhysRegFile {
+    /// Creates a file of `n` registers, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0 && n <= u32::MAX as usize, "bad register file size");
+        Self {
+            state: vec![RegState::default(); n],
+            // Pop from the back: allocate low indices first.
+            free: (0..n as u32).rev().collect(),
+            staged: Vec::new(),
+            cat_counts: [0; 4],
+        }
+    }
+
+    /// Total registers in the file.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the file has zero registers (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Registers currently on the free list (staged frees excluded).
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocated (live) registers. Staged frees still count as live: they
+    /// are freed but unusable until next cycle, and the paper counts a
+    /// register live until it can be reused.
+    pub fn live_count(&self) -> usize {
+        self.state.len() - self.free.len()
+    }
+
+    /// Live registers under the *imprecise* model: allocated registers
+    /// minus those already marked imprecise-free (the shadow engine's
+    /// view when running under precise exceptions).
+    pub fn live_count_imprecise(&self) -> usize {
+        self.live_count() - self.cat_counts[Category::WaitPrecise.index()] as usize
+    }
+
+    /// Current count of each liveness category.
+    pub fn category_counts(&self) -> [u32; 4] {
+        self.cat_counts
+    }
+
+    /// Allocates a register (writer entering the dispatch queue), or
+    /// `None` if the free list is empty.
+    pub fn alloc(&mut self) -> Option<u32> {
+        let p = self.free.pop()?;
+        let s = &mut self.state[p as usize];
+        debug_assert!(!s.allocated);
+        *s = RegState {
+            allocated: true,
+            ready: false,
+            pending_readers: 0,
+            killed: false,
+            imprecise_free: false,
+            category: Category::InQueue,
+        };
+        self.cat_counts[Category::InQueue.index()] += 1;
+        Some(p)
+    }
+
+    /// Allocates a register representing committed architectural state
+    /// (initial mappings): writer already "completed", category
+    /// wait-imprecise.
+    pub fn alloc_architectural(&mut self) -> Option<u32> {
+        let p = self.alloc()?;
+        self.transition(p, Category::InFlight);
+        self.transition(p, Category::WaitImprecise);
+        self.state[p as usize].ready = true;
+        Some(p)
+    }
+
+    /// Direct access to a register's state.
+    #[inline]
+    pub fn reg(&self, p: u32) -> &RegState {
+        &self.state[p as usize]
+    }
+
+    /// Mutable access to a register's state (counters are *not* adjusted;
+    /// use the transition helpers for category changes).
+    #[inline]
+    pub fn reg_mut(&mut self, p: u32) -> &mut RegState {
+        &mut self.state[p as usize]
+    }
+
+    /// Moves an allocated register to a new category, maintaining the
+    /// counters.
+    pub fn transition(&mut self, p: u32, to: Category) {
+        let s = &mut self.state[p as usize];
+        debug_assert!(s.allocated, "transition of unallocated register {p}");
+        self.cat_counts[s.category.index()] -= 1;
+        s.category = to;
+        self.cat_counts[to.index()] += 1;
+    }
+
+    /// Stages a register for freeing; it returns to the free list at
+    /// [`PhysRegFile::end_cycle`].
+    pub fn stage_free(&mut self, p: u32) {
+        let s = &mut self.state[p as usize];
+        debug_assert!(s.allocated, "double free of register {p}");
+        self.cat_counts[s.category.index()] -= 1;
+        s.allocated = false;
+        self.staged.push(p);
+    }
+
+    /// Returns staged frees to the free list (call once per cycle, after
+    /// the insertion phase).
+    pub fn end_cycle(&mut self) {
+        self.free.append(&mut self.staged);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_staged_free_roundtrip() {
+        let mut rf = PhysRegFile::new(33);
+        let a = rf.alloc().unwrap();
+        let b = rf.alloc().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(rf.live_count(), 2);
+        rf.stage_free(a);
+        // Staged register is no longer allocated but not yet reusable.
+        assert_eq!(rf.free_count(), 31);
+        assert_eq!(rf.live_count(), 2);
+        rf.end_cycle();
+        assert_eq!(rf.free_count(), 32);
+        assert_eq!(rf.live_count(), 1);
+    }
+
+    #[test]
+    fn exhausts_and_returns_none() {
+        let mut rf = PhysRegFile::new(32);
+        for _ in 0..32 {
+            assert!(rf.alloc().is_some());
+        }
+        assert!(rf.alloc().is_none());
+    }
+
+    #[test]
+    fn category_counters_track_transitions() {
+        let mut rf = PhysRegFile::new(33);
+        let p = rf.alloc().unwrap();
+        assert_eq!(rf.category_counts(), [1, 0, 0, 0]);
+        rf.transition(p, Category::InFlight);
+        assert_eq!(rf.category_counts(), [0, 1, 0, 0]);
+        rf.transition(p, Category::WaitImprecise);
+        rf.transition(p, Category::WaitPrecise);
+        assert_eq!(rf.category_counts(), [0, 0, 0, 1]);
+        assert_eq!(rf.live_count_imprecise(), 0);
+        assert_eq!(rf.live_count(), 1);
+        rf.stage_free(p);
+        assert_eq!(rf.category_counts(), [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn architectural_alloc_is_ready_and_waiting() {
+        let mut rf = PhysRegFile::new(33);
+        let p = rf.alloc_architectural().unwrap();
+        assert!(rf.reg(p).ready);
+        assert_eq!(rf.reg(p).category, Category::WaitImprecise);
+    }
+
+    #[test]
+    fn allocation_reuses_freed_registers() {
+        let mut rf = PhysRegFile::new(32);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..32 {
+            seen.insert(rf.alloc().unwrap());
+        }
+        rf.stage_free(5);
+        rf.end_cycle();
+        assert_eq!(rf.alloc(), Some(5));
+    }
+}

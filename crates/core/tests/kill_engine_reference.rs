@@ -1,0 +1,114 @@
+//! Property test: the incremental [`KillEngine`] agrees with a
+//! brute-force implementation of the paper's imprecise kill condition.
+//!
+//! The condition for a retired mapping `(phys, killer_seq)` of virtual
+//! register `v`: it is killed once *some* completed writer `W` of `v`
+//! with `W.seq >= killer_seq` exists such that every branch preceding `W`
+//! (i.e. with a smaller sequence number) has completed.
+
+use proptest::prelude::*;
+use rf_core::KillEngine;
+use rf_isa::RegClass;
+use std::collections::BTreeSet;
+
+/// A randomly generated event stream.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Insert a branch with the next sequence number.
+    BranchInsert,
+    /// Complete the oldest outstanding branch.
+    BranchCompleteOldest,
+    /// Retire a mapping of vreg (picked mod 4) with the next seq as the
+    /// killer, then later complete that killer.
+    RetireAndCompleteWriter(u8),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        Just(Event::BranchInsert),
+        Just(Event::BranchCompleteOldest),
+        (0u8..4).prop_map(Event::RetireAndCompleteWriter),
+    ]
+}
+
+/// Brute-force evaluator over the full event history.
+#[derive(Default)]
+struct Reference {
+    branches: Vec<(u64, bool)>,            // (seq, completed)
+    retired: Vec<(u8, u32, u64, bool)>,    // (vreg, phys, killer_seq, writer_done)
+}
+
+impl Reference {
+    fn killed_set(&self) -> BTreeSet<u32> {
+        let mut killed = BTreeSet::new();
+        for &(vreg, phys, killer_seq, _) in &self.retired {
+            // Any completed writer of vreg with seq >= killer_seq and all
+            // preceding branches complete?
+            let cleared = self.retired.iter().any(|&(v2, _, k2, done2)| {
+                v2 == vreg
+                    && done2
+                    && k2 >= killer_seq
+                    && self
+                        .branches
+                        .iter()
+                        .all(|&(bseq, bdone)| bdone || bseq > k2)
+            });
+            if cleared {
+                killed.insert(phys);
+            }
+        }
+        killed
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn kill_engine_matches_brute_force(events in prop::collection::vec(event_strategy(), 1..60)) {
+        let mut eng = KillEngine::new();
+        let mut reference = Reference::default();
+        let mut seq = 0u64;
+        let mut phys = 100u32;
+        let mut engine_killed: BTreeSet<u32> = BTreeSet::new();
+
+        for ev in events {
+            match ev {
+                Event::BranchInsert => {
+                    eng.branch_inserted(seq);
+                    reference.branches.push((seq, false));
+                    seq += 1;
+                }
+                Event::BranchCompleteOldest => {
+                    if let Some(entry) =
+                        reference.branches.iter_mut().find(|(_, done)| !done)
+                    {
+                        entry.1 = true;
+                        let bseq = entry.0;
+                        for (_, p) in eng.branch_completed(bseq) {
+                            engine_killed.insert(p);
+                        }
+                    }
+                }
+                Event::RetireAndCompleteWriter(vreg) => {
+                    let killer = seq;
+                    seq += 1;
+                    phys += 1;
+                    eng.mapping_retired(RegClass::Int, vreg, phys, killer);
+                    reference.retired.push((vreg, phys, killer, false));
+                    // The writer completes immediately after retiring.
+                    for (_, p) in eng.writer_completed(RegClass::Int, vreg, killer) {
+                        engine_killed.insert(p);
+                    }
+                    let last = reference.retired.len() - 1;
+                    reference.retired[last].3 = true;
+                }
+            }
+            prop_assert_eq!(
+                &engine_killed,
+                &reference.killed_set(),
+                "divergence after event stream prefix"
+            );
+        }
+    }
+}

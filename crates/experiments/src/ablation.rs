@@ -1,0 +1,95 @@
+//! Ablations of the machine-model design choices called out in DESIGN.md:
+//! the scheduler's selection policy (greedy oldest-first vs
+//! youngest-first), the branch predictor (bimodal / gshare / the paper's
+//! combining predictor), and the dispatch-queue insertion bandwidth (the
+//! paper's 1.5x issue width vs 1.0x and 2.0x).
+
+use crate::aggregate::{all_names, mean_over};
+use crate::runner::{Scale};
+use crate::table::Table;
+use rf_bpred::PredictorKind;
+use rf_core::{MachineConfig, Pipeline, SchedPolicy, SimStats};
+use rf_workload::{spec92, TraceGenerator};
+
+fn run_suite(configure: impl Fn(MachineConfig) -> MachineConfig, commits: u64) -> Vec<(String, SimStats)> {
+    spec92::all()
+        .into_iter()
+        .map(|p| {
+            let config = configure(MachineConfig::new(4).dispatch_queue(32).physical_regs(2048));
+            let mut trace = TraceGenerator::new(&p, 12);
+            (p.name, Pipeline::new(config).run(&mut trace, commits))
+        })
+        .collect()
+}
+
+/// Runs both ablations and renders the report.
+pub fn run(scale: &Scale) -> String {
+    let names = all_names();
+    let mut out = String::from(
+        "Ablations (4-way issue, dq 32, 2048 registers, lockup-free cache)\n\n",
+    );
+
+    out.push_str("Scheduler selection policy\n");
+    let mut t = Table::new(vec!["policy", "avg issue IPC", "avg commit IPC"]);
+    for policy in [SchedPolicy::OldestFirst, SchedPolicy::YoungestFirst] {
+        let runs = run_suite(|c| c.scheduling(policy), scale.commits);
+        t.row(vec![
+            policy.to_string(),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::issue_ipc)),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nBranch predictor (paper: McFarling combining, 12 Kbit)\n");
+    let mut t = Table::new(vec!["predictor", "avg mispredict %", "avg commit IPC"]);
+    for kind in [PredictorKind::Bimodal, PredictorKind::Gshare, PredictorKind::Combining] {
+        let runs = run_suite(|c| c.predictor(kind), scale.commits);
+        t.row(vec![
+            kind.to_string(),
+            format!("{:.1}", 100.0 * mean_over(&runs, &names, SimStats::mispredict_rate)),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nDispatch-queue insertion bandwidth (paper: 1.5 x width = 6)\n");
+    let mut t = Table::new(vec!["insert/cycle", "avg commit IPC", "avg dq occupancy"]);
+    for bw in [4usize, 6, 8] {
+        let runs = run_suite(|c| c.insert_bandwidth(bw), scale.commits);
+        t.row(vec![
+            bw.to_string(),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
+            format!("{:.1}", mean_over(&runs, &names, SimStats::mean_dq_occupancy)),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_first_commits_at_least_as_fast() {
+        let commits = 8_000;
+        let old = run_suite(|c| c.scheduling(SchedPolicy::OldestFirst), commits);
+        let young = run_suite(|c| c.scheduling(SchedPolicy::YoungestFirst), commits);
+        let names = all_names();
+        let o = mean_over(&old, &names, SimStats::commit_ipc);
+        let y = mean_over(&young, &names, SimStats::commit_ipc);
+        assert!(o >= y * 0.98, "oldest-first {o} vs youngest-first {y}");
+    }
+
+    #[test]
+    fn wider_insertion_never_hurts_much() {
+        let commits = 6_000;
+        let narrow = run_suite(|c| c.insert_bandwidth(4), commits);
+        let wide = run_suite(|c| c.insert_bandwidth(8), commits);
+        let names = all_names();
+        let n = mean_over(&narrow, &names, SimStats::commit_ipc);
+        let w = mean_over(&wide, &names, SimStats::commit_ipc);
+        assert!(w >= n * 0.97, "wide {w} vs narrow {n}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Runs every table/figure harness and writes reports under `results/`.
+//!
+//! Pass a commit budget as the first argument or set RF_COMMITS
+//! (default 200000).
+
+use rf_experiments::runner::Scale;
+use std::fs;
+use std::time::Instant;
+
+fn main() -> std::io::Result<()> {
+    let scale = Scale {
+        commits: std::env::args()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| Scale::from_env().commits),
+    };
+    fs::create_dir_all("results")?;
+    type Harness = fn(&Scale) -> String;
+    let experiments: Vec<(&str, Harness)> = vec![
+        ("table1", rf_experiments::table1::run),
+        ("fig3", rf_experiments::fig3::run),
+        ("fig4", rf_experiments::fig4::run),
+        ("fig5", rf_experiments::fig5::run),
+        ("fig6", rf_experiments::fig6::run),
+        ("fig7", rf_experiments::fig7::run),
+        ("fig8", rf_experiments::fig8::run),
+        ("fig10", rf_experiments::fig10::run),
+        ("ablation", rf_experiments::ablation::run),
+        ("extensions", rf_experiments::extensions::run),
+        ("sensitivity", rf_experiments::sensitivity::run),
+        ("dataflow", rf_experiments::dataflow::run),
+    ];
+    for (name, run) in experiments {
+        let start = Instant::now();
+        let report = run(&scale);
+        let path = format!("results/{name}.txt");
+        fs::write(&path, &report)?;
+        println!("== {name} ({:.1}s) -> {path}\n{report}", start.elapsed().as_secs_f64());
+    }
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates the sensitivity report. Pass a commit budget as the first argument
+//! or set RF_COMMITS (default 200000).
+
+fn main() {
+    let scale = rf_experiments::runner::Scale {
+        commits: std::env::args()
+            .nth(1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| rf_experiments::runner::Scale::from_env().commits),
+    };
+    println!("{}", rf_experiments::sensitivity::run(&scale));
+}

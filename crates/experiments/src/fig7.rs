@@ -1,0 +1,94 @@
+//! Figure 7: average commit IPC for the three data-cache organisations
+//! (perfect, lockup-free, lockup) as the register-file size varies, for
+//! both widths; panel (a) imprecise exceptions, panel (b) precise.
+
+use crate::aggregate::{all_names, mean_over};
+use crate::fig6::REG_SIZES;
+use crate::runner::{simulate_suite, RunSpec, Scale};
+use crate::table::Table;
+use rf_core::{ExceptionModel, SimStats};
+use rf_mem::CacheOrg;
+
+/// The three organisations in the paper's legend order.
+pub const ORGS: &[CacheOrg] = &[CacheOrg::Perfect, CacheOrg::LockupFree, CacheOrg::Lockup];
+
+/// One cache organisation's IPC series over the register sweep.
+pub type OrgSeries = (CacheOrg, Vec<(usize, f64)>);
+
+/// Average commit IPC per (org, register count) for one width and model.
+pub fn sweep(width: usize, model: ExceptionModel, scale: &Scale) -> Vec<OrgSeries> {
+    let names = all_names();
+    ORGS.iter()
+        .map(|&org| {
+            let series = REG_SIZES
+                .iter()
+                .map(|&regs| {
+                    let base = RunSpec::baseline("compress", width)
+                        .regs(regs)
+                        .exceptions(model)
+                        .cache(org)
+                        .commits(scale.commits);
+                    let runs = simulate_suite(&base);
+                    (regs, mean_over(&runs, &names, SimStats::commit_ipc))
+                })
+                .collect();
+            (org, series)
+        })
+        .collect()
+}
+
+fn render_panel(label: &str, model: ExceptionModel, scale: &Scale) -> String {
+    let mut out = format!("({label}) {model} exception model\n");
+    for width in [4usize, 8] {
+        let data = sweep(width, model, scale);
+        let mut t = Table::new(vec!["regs", "perfect", "lockup-free", "lockup"]);
+        for (i, &regs) in REG_SIZES.iter().enumerate() {
+            t.row(vec![
+                regs.to_string(),
+                format!("{:.2}", data[0].1[i].1),
+                format!("{:.2}", data[1].1[i].1),
+                format!("{:.2}", data[2].1[i].1),
+            ]);
+        }
+        out.push_str(&format!("\n{width}-way issue (dq {})\n", width * 8));
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Runs Figure 7 (both panels) and renders the report.
+pub fn run(scale: &Scale) -> String {
+    let mut out = String::from(
+        "Figure 7: average commit IPC for three data cache organisations\n\n",
+    );
+    out.push_str(&render_panel("a", ExceptionModel::Imprecise, scale));
+    out.push('\n');
+    out.push_str(&render_panel("b", ExceptionModel::Precise, scale));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::simulate;
+
+    #[test]
+    fn cache_quality_orders_performance() {
+        // On a miss-heavy benchmark: perfect >= lockup-free > lockup.
+        let commits = 10_000;
+        let mk = |org| {
+            simulate(
+                &RunSpec::baseline("tomcatv", 4).regs(96).cache(org).commits(commits),
+            )
+            .commit_ipc()
+        };
+        let perfect = mk(CacheOrg::Perfect);
+        let lockup_free = mk(CacheOrg::LockupFree);
+        let lockup = mk(CacheOrg::Lockup);
+        assert!(perfect >= lockup_free * 0.98, "perfect {perfect} vs lf {lockup_free}");
+        assert!(
+            lockup_free > lockup * 1.3,
+            "lockup-free {lockup_free} should clearly beat lockup {lockup}"
+        );
+    }
+}

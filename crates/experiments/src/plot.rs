@@ -1,0 +1,179 @@
+//! Minimal ASCII line charts, so the figure harnesses can render the
+//! paper's *figures* (not just their data tables) straight to a terminal
+//! or text report.
+
+/// One plotted series: glyph, legend name, points.
+type Series = (char, String, Vec<(f64, f64)>);
+
+/// An ASCII scatter/line chart with multiple glyph-coded series.
+///
+/// # Examples
+///
+/// ```
+/// use rf_experiments::plot::Chart;
+///
+/// let mut c = Chart::new("IPC vs registers", "regs", "IPC");
+/// c.series('p', "precise", vec![(32.0, 1.0), (64.0, 2.0), (128.0, 2.5)]);
+/// c.series('i', "imprecise", vec![(32.0, 1.5), (64.0, 2.3), (128.0, 2.5)]);
+/// let s = c.render(40, 10);
+/// assert!(s.contains("IPC vs registers"));
+/// assert!(s.contains("p = precise"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series plotted with `glyph`. Non-finite points are skipped.
+    pub fn series(&mut self, glyph: char, name: &str, points: Vec<(f64, f64)>) -> &mut Self {
+        let clean: Vec<(f64, f64)> =
+            points.into_iter().filter(|(x, y)| x.is_finite() && y.is_finite()).collect();
+        self.series.push((glyph, name.to_owned(), clean));
+        self
+    }
+
+    /// Number of series added so far.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the chart has no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the chart into a `width x height` plot area (plus axes and
+    /// legend). Returns a note instead of a plot if there is no data.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        let width = width.max(8);
+        let height = height.max(4);
+        let all: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|(_, _, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            return format!("{} (no data)\n", self.title);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (x, y) in &all {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; width]; height];
+        for (glyph, _, pts) in &self.series {
+            // Linear interpolation between consecutive points for a
+            // line-chart look.
+            for w in pts.windows(2) {
+                let (xa, ya) = w[0];
+                let (xb, yb) = w[1];
+                let steps = width * 2;
+                for s in 0..=steps {
+                    let t = s as f64 / steps as f64;
+                    let x = xa + t * (xb - xa);
+                    let y = ya + t * (yb - ya);
+                    let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+                    let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+                    grid[height - 1 - cy][cx] = *glyph;
+                }
+            }
+            if pts.len() == 1 {
+                let (x, y) = pts[0];
+                let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx] = *glyph;
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        out.push_str(&format!("{} ({:.3} .. {:.3})\n", self.y_label, y0, y1));
+        for row in grid {
+            out.push_str("  |");
+            out.extend(row);
+            out.push('\n');
+        }
+        out.push_str("  +");
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        out.push_str(&format!(
+            "   {} ({:.0} .. {:.0})   legend: {}\n",
+            self.x_label,
+            x0,
+            x1,
+            self.series
+                .iter()
+                .map(|(g, n, _)| format!("{g} = {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_at_extremes() {
+        let mut c = Chart::new("t", "x", "y");
+        c.series('*', "s", vec![(0.0, 0.0), (10.0, 10.0)]);
+        let s = c.render(20, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // Bottom-left and top-right cells are set.
+        assert!(lines[2].contains('*'), "top row should contain the max point");
+        assert!(lines[6].starts_with("  |*"), "bottom row starts at the min point");
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let c = Chart::new("nothing", "x", "y");
+        assert!(c.render(20, 5).contains("no data"));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut c = Chart::new("flat", "x", "y");
+        c.series('=', "flat", vec![(0.0, 2.0), (5.0, 2.0)]);
+        let s = c.render(20, 5);
+        assert!(s.contains('='));
+    }
+
+    #[test]
+    fn legend_lists_all_series() {
+        let mut c = Chart::new("t", "x", "y");
+        c.series('a', "first", vec![(0.0, 1.0), (1.0, 2.0)]);
+        c.series('b', "second", vec![(0.0, 2.0), (1.0, 1.0)]);
+        assert_eq!(c.len(), 2);
+        let s = c.render(20, 5);
+        assert!(s.contains("a = first") && s.contains("b = second"));
+    }
+
+    #[test]
+    fn non_finite_points_are_dropped() {
+        let mut c = Chart::new("t", "x", "y");
+        c.series('x', "s", vec![(0.0, f64::NAN), (1.0, 1.0), (2.0, 2.0)]);
+        let s = c.render(20, 5);
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulation run specifications and execution.
+
+use rf_core::{ExceptionModel, MachineConfig, Pipeline, SimStats};
+use rf_mem::CacheOrg;
+use rf_workload::{spec92, TraceGenerator};
+
+/// How long each simulation runs, in committed instructions.
+///
+/// The paper simulated 23–910 million instructions per benchmark; this
+/// reproduction uses a fixed per-run commit budget large enough for the
+/// statistics of interest (IPC, liveness percentiles) to stabilise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Committed instructions per simulation.
+    pub commits: u64,
+}
+
+impl Scale {
+    /// The default experiment scale (200k commits per run), overridable
+    /// with the `RF_COMMITS` environment variable.
+    pub fn from_env() -> Self {
+        let commits = std::env::var("RF_COMMITS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200_000);
+        Self { commits }
+    }
+
+    /// A fast scale for tests (20k commits).
+    pub fn fast() -> Self {
+        Self { commits: 20_000 }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// One simulation point: a benchmark plus a machine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Benchmark name (one of the nine SPEC92 profile names).
+    pub benchmark: String,
+    /// Issue width.
+    pub width: usize,
+    /// Dispatch-queue entries.
+    pub dq: usize,
+    /// Physical registers per class.
+    pub regs: usize,
+    /// Exception model.
+    pub exceptions: ExceptionModel,
+    /// Cache organisation.
+    pub cache: CacheOrg,
+    /// Committed instructions to simulate.
+    pub commits: u64,
+    /// Workload and simulation seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// The paper's baseline configuration for a benchmark at an issue
+    /// width: dispatch queue of `8 x width` (32 / 64), 2048 registers,
+    /// precise exceptions, lockup-free cache, 200k commits.
+    pub fn baseline(benchmark: &str, width: usize) -> Self {
+        Self {
+            benchmark: benchmark.to_owned(),
+            width,
+            dq: width * 8,
+            regs: 2048,
+            exceptions: ExceptionModel::Precise,
+            cache: CacheOrg::LockupFree,
+            commits: 200_000,
+            seed: 12,
+        }
+    }
+
+    /// Sets the commit budget.
+    pub fn commits(mut self, commits: u64) -> Self {
+        self.commits = commits;
+        self
+    }
+
+    /// Sets the dispatch-queue size.
+    pub fn dq(mut self, dq: usize) -> Self {
+        self.dq = dq;
+        self
+    }
+
+    /// Sets the register-file size.
+    pub fn regs(mut self, regs: usize) -> Self {
+        self.regs = regs;
+        self
+    }
+
+    /// Sets the exception model.
+    pub fn exceptions(mut self, model: ExceptionModel) -> Self {
+        self.exceptions = model;
+        self
+    }
+
+    /// Sets the cache organisation.
+    pub fn cache(mut self, org: CacheOrg) -> Self {
+        self.cache = org;
+        self
+    }
+}
+
+/// Runs one simulation point.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown.
+pub fn simulate(spec: &RunSpec) -> SimStats {
+    let profile = spec92::by_name(&spec.benchmark)
+        .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.benchmark));
+    let mut trace = TraceGenerator::new(&profile, spec.seed);
+    let config = MachineConfig::new(spec.width)
+        .dispatch_queue(spec.dq)
+        .physical_regs(spec.regs)
+        .exceptions(spec.exceptions)
+        .cache(spec.cache)
+        .seed(spec.seed);
+    Pipeline::new(config).run(&mut trace, spec.commits)
+}
+
+/// Runs one simulation per benchmark (all nine), returning
+/// `(name, stats)` pairs in Table 1 order.
+pub fn simulate_suite(base: &RunSpec) -> Vec<(String, SimStats)> {
+    spec92::all()
+        .into_iter()
+        .map(|p| {
+            let spec = RunSpec { benchmark: p.name.clone(), ..base.clone() };
+            (p.name, simulate(&spec))
+        })
+        .collect()
+}
+
+/// The FP-intensive subset of benchmark names; the paper's FP-register
+/// averages include only these.
+pub fn fp_benchmarks() -> Vec<String> {
+    spec92::all()
+        .into_iter()
+        .filter(|p| p.is_fp_intensive())
+        .map(|p| p.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spec_matches_paper() {
+        let s = RunSpec::baseline("tomcatv", 8);
+        assert_eq!(s.dq, 64);
+        assert_eq!(s.regs, 2048);
+        assert_eq!(s.exceptions, ExceptionModel::Precise);
+        assert_eq!(s.cache, CacheOrg::LockupFree);
+    }
+
+    #[test]
+    fn simulate_commits_exactly() {
+        let s = RunSpec::baseline("espresso", 4).commits(3_000);
+        let stats = simulate(&s);
+        assert_eq!(stats.committed, 3_000);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let s = RunSpec::baseline("nope", 4);
+        let _ = simulate(&s);
+    }
+
+    #[test]
+    fn fp_subset_is_six_benchmarks() {
+        let fp = fp_benchmarks();
+        assert_eq!(fp.len(), 6);
+        assert!(fp.contains(&"tomcatv".to_owned()));
+        assert!(!fp.contains(&"gcc1".to_owned()));
+    }
+}

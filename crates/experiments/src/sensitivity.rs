@@ -1,0 +1,118 @@
+//! Sensitivity studies beyond the paper's fixed memory parameters: the
+//! memory fetch latency (the paper holds it at 16 cycles), the data-cache
+//! capacity (held at 64 KB), and the effect of a finite instruction cache
+//! (the paper's is effectively perfect).
+
+use crate::aggregate::{all_names, mean_over};
+use crate::runner::Scale;
+use crate::table::Table;
+use rf_core::{MachineConfig, Pipeline, SimStats};
+use rf_mem::CacheConfig;
+use rf_workload::{spec92, TraceGenerator};
+
+fn run_suite(
+    configure: impl Fn(MachineConfig) -> MachineConfig,
+    commits: u64,
+) -> Vec<(String, SimStats)> {
+    spec92::all()
+        .into_iter()
+        .map(|p| {
+            let config = configure(MachineConfig::new(4).dispatch_queue(32).physical_regs(96));
+            let mut trace = TraceGenerator::new(&p, 12);
+            (p.name, Pipeline::new(config).run(&mut trace, commits))
+        })
+        .collect()
+}
+
+/// Runs the sensitivity sweeps and renders the report.
+pub fn run(scale: &Scale) -> String {
+    let names = all_names();
+    let mut out = String::from(
+        "Sensitivity studies (4-way issue, dq 32, 96 registers, lockup-free)\n\n",
+    );
+
+    out.push_str("Memory fetch latency (paper: 16 cycles)\n");
+    let mut t = Table::new(vec!["latency", "avg commit IPC", "avg miss%"]);
+    for latency in [8u64, 16, 32, 64] {
+        let geometry = CacheConfig::new(64 * 1024, 2, 32, 1, latency);
+        let runs = run_suite(|c| c.cache_config(geometry), scale.commits);
+        t.row(vec![
+            latency.to_string(),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
+            format!("{:.1}", 100.0 * mean_over(&runs, &names, |s| s.cache.load_miss_rate())),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nData-cache capacity (paper: 64 KB, 2-way)\n");
+    let mut t = Table::new(vec!["capacity", "avg commit IPC", "avg miss%"]);
+    for kb in [16usize, 32, 64, 128, 256] {
+        let geometry = CacheConfig::new(kb * 1024, 2, 32, 1, 16);
+        let runs = run_suite(|c| c.cache_config(geometry), scale.commits);
+        t.row(vec![
+            format!("{kb}KB"),
+            format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
+            format!("{:.1}", 100.0 * mean_over(&runs, &names, |s| s.cache.load_miss_rate())),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\nInstruction cache (paper: perfect / fixed penalty, <1% misses)\n");
+    let mut t = Table::new(vec!["icache", "avg commit IPC", "avg icache miss%"]);
+    let perfect = run_suite(|c| c, scale.commits);
+    t.row(vec![
+        "perfect".to_owned(),
+        format!("{:.2}", mean_over(&perfect, &names, SimStats::commit_ipc)),
+        "0.0".to_owned(),
+    ]);
+    let finite = run_suite(
+        |c| c.instruction_cache(CacheConfig::new(64 * 1024, 2, 32, 1, 16), 16),
+        scale.commits,
+    );
+    t.row(vec![
+        "64KB/16cy".to_owned(),
+        format!("{:.2}", mean_over(&finite, &names, SimStats::commit_ipc)),
+        format!("{:.2}", 100.0 * mean_over(&finite, &names, |s| s.icache_miss_rate)),
+    ]);
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorter_fetch_latency_never_hurts() {
+        let commits = 4_000;
+        let names = all_names();
+        let fast = run_suite(
+            |c| c.cache_config(CacheConfig::new(64 * 1024, 2, 32, 1, 8)),
+            commits,
+        );
+        let slow = run_suite(
+            |c| c.cache_config(CacheConfig::new(64 * 1024, 2, 32, 1, 32)),
+            commits,
+        );
+        let f = mean_over(&fast, &names, SimStats::commit_ipc);
+        let s = mean_over(&slow, &names, SimStats::commit_ipc);
+        assert!(f > s, "8-cycle latency {f} should beat 32-cycle {s}");
+    }
+
+    #[test]
+    fn bigger_caches_do_not_miss_more() {
+        let commits = 4_000;
+        let names = all_names();
+        let small = run_suite(
+            |c| c.cache_config(CacheConfig::new(16 * 1024, 2, 32, 1, 16)),
+            commits,
+        );
+        let big = run_suite(
+            |c| c.cache_config(CacheConfig::new(256 * 1024, 2, 32, 1, 16)),
+            commits,
+        );
+        let sm = mean_over(&small, &names, |s| s.cache.load_miss_rate());
+        let bg = mean_over(&big, &names, |s| s.cache.load_miss_rate());
+        assert!(bg <= sm + 0.01, "256KB miss {bg} vs 16KB miss {sm}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Operation kinds and their functional-unit latencies.
+
+use crate::issue::IssueClass;
+use crate::reg::RegClass;
+use std::fmt;
+
+/// The kind of a micro-operation.
+///
+/// These are the operation classes the paper's machine model distinguishes:
+/// each kind determines the issue class (how many may issue per cycle), the
+/// functional-unit latency, and whether the unit is pipelined.
+///
+/// # Examples
+///
+/// ```
+/// use rf_isa::OpKind;
+///
+/// assert_eq!(OpKind::IntAlu.latency(), 1);
+/// assert_eq!(OpKind::IntMul.latency(), 6);
+/// assert!(OpKind::IntMul.is_pipelined());
+/// assert!(!OpKind::FpDiv64.is_pipelined());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Single-cycle integer ALU operation (add, logical, shift, compare, ...).
+    IntAlu,
+    /// Integer multiply: 6-cycle latency, fully pipelined.
+    IntMul,
+    /// Pipelined 3-cycle floating-point operation (add, multiply, convert...).
+    FpOp,
+    /// Non-pipelined 32-bit floating-point divide: 8-cycle latency.
+    FpDiv32,
+    /// Non-pipelined 64-bit floating-point divide: 16-cycle latency.
+    FpDiv64,
+    /// Memory load. Hits complete after the cache hit latency plus the
+    /// single load-delay slot; misses complete when the fill returns.
+    Load,
+    /// Memory store: resolved in one cycle (data enters the write buffer).
+    Store,
+    /// Conditional branch, predicted by the branch predictor.
+    CondBranch,
+    /// Other control flow (jump, subroutine call, return): assumed 100%
+    /// predictable by the paper.
+    Jump,
+}
+
+impl OpKind {
+    /// All operation kinds, for exhaustive sweeps in tests and generators.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::IntAlu,
+        OpKind::IntMul,
+        OpKind::FpOp,
+        OpKind::FpDiv32,
+        OpKind::FpDiv64,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::CondBranch,
+        OpKind::Jump,
+    ];
+
+    /// Execution latency in cycles, from issue to completion, for
+    /// non-memory operations. Memory latency depends on the cache and is
+    /// determined by the memory system; the value returned here for
+    /// [`OpKind::Load`] is the *minimum* (hit) latency including the single
+    /// load-delay slot.
+    #[inline]
+    pub fn latency(self) -> u32 {
+        match self {
+            OpKind::IntAlu => 1,
+            OpKind::IntMul => 6,
+            OpKind::FpOp => 3,
+            OpKind::FpDiv32 => 8,
+            OpKind::FpDiv64 => 16,
+            // 1-cycle hit latency + single load-delay slot.
+            OpKind::Load => 2,
+            OpKind::Store => 1,
+            OpKind::CondBranch => 1,
+            OpKind::Jump => 1,
+        }
+    }
+
+    /// Whether the functional unit executing this kind is pipelined (can
+    /// accept a new operation every cycle). Only the floating-point divider
+    /// is non-pipelined in the paper's model.
+    #[inline]
+    pub fn is_pipelined(self) -> bool {
+        !matches!(self, OpKind::FpDiv32 | OpKind::FpDiv64)
+    }
+
+    /// The issue class used for the per-cycle issue-width limits.
+    #[inline]
+    pub fn issue_class(self) -> IssueClass {
+        match self {
+            OpKind::IntAlu | OpKind::IntMul => IssueClass::Integer,
+            OpKind::FpOp => IssueClass::FloatingPoint,
+            OpKind::FpDiv32 | OpKind::FpDiv64 => IssueClass::FpDivide,
+            OpKind::Load | OpKind::Store => IssueClass::Memory,
+            OpKind::CondBranch | OpKind::Jump => IssueClass::ControlFlow,
+        }
+    }
+
+    /// The register class of this operation's destination and sources.
+    ///
+    /// Memory and control-flow address calculations use integer registers
+    /// (as on Alpha, where loads/stores compute `base + displacement`), but
+    /// floating-point loads/stores target FP registers; the [`Instruction`]
+    /// carries the actual registers, so this is only the *default* class
+    /// used by generators for non-memory operations.
+    ///
+    /// [`Instruction`]: crate::Instruction
+    #[inline]
+    pub fn default_reg_class(self) -> RegClass {
+        match self {
+            OpKind::FpOp | OpKind::FpDiv32 | OpKind::FpDiv64 => RegClass::Fp,
+            _ => RegClass::Int,
+        }
+    }
+
+    /// Whether this is a memory operation (load or store).
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpKind::Load | OpKind::Store)
+    }
+
+    /// Whether this is any control-flow operation.
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(self, OpKind::CondBranch | OpKind::Jump)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::IntAlu => "int_alu",
+            OpKind::IntMul => "int_mul",
+            OpKind::FpOp => "fp_op",
+            OpKind::FpDiv32 => "fp_div32",
+            OpKind::FpDiv64 => "fp_div64",
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::CondBranch => "cond_branch",
+            OpKind::Jump => "jump",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper() {
+        assert_eq!(OpKind::IntAlu.latency(), 1);
+        assert_eq!(OpKind::IntMul.latency(), 6);
+        assert_eq!(OpKind::FpOp.latency(), 3);
+        assert_eq!(OpKind::FpDiv32.latency(), 8);
+        assert_eq!(OpKind::FpDiv64.latency(), 16);
+        assert_eq!(OpKind::Store.latency(), 1);
+    }
+
+    #[test]
+    fn only_fp_divide_is_non_pipelined() {
+        for kind in OpKind::ALL {
+            let expect = !matches!(kind, OpKind::FpDiv32 | OpKind::FpDiv64);
+            assert_eq!(kind.is_pipelined(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn issue_classes() {
+        assert_eq!(OpKind::IntMul.issue_class(), IssueClass::Integer);
+        assert_eq!(OpKind::FpOp.issue_class(), IssueClass::FloatingPoint);
+        assert_eq!(OpKind::FpDiv64.issue_class(), IssueClass::FpDivide);
+        assert_eq!(OpKind::Load.issue_class(), IssueClass::Memory);
+        assert_eq!(OpKind::Store.issue_class(), IssueClass::Memory);
+        assert_eq!(OpKind::Jump.issue_class(), IssueClass::ControlFlow);
+        assert_eq!(OpKind::CondBranch.issue_class(), IssueClass::ControlFlow);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(OpKind::Load.is_mem());
+        assert!(OpKind::Store.is_mem());
+        assert!(!OpKind::IntAlu.is_mem());
+        assert!(OpKind::CondBranch.is_control());
+        assert!(OpKind::Jump.is_control());
+        assert!(!OpKind::Load.is_control());
+    }
+
+    #[test]
+    fn default_reg_classes() {
+        assert_eq!(OpKind::FpOp.default_reg_class(), RegClass::Fp);
+        assert_eq!(OpKind::IntAlu.default_reg_class(), RegClass::Int);
+        assert_eq!(OpKind::Load.default_reg_class(), RegClass::Int);
+    }
+}

@@ -1,0 +1,210 @@
+//! Parsing the textual instruction form.
+//!
+//! [`Instruction`]'s `Display` output is a stable one-line assembly-like
+//! format (`load r3 <- r2 @0x1000`, `cond_branch r9 (taken)`); this
+//! module parses it back, so traces can be dumped to text, edited by
+//! hand, and re-ingested. `parse` and `Display` round-trip exactly.
+
+use crate::inst::Instruction;
+use crate::op::OpKind;
+use crate::reg::{ArchReg, RegClass};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing an instruction's textual form.
+///
+/// # Examples
+///
+/// ```
+/// use rf_isa::Instruction;
+///
+/// let err = "bogus r1".parse::<Instruction>().unwrap_err();
+/// assert!(err.to_string().contains("bogus"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInstructionError {
+    message: String,
+}
+
+impl ParseInstructionError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseInstructionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseInstructionError {}
+
+fn parse_reg(tok: &str) -> Result<ArchReg, ParseInstructionError> {
+    let (class, rest) = match tok.split_at_checked(1) {
+        Some(("r", rest)) => (RegClass::Int, rest),
+        Some(("f", rest)) => (RegClass::Fp, rest),
+        _ => return Err(ParseInstructionError::new(format!("bad register {tok:?}"))),
+    };
+    let index: u8 = rest
+        .parse()
+        .map_err(|_| ParseInstructionError::new(format!("bad register index {tok:?}")))?;
+    if index > 31 {
+        return Err(ParseInstructionError::new(format!("register index out of range {tok:?}")));
+    }
+    Ok(ArchReg::new(class, index))
+}
+
+fn parse_kind(tok: &str) -> Result<OpKind, ParseInstructionError> {
+    OpKind::ALL
+        .into_iter()
+        .find(|k| k.to_string() == tok)
+        .ok_or_else(|| ParseInstructionError::new(format!("unknown operation {tok:?}")))
+}
+
+impl FromStr for Instruction {
+    type Err = ParseInstructionError;
+
+    /// Parses the `Display` form, optionally preceded by a
+    /// `pc:` prefix of the form `0x<hex>:` as emitted by trace dumps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseInstructionError`] for malformed input.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut s = s.trim();
+        // Optional "0x...: " pc prefix.
+        let mut pc = 0u64;
+        if let Some((head, rest)) = s.split_once(':') {
+            if let Some(hex) = head.trim().strip_prefix("0x") {
+                pc = u64::from_str_radix(hex, 16)
+                    .map_err(|_| ParseInstructionError::new(format!("bad pc {head:?}")))?;
+                s = rest.trim();
+            }
+        }
+        let mut toks = s.split_whitespace().peekable();
+        let kind =
+            parse_kind(toks.next().ok_or_else(|| ParseInstructionError::new("empty input"))?)?;
+
+        // Optional "<reg> <-" destination.
+        let mut dest: Option<ArchReg> = None;
+        let mut srcs: Vec<ArchReg> = Vec::new();
+        let mut addr: Option<u64> = None;
+        let mut taken = false;
+
+        let rest: Vec<&str> = toks.collect();
+        let mut i = 0;
+        if rest.len() >= 2 && rest[1] == "<-" {
+            dest = Some(parse_reg(rest[0])?);
+            i = 2;
+        }
+        while i < rest.len() {
+            let tok = rest[i];
+            if let Some(hex) = tok.strip_prefix("@0x") {
+                addr = Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                    ParseInstructionError::new(format!("bad address {tok:?}"))
+                })?);
+            } else if tok == "(taken)" {
+                taken = true;
+            } else if tok == "(not-taken)" {
+                taken = false;
+            } else {
+                srcs.push(parse_reg(tok)?);
+            }
+            i += 1;
+        }
+        let src = |n: usize| srcs.get(n).copied();
+        let need_dest = || {
+            dest.ok_or_else(|| ParseInstructionError::new(format!("{kind} needs a destination")))
+        };
+        let need_addr = || {
+            addr.ok_or_else(|| ParseInstructionError::new(format!("{kind} needs an @address")))
+        };
+
+        let inst = match kind {
+            OpKind::IntAlu => Instruction::int_alu(need_dest()?, [src(0), src(1)]),
+            OpKind::IntMul => Instruction::int_mul(need_dest()?, [src(0), src(1)]),
+            OpKind::FpOp => Instruction::fp_op(need_dest()?, [src(0), src(1)]),
+            OpKind::FpDiv32 => Instruction::fp_div(need_dest()?, [src(0), src(1)], false),
+            OpKind::FpDiv64 => Instruction::fp_div(need_dest()?, [src(0), src(1)], true),
+            OpKind::Load => {
+                let base = src(0).ok_or_else(|| {
+                    ParseInstructionError::new("load needs a base register")
+                })?;
+                Instruction::load(need_dest()?, base, need_addr()?)
+            }
+            OpKind::Store => {
+                let base = src(0).ok_or_else(|| {
+                    ParseInstructionError::new("store needs a base register")
+                })?;
+                let value = src(1).ok_or_else(|| {
+                    ParseInstructionError::new("store needs a value register")
+                })?;
+                Instruction::store(value, base, need_addr()?)
+            }
+            OpKind::CondBranch => Instruction::cond_branch(pc, taken, src(0)),
+            OpKind::Jump => Instruction::jump(dest, src(0)),
+        };
+        Ok(inst.with_pc(pc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Instruction) {
+        let text = inst.to_string();
+        let parsed: Instruction = text.parse().unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        // pc is not part of Display for non-branches; compare modulo pc.
+        assert_eq!(parsed.with_pc(inst.pc()), inst, "{text}");
+    }
+
+    #[test]
+    fn roundtrips_all_shapes() {
+        roundtrip(Instruction::int_alu(ArchReg::int(1), [Some(ArchReg::int(2)), None]));
+        roundtrip(Instruction::int_mul(
+            ArchReg::int(3),
+            [Some(ArchReg::int(4)), Some(ArchReg::int(5))],
+        ));
+        roundtrip(Instruction::fp_op(ArchReg::fp(1), [Some(ArchReg::fp(2)), None]));
+        roundtrip(Instruction::fp_div(ArchReg::fp(6), [Some(ArchReg::fp(7)), None], true));
+        roundtrip(Instruction::load(ArchReg::fp(2), ArchReg::int(30), 0x1234));
+        roundtrip(Instruction::store(ArchReg::int(5), ArchReg::int(6), 0xfff8));
+        roundtrip(Instruction::jump(Some(ArchReg::int(26)), None));
+        roundtrip(Instruction::jump(None, Some(ArchReg::int(26))));
+    }
+
+    #[test]
+    fn branch_roundtrips_with_pc_prefix() {
+        let br = Instruction::cond_branch(0x4400, true, Some(ArchReg::int(9)));
+        let text = format!("{:#x}: {br}", br.pc());
+        let parsed: Instruction = text.parse().unwrap();
+        assert_eq!(parsed, br);
+        assert!(parsed.taken());
+        assert_eq!(parsed.pc(), 0x4400);
+    }
+
+    #[test]
+    fn not_taken_branches_parse() {
+        let br: Instruction = "cond_branch r3 (not-taken)".parse().unwrap();
+        assert!(!br.taken());
+        assert_eq!(br.kind(), OpKind::CondBranch);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!("".parse::<Instruction>().is_err());
+        assert!("frob r1".parse::<Instruction>().is_err());
+        assert!("int_alu".parse::<Instruction>().is_err(), "missing destination");
+        assert!("load r1 <- r2".parse::<Instruction>().is_err(), "missing address");
+        assert!("int_alu r99 <- r1".parse::<Instruction>().is_err(), "bad index");
+        assert!("int_alu x1 <- r1".parse::<Instruction>().is_err(), "bad class");
+    }
+
+    #[test]
+    fn error_display_mentions_the_problem() {
+        let e = "load r1 <- r2".parse::<Instruction>().unwrap_err();
+        assert!(e.to_string().contains("@address"));
+    }
+}

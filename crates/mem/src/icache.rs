@@ -1,0 +1,125 @@
+//! The instruction cache.
+//!
+//! The paper keeps instruction fetch deliberately simple: "the instruction
+//! cache has a fixed miss penalty" and its servicing "does not delay the
+//! servicing of data cache misses"; every benchmark's instruction-cache
+//! miss rate was under 1%. This model reproduces exactly that: a tag
+//! array probed by fetch PC whose misses stall fetch for a fixed penalty,
+//! fully independent of the data-cache path. The experiment baselines
+//! leave it disabled (a perfect I-cache), matching the paper's effective
+//! assumption; enabling it is a configuration extension.
+
+use crate::config::CacheConfig;
+use crate::sets::SetArray;
+
+/// A blocking instruction cache with a fixed miss penalty.
+///
+/// # Examples
+///
+/// ```
+/// use rf_mem::{CacheConfig, InstructionCache};
+///
+/// let mut ic = InstructionCache::new(CacheConfig::new(8 * 1024, 2, 32, 1, 16), 8);
+/// // Cold miss: fetch resumes after the penalty.
+/// assert_eq!(ic.fetch(0x1000, 5), Some(13));
+/// // The line is now resident: the rest of it hits.
+/// assert_eq!(ic.fetch(0x1004, 14), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstructionCache {
+    tags: SetArray,
+    penalty: u64,
+    fetches: u64,
+    misses: u64,
+}
+
+impl InstructionCache {
+    /// Creates an empty instruction cache with the given geometry and
+    /// fixed miss penalty in cycles.
+    pub fn new(config: CacheConfig, penalty: u64) -> Self {
+        Self { tags: SetArray::new(config), penalty, fetches: 0, misses: 0 }
+    }
+
+    /// Fetches the instruction at `pc` in cycle `now`. Returns `None` on
+    /// a hit, or `Some(resume_cycle)` on a miss: fetch must stall until
+    /// that cycle, after which the line is resident.
+    pub fn fetch(&mut self, pc: u64, now: u64) -> Option<u64> {
+        self.fetches += 1;
+        if self.tags.access(pc) {
+            None
+        } else {
+            self.misses += 1;
+            self.tags.install(pc);
+            Some(now + self.penalty)
+        }
+    }
+
+    /// Instructions fetched.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Fetch misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate in `0.0..=1.0`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.fetches == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.fetches as f64
+        }
+    }
+
+    /// The fixed miss penalty in cycles.
+    pub fn penalty(&self) -> u64 {
+        self.penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn icache() -> InstructionCache {
+        InstructionCache::new(CacheConfig::new(4 * 1024, 2, 32, 1, 16), 10)
+    }
+
+    #[test]
+    fn sequential_fetches_hit_within_a_line() {
+        let mut ic = icache();
+        assert!(ic.fetch(0x100, 0).is_some());
+        for i in 1..8 {
+            assert!(ic.fetch(0x100 + i * 4, 20 + i).is_none(), "word {i}");
+        }
+        assert_eq!(ic.misses(), 1);
+        assert_eq!(ic.fetches(), 8);
+    }
+
+    #[test]
+    fn loop_footprint_hits_after_first_pass() {
+        let mut ic = icache();
+        // A 256-instruction loop: first pass misses per line, later
+        // passes hit entirely.
+        for pass in 0..4u64 {
+            for i in 0..256u64 {
+                ic.fetch(0x4000 + i * 4, pass * 1000 + i);
+            }
+        }
+        assert_eq!(ic.misses(), 256 / 8);
+        assert!(ic.miss_rate() < 0.04);
+    }
+
+    #[test]
+    fn resume_cycle_is_now_plus_penalty() {
+        let mut ic = icache();
+        assert_eq!(ic.fetch(0x0, 7), Some(17));
+    }
+
+    #[test]
+    fn empty_cache_reports_zero_rate() {
+        assert_eq!(icache().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Data-cache models for the HPCA'96 register-file study.
+//!
+//! The paper evaluates three memory-system organisations, all sharing the
+//! same interface to the processor core:
+//!
+//! * a **perfect** cache (assumed 100% hit rate),
+//! * a **lockup** (blocking) cache: while a load miss is being serviced, no
+//!   other memory operation can access the cache,
+//! * a **lockup-free** cache using an *inverted MSHR* organisation
+//!   (Farkas–Jouppi, ISCA'94), which "can support as many in-flight cache
+//!   misses as there are registers and other destinations for data", with
+//!   fill merging and simultaneous multi-register writes on block return.
+//!
+//! The baseline geometry is 64 KB, 2-way set-associative, 32-byte lines,
+//! 1-cycle hit latency, 16-cycle fetch latency. Stores are write-through /
+//! no-write-allocate through a write buffer that consumes no memory
+//! bandwidth and never stalls the pipe (a deliberate paper assumption to
+//! keep store traffic from perturbing the register-file measurements).
+//!
+//! Timing contract with the core: all latencies are *absolute completion
+//! cycles* returned at probe time (legal because fetch latency is constant
+//! and deterministic). A load hit completes at `issue + hit_latency +
+//! load_delay_slot`; a miss completes one register-write cycle after the
+//! block returns. Fills initiated by squashed (wrong-path) loads are
+//! *cancelled*: the returning block is not installed in the cache and
+//! writes no register, exactly as the paper specifies for misprediction
+//! recovery.
+//!
+//! # Examples
+//!
+//! ```
+//! use rf_mem::{CacheConfig, CacheOrg, DataCache};
+//!
+//! let mut cache = CacheConfig::baseline().build(CacheOrg::LockupFree);
+//! // First access to a line misses...
+//! let r1 = cache.load(0x1000, 10, 1);
+//! // ...a second load to the same line merges into the same fill.
+//! let r2 = cache.load(0x1010, 11, 2);
+//! assert!(r1.complete_at() > 10 + 2);
+//! assert_eq!(r1.complete_at(), r2.complete_at());
+//! cache.drain_fills(r1.complete_at());
+//! // After the fill installs, the line hits.
+//! let r3 = cache.load(0x1008, r1.complete_at() + 1, 3);
+//! assert!(r3.hit());
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod icache;
+mod config;
+mod mshr;
+mod sets;
+mod stats;
+mod wbuf;
+
+pub use cache::{CacheOrg, DataCache, LoadResult};
+pub use config::CacheConfig;
+pub use icache::InstructionCache;
+pub use mshr::InvertedMshr;
+pub use sets::SetArray;
+pub use stats::CacheStats;
+pub use wbuf::WriteBuffer;

@@ -1,0 +1,202 @@
+//! The inverted MSHR: bookkeeping for in-flight cache-line fetches.
+
+use std::collections::VecDeque;
+
+/// One in-flight line fetch and the loads waiting on it.
+#[derive(Debug, Clone)]
+struct PendingFill {
+    line: u64,
+    return_cycle: u64,
+    /// `(tag, cancelled)` for each load merged into this fill. The tag is
+    /// the core's identifier for the load (its sequence number); a
+    /// cancelled requester is a squashed wrong-path load whose register
+    /// must not be written.
+    requesters: Vec<(u64, bool)>,
+}
+
+/// A completed fill, reported by [`InvertedMshr::drain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedFill {
+    /// Line-aligned address of the returned block.
+    pub line: u64,
+    /// Tags of the (non-cancelled) loads whose registers are written,
+    /// simultaneously, when this block returns.
+    pub live_tags: Vec<u64>,
+    /// Whether the block should be installed in the cache: false when every
+    /// requester was squashed, per the paper's recovery rule ("the cache
+    /// block will not be written into the cache or be used to write
+    /// registers when the block returns from memory").
+    pub install: bool,
+}
+
+/// Bookkeeping for outstanding cache-line fetches, modelling the *inverted
+/// MSHR* organisation of Farkas–Jouppi (ISCA'94).
+///
+/// A conventional MSHR file has a fixed number of miss entries; an inverted
+/// MSHR is indexed by *destination* (physical register), so it "can support
+/// as many in-flight cache misses as there are registers and other
+/// destinations for data in the processor". Behaviourally that means the
+/// structure never rejects a request, which is how this type models it:
+/// requests to a line already being fetched merge into the existing fill,
+/// and new lines start new fetches, without bound.
+///
+/// # Examples
+///
+/// ```
+/// use rf_mem::InvertedMshr;
+///
+/// let mut mshr = InvertedMshr::new();
+/// let r1 = mshr.request(0x1000, 1, 26);
+/// let r2 = mshr.request(0x1000, 2, 30); // merges: same line
+/// assert_eq!(r1, 26);
+/// assert_eq!(r2, 26);
+/// let done = mshr.drain(26);
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].live_tags, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InvertedMshr {
+    /// Outstanding fills in return-cycle order. New fetches have
+    /// monotonically non-decreasing return cycles (constant fetch latency,
+    /// monotonic request cycles), so a deque stays sorted.
+    fills: VecDeque<PendingFill>,
+    peak_outstanding: usize,
+}
+
+impl InvertedMshr {
+    /// Creates an empty MSHR table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a fetch for `line` is already outstanding.
+    pub fn is_pending(&self, line: u64) -> bool {
+        self.fills.iter().any(|f| f.line == line)
+    }
+
+    /// Registers a load (identified by `tag`) missing on `line`. If a fetch
+    /// for the line is already outstanding the load merges into it;
+    /// otherwise a new fetch returning at `return_cycle_if_new` is started.
+    /// Returns the cycle the block will return.
+    pub fn request(&mut self, line: u64, tag: u64, return_cycle_if_new: u64) -> u64 {
+        if let Some(fill) = self.fills.iter_mut().find(|f| f.line == line) {
+            fill.requesters.push((tag, false));
+            return fill.return_cycle;
+        }
+        debug_assert!(
+            self.fills.back().is_none_or(|f| f.return_cycle <= return_cycle_if_new),
+            "fetch return cycles must be monotonic"
+        );
+        self.fills.push_back(PendingFill {
+            line,
+            return_cycle: return_cycle_if_new,
+            requesters: vec![(tag, false)],
+        });
+        self.peak_outstanding = self.peak_outstanding.max(self.fills.len());
+        return_cycle_if_new
+    }
+
+    /// Marks the requester `tag` as cancelled (squashed load): its register
+    /// will not be written, and if every requester of a fill is cancelled
+    /// the block will not be installed.
+    pub fn cancel(&mut self, tag: u64) {
+        for fill in &mut self.fills {
+            for req in &mut fill.requesters {
+                if req.0 == tag {
+                    req.1 = true;
+                }
+            }
+        }
+    }
+
+    /// Removes and returns every fill whose block has returned by `now`.
+    pub fn drain(&mut self, now: u64) -> Vec<CompletedFill> {
+        let mut done = Vec::new();
+        while let Some(front) = self.fills.front() {
+            if front.return_cycle > now {
+                break;
+            }
+            let fill = self.fills.pop_front().expect("front exists");
+            let live_tags: Vec<u64> =
+                fill.requesters.iter().filter(|r| !r.1).map(|r| r.0).collect();
+            let install = !live_tags.is_empty();
+            done.push(CompletedFill { line: fill.line, live_tags, install });
+        }
+        done
+    }
+
+    /// Number of fetches currently outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.fills.len()
+    }
+
+    /// The maximum number of simultaneously outstanding fetches observed.
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_requests_share_return_cycle() {
+        let mut m = InvertedMshr::new();
+        assert_eq!(m.request(0x100, 1, 50), 50);
+        assert_eq!(m.request(0x100, 2, 60), 50);
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn distinct_lines_fetch_independently() {
+        let mut m = InvertedMshr::new();
+        m.request(0x100, 1, 50);
+        m.request(0x200, 2, 51);
+        assert_eq!(m.outstanding(), 2);
+        assert_eq!(m.peak_outstanding(), 2);
+    }
+
+    #[test]
+    fn drain_respects_time() {
+        let mut m = InvertedMshr::new();
+        m.request(0x100, 1, 50);
+        m.request(0x200, 2, 60);
+        assert!(m.drain(49).is_empty());
+        let d = m.drain(55);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 0x100);
+        assert_eq!(m.outstanding(), 1);
+    }
+
+    #[test]
+    fn fully_cancelled_fill_is_not_installed() {
+        let mut m = InvertedMshr::new();
+        m.request(0x100, 1, 50);
+        m.cancel(1);
+        let d = m.drain(50);
+        assert_eq!(d.len(), 1);
+        assert!(!d[0].install);
+        assert!(d[0].live_tags.is_empty());
+    }
+
+    #[test]
+    fn partially_cancelled_fill_still_installs() {
+        let mut m = InvertedMshr::new();
+        m.request(0x100, 1, 50);
+        m.request(0x100, 2, 55);
+        m.cancel(1);
+        let d = m.drain(50);
+        assert!(d[0].install);
+        assert_eq!(d[0].live_tags, vec![2]);
+    }
+
+    #[test]
+    fn cancel_of_unknown_tag_is_a_no_op() {
+        let mut m = InvertedMshr::new();
+        m.request(0x100, 1, 50);
+        m.cancel(99);
+        let d = m.drain(50);
+        assert!(d[0].install);
+    }
+}

@@ -1,0 +1,167 @@
+//! The set-associative tag array with LRU replacement.
+
+use crate::config::CacheConfig;
+
+/// One way within a set: a valid line identified by its line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    line: u64,
+    /// Larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative tag array with true-LRU replacement.
+///
+/// Only tags are stored — the simulator is timing-only. Addresses are
+/// identified by their line-aligned address (which encodes both set index
+/// and tag).
+///
+/// # Examples
+///
+/// ```
+/// use rf_mem::{CacheConfig, SetArray};
+///
+/// let mut tags = SetArray::new(CacheConfig::new(128, 2, 32, 1, 16));
+/// assert!(!tags.probe(0x40));
+/// tags.install(0x40);
+/// assert!(tags.probe(0x40));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetArray {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+}
+
+impl SetArray {
+    /// Creates an empty (all-invalid) tag array for the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Self { config, sets: vec![Vec::new(); config.sets()], clock: 0 }
+    }
+
+    /// The geometry this array was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        ((line / self.config.line_bytes() as u64) as usize) & (self.config.sets() - 1)
+    }
+
+    /// Probes for the line containing `addr` *without* updating LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.config.line_of(addr);
+        self.sets[self.set_index(line)].iter().any(|w| w.line == line)
+    }
+
+    /// Probes for the line containing `addr`, updating LRU state on a hit.
+    /// Returns whether the line was present.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = self.config.line_of(addr);
+        let idx = self.set_index(line);
+        self.clock += 1;
+        let clock = self.clock;
+        match self.sets[idx].iter_mut().find(|w| w.line == line) {
+            Some(way) => {
+                way.lru = clock;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if the set
+    /// is full. Installing an already-present line just refreshes its LRU
+    /// position. Returns the evicted line address, if any.
+    pub fn install(&mut self, addr: u64) -> Option<u64> {
+        let line = self.config.line_of(addr);
+        let idx = self.set_index(line);
+        self.clock += 1;
+        let clock = self.clock;
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.lru = clock;
+            return None;
+        }
+        if set.len() < self.config.assoc() {
+            set.push(Way { line, lru: clock });
+            return None;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.lru)
+            .expect("set is full, so it is non-empty");
+        let evicted = victim.line;
+        *victim = Way { line, lru: clock };
+        Some(evicted)
+    }
+
+    /// Number of valid lines currently held.
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetArray {
+        // 2 sets x 2 ways x 32-byte lines.
+        SetArray::new(CacheConfig::new(128, 2, 32, 1, 16))
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut t = tiny();
+        // These three lines all map to set 0 (line addresses 0, 64, 128 with
+        // 2 sets: set = (line/32) & 1, so use multiples of 64).
+        t.install(0);
+        t.install(64);
+        assert!(t.access(0)); // touch 0 so 64 becomes LRU
+        let evicted = t.install(128);
+        assert_eq!(evicted, Some(64));
+        assert!(t.probe(0));
+        assert!(!t.probe(64));
+        assert!(t.probe(128));
+    }
+
+    #[test]
+    fn install_of_present_line_does_not_evict() {
+        let mut t = tiny();
+        t.install(0);
+        t.install(64);
+        assert_eq!(t.install(0), None);
+        assert_eq!(t.valid_lines(), 2);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut t = tiny();
+        t.install(0); // set 0
+        t.install(32); // set 1
+        t.install(64); // set 0
+        t.install(96); // set 1
+        assert_eq!(t.valid_lines(), 4);
+        assert!(t.probe(0) && t.probe(32) && t.probe(64) && t.probe(96));
+    }
+
+    #[test]
+    fn access_misses_do_not_install() {
+        let mut t = tiny();
+        assert!(!t.access(0x40));
+        assert!(!t.probe(0x40));
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut t = tiny();
+        t.install(0);
+        t.install(64);
+        // probe(0) must NOT refresh 0; 0 is still LRU and gets evicted.
+        assert!(t.probe(0));
+        let evicted = t.install(128);
+        assert_eq!(evicted, Some(0));
+    }
+}

@@ -1,0 +1,88 @@
+//! Cache access statistics.
+
+/// Access counters for a [`DataCache`](crate::DataCache).
+///
+/// The paper reports the overall cache miss rate *for loads* (Table 1's
+/// "Rates / load" column); [`load_miss_rate`](CacheStats::load_miss_rate)
+/// reproduces that metric, counting both primary misses (which start a
+/// fetch) and secondary misses (which merge into an outstanding fetch).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads issued.
+    pub loads: u64,
+    /// Loads that hit in the tag array.
+    pub load_hits: u64,
+    /// Load misses that started a new line fetch.
+    pub load_misses_primary: u64,
+    /// Load misses that merged into an outstanding fetch.
+    pub load_misses_secondary: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// Stores that found their line resident (write-through refresh).
+    pub store_hits: u64,
+    /// Returned blocks installed into the cache.
+    pub fills_installed: u64,
+    /// Returned blocks discarded because every requester was squashed.
+    pub fills_cancelled: u64,
+}
+
+impl CacheStats {
+    /// Total load misses (primary + secondary).
+    pub fn load_misses(&self) -> u64 {
+        self.load_misses_primary + self.load_misses_secondary
+    }
+
+    /// Load miss rate in `0.0..=1.0` (0 when no loads were issued).
+    pub fn load_miss_rate(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_misses() as f64 / self.loads as f64
+        }
+    }
+
+    /// Merges another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.loads += other.loads;
+        self.load_hits += other.load_hits;
+        self.load_misses_primary += other.load_misses_primary;
+        self.load_misses_secondary += other.load_misses_secondary;
+        self.stores += other.stores;
+        self.store_hits += other.store_hits;
+        self.fills_installed += other.fills_installed;
+        self.fills_cancelled += other.fills_cancelled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_counts_both_miss_kinds() {
+        let s = CacheStats {
+            loads: 10,
+            load_hits: 7,
+            load_misses_primary: 2,
+            load_misses_secondary: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.load_misses(), 3);
+        assert!((s.load_miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        assert_eq!(CacheStats::default().load_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CacheStats { loads: 1, stores: 2, ..CacheStats::default() };
+        let b = CacheStats { loads: 3, store_hits: 1, ..CacheStats::default() };
+        a.merge(&b);
+        assert_eq!(a.loads, 4);
+        assert_eq!(a.stores, 2);
+        assert_eq!(a.store_hits, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Register-file geometry derived from the multiported cell of Figure 9.
+
+/// The geometry of one register file: storage shape plus port counts.
+///
+/// Port counts follow the paper's provisioning: the integer file has
+/// `2 x width` read ports and `width` write ports ("for the four-way
+/// issue processor, we assumed the integer register file had 8 read ports
+/// and 4 write ports"), and the floating-point file has half as many
+/// (only half as many FP instructions can issue per cycle).
+///
+/// # Examples
+///
+/// ```
+/// use rf_timing::RegFileGeometry;
+///
+/// let g = RegFileGeometry::int_for_width(4, 80);
+/// assert_eq!((g.read_ports, g.write_ports), (8, 4));
+/// assert_eq!(g.bitlines_per_cell(), 8 + 2 * 4);
+/// assert_eq!(g.wordlines_per_cell(), 8 + 4);
+///
+/// let f = RegFileGeometry::fp_for_width(8, 80);
+/// assert_eq!((f.read_ports, f.write_ports), (8, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegFileGeometry {
+    /// Number of registers.
+    pub regs: usize,
+    /// Bits per register (64 on the modelled Alpha-like machine).
+    pub bits: usize,
+    /// Read ports (one bitline and one wordline each).
+    pub read_ports: usize,
+    /// Write ports (two bitlines and one wordline each).
+    pub write_ports: usize,
+}
+
+impl RegFileGeometry {
+    /// An arbitrary geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is zero.
+    pub fn new(regs: usize, bits: usize, read_ports: usize, write_ports: usize) -> Self {
+        assert!(
+            regs > 0 && bits > 0 && read_ports > 0 && write_ports > 0,
+            "geometry fields must be positive"
+        );
+        Self { regs, bits, read_ports, write_ports }
+    }
+
+    /// The integer register file for an issue width: `2 x width` read
+    /// ports, `width` write ports, 64-bit registers.
+    pub fn int_for_width(width: usize, regs: usize) -> Self {
+        Self::new(regs, 64, 2 * width, width)
+    }
+
+    /// The floating-point register file for an issue width: half the
+    /// integer file's ports.
+    pub fn fp_for_width(width: usize, regs: usize) -> Self {
+        Self::new(regs, 64, width.max(2), (width / 2).max(1))
+    }
+
+    /// Bitlines crossing each cell: one per read port plus two per write
+    /// port (Figure 9).
+    pub fn bitlines_per_cell(&self) -> usize {
+        self.read_ports + 2 * self.write_ports
+    }
+
+    /// Wordlines crossing each cell: one per port.
+    pub fn wordlines_per_cell(&self) -> usize {
+        self.read_ports + self.write_ports
+    }
+
+    /// Total ports.
+    pub fn ports(&self) -> usize {
+        self.read_ports + self.write_ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_port_provisioning() {
+        let i4 = RegFileGeometry::int_for_width(4, 80);
+        assert_eq!((i4.read_ports, i4.write_ports), (8, 4));
+        let i8 = RegFileGeometry::int_for_width(8, 80);
+        assert_eq!((i8.read_ports, i8.write_ports), (16, 8));
+        let f4 = RegFileGeometry::fp_for_width(4, 80);
+        assert_eq!((f4.read_ports, f4.write_ports), (4, 2));
+    }
+
+    #[test]
+    fn cell_line_counts_follow_figure_9() {
+        let g = RegFileGeometry::new(64, 64, 3, 2);
+        assert_eq!(g.bitlines_per_cell(), 7);
+        assert_eq!(g.wordlines_per_cell(), 5);
+        assert_eq!(g.ports(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_field_panics() {
+        let _ = RegFileGeometry::new(0, 64, 8, 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-access energy estimation (extension).
+//!
+//! The paper evaluates cycle time and (implicitly, via the cell geometry)
+//! area; energy per access follows from the same capacitances the timing
+//! model already computes: one wordline swings rail-to-rail and every
+//! bitline of the accessed port swings by the sense threshold. This
+//! extension exposes that estimate — useful for the same
+//! "ports-cost-more-than-registers" sensitivity argument in the energy
+//! dimension.
+
+use crate::cell::RegFileGeometry;
+use crate::model::TimingModel;
+
+/// Supply and swing assumptions for the energy estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Supply voltage in volts (3.3 V for the 0.5 µm era).
+    pub vdd: f64,
+    /// Fraction of the rail the bitlines swing before sensing.
+    pub bitline_swing: f64,
+}
+
+impl EnergyParams {
+    /// 0.5 µm-era defaults: 3.3 V supply, 30% bitline swing.
+    pub fn cmos_05um() -> Self {
+        Self { vdd: 3.3, bitline_swing: 0.3 }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::cmos_05um()
+    }
+}
+
+/// Estimates the energy of one read access in picojoules: the selected
+/// wordline swings fully; one bitline per bit of the accessed read port
+/// swings by the sense threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rf_timing::{read_energy_pj, EnergyParams, RegFileGeometry, TimingModel};
+///
+/// let model = TimingModel::cmos_05um();
+/// let params = EnergyParams::cmos_05um();
+/// let small = read_energy_pj(&model, &params, &RegFileGeometry::int_for_width(4, 64));
+/// let large = read_energy_pj(&model, &params, &RegFileGeometry::int_for_width(8, 256));
+/// assert!(large > small);
+/// ```
+pub fn read_energy_pj(model: &TimingModel, params: &EnergyParams, g: &RegFileGeometry) -> f64 {
+    let p = model.params();
+    // Wordline: full-rail swing of wire + gate load across the row (fF).
+    let wl_len = model.cell_width_um(g) * g.bits as f64;
+    let wl_c = p.c_wire * wl_len + p.c_gate_per_cell * g.bits as f64;
+    // Bitlines: one per bit on the read port, partial swing, loaded by
+    // wire + drains down the column (fF).
+    let bl_len = model.cell_height_um(g) * g.regs as f64;
+    let bl_c = p.c_wire * bl_len + p.c_drain_per_cell * g.regs as f64;
+    let e_wordline = 0.5 * wl_c * params.vdd * params.vdd;
+    let e_bitlines =
+        0.5 * (g.bits as f64) * bl_c * (params.vdd * params.bitline_swing) * params.vdd;
+    // fF x V^2 = fJ; report pJ.
+    (e_wordline + e_bitlines) / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TimingModel, EnergyParams) {
+        (TimingModel::cmos_05um(), EnergyParams::cmos_05um())
+    }
+
+    #[test]
+    fn energy_grows_with_registers_and_ports() {
+        let (m, e) = setup();
+        let base = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, 64));
+        let more_regs = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, 128));
+        let more_ports = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(8, 64));
+        assert!(more_regs > base);
+        assert!(more_ports > base);
+    }
+
+    #[test]
+    fn fp_file_costs_less_per_access() {
+        let (m, e) = setup();
+        for regs in [48usize, 128] {
+            let int = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, regs));
+            let fp = read_energy_pj(&m, &e, &RegFileGeometry::fp_for_width(4, regs));
+            assert!(fp < int);
+        }
+    }
+
+    #[test]
+    fn values_are_physically_plausible() {
+        let (m, e) = setup();
+        let pj = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, 80));
+        // A multiported 0.5um register file read should land in the
+        // tens-to-hundreds of pJ.
+        assert!((5.0..2000.0).contains(&pj), "{pj} pJ");
+    }
+
+    #[test]
+    fn register_doubling_roughly_doubles_bitline_energy() {
+        let (m, e) = setup();
+        let a = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, 128));
+        let b = read_energy_pj(&m, &e, &RegFileGeometry::int_for_width(4, 256));
+        let ratio = b / a;
+        assert!(ratio > 1.5 && ratio < 2.2, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Register-file access/cycle-time model and BIPS estimation.
+//!
+//! Section 3.4 of the paper extends the Wilton–Jouppi cache access and
+//! cycle time model (DEC WRL 93/5) to multiported register files in a
+//! 0.5 µm CMOS technology, using the storage cell of the paper's Figure 9:
+//! **one wordline per port**, **two bitlines per write port**, and **one
+//! bitline per read port**. The key structural consequences, which this
+//! model reproduces, are:
+//!
+//! * doubling the number of *ports* grows both the cell width (bitlines)
+//!   and cell height (wordlines) — quadrupling area in the limit and
+//!   lengthening both the wordline RC and the bitline RC;
+//! * doubling the number of *registers* only doubles the number of
+//!   wordlines crossed by each bitline — doubling area in the limit — so
+//!   "the register file cycle time is more strongly affected by a
+//!   doubling of the number of register file ports rather than a doubling
+//!   of the number of registers";
+//! * the floating-point register file, with half the ports of the integer
+//!   file, is always faster.
+//!
+//! The delay model is a standard Elmore-style RC decomposition: decoder +
+//! wordline + bitline + sense amplifier, with the cycle time a fixed
+//! factor above the access time (precharge overlap). Coefficients are
+//! calibrated to 0.5 µm-era values so the absolute numbers land in the
+//! sub-nanosecond range of the paper's Figure 10; as with the rest of this
+//! reproduction, the *shape* (monotonicity, port-vs-register sensitivity,
+//! BIPS maxima at moderate register counts) is the contract, not the
+//! third decimal.
+//!
+//! # Examples
+//!
+//! ```
+//! use rf_timing::{RegFileGeometry, TimingModel};
+//!
+//! let model = TimingModel::cmos_05um();
+//! let int4 = RegFileGeometry::int_for_width(4, 80);   // 8R/4W, 80 regs
+//! let int8 = RegFileGeometry::int_for_width(8, 80);   // 16R/8W
+//! let fp4 = RegFileGeometry::fp_for_width(4, 80);     // 4R/2W
+//!
+//! let t4 = model.cycle_time_ns(&int4);
+//! assert!(model.cycle_time_ns(&int8) > t4);
+//! assert!(model.cycle_time_ns(&fp4) < t4);
+//!
+//! // BIPS: commit IPC divided by cycle time.
+//! let bips = rf_timing::bips(2.4, t4);
+//! assert!(bips > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cell;
+mod energy;
+mod model;
+
+pub use cell::RegFileGeometry;
+pub use energy::{read_energy_pj, EnergyParams};
+pub use model::{AccessBreakdown, TechParams, TimingModel};
+
+/// Machine performance in billions of instructions per second, assuming
+/// (as the paper does) that the machine cycle time scales with the
+/// integer register file's cycle time: `BIPS = IPC / cycle_time`.
+///
+/// # Examples
+///
+/// ```
+/// let b = rf_timing::bips(2.0, 0.5);
+/// assert!((b - 4.0).abs() < 1e-12);
+/// ```
+pub fn bips(commit_ipc: f64, cycle_time_ns: f64) -> f64 {
+    assert!(cycle_time_ns > 0.0, "cycle time must be positive");
+    commit_ipc / cycle_time_ns
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cycle_time_panics() {
+        let _ = super::bips(1.0, 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! The Elmore-RC access/cycle-time model.
+
+use crate::cell::RegFileGeometry;
+
+/// Technology coefficients for the timing model.
+///
+/// Defaults are calibrated for a 0.5 µm CMOS process of the paper's era.
+/// Lengths are in µm, resistances in kΩ, capacitances in fF, times in ns
+/// (kΩ·fF = ps, scaled internally).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechParams {
+    /// Cell width at zero extra bitlines, µm.
+    pub cell_w0: f64,
+    /// Cell width added per bitline, µm.
+    pub cell_w_per_bitline: f64,
+    /// Cell height at zero extra wordlines, µm.
+    pub cell_h0: f64,
+    /// Cell height added per wordline, µm.
+    pub cell_h_per_wordline: f64,
+    /// Wire resistance, kΩ per µm.
+    pub r_wire: f64,
+    /// Wire capacitance, fF per µm.
+    pub c_wire: f64,
+    /// Gate load each cell puts on its wordline, fF.
+    pub c_gate_per_cell: f64,
+    /// Drain load each cell puts on a bitline, fF.
+    pub c_drain_per_cell: f64,
+    /// Wordline driver output resistance, kΩ.
+    pub r_wordline_driver: f64,
+    /// Cell pull-down (bitline discharge) resistance, kΩ.
+    pub r_cell_pulldown: f64,
+    /// Decoder base delay, ns.
+    pub t_decoder_base: f64,
+    /// Decoder delay per address bit, ns.
+    pub t_decoder_per_bit: f64,
+    /// Sense amplifier delay, ns.
+    pub t_sense: f64,
+    /// Cycle time as a multiple of access time (precharge overlap).
+    pub cycle_factor: f64,
+    /// Rows per bitline segment. Like the Wilton–Jouppi model's array
+    /// subdivision, files taller than this are segmented with shared
+    /// sense amplifiers, so bitline delay grows sublinearly beyond it.
+    pub seg_rows: usize,
+    /// Effective per-row load factor for rows beyond one segment.
+    pub seg_taper: f64,
+}
+
+impl TechParams {
+    /// Calibrated 0.5 µm CMOS coefficients.
+    pub fn cmos_05um() -> Self {
+        Self {
+            cell_w0: 4.0,
+            cell_w_per_bitline: 1.0,
+            cell_h0: 4.0,
+            cell_h_per_wordline: 0.6,
+            r_wire: 0.00009,
+            c_wire: 0.09,
+            c_gate_per_cell: 1.15,
+            c_drain_per_cell: 0.25,
+            r_wordline_driver: 0.5,
+            r_cell_pulldown: 0.85,
+            t_decoder_base: 0.10,
+            t_decoder_per_bit: 0.008,
+            t_sense: 0.10,
+            cycle_factor: 1.25,
+            seg_rows: 64,
+            seg_taper: 0.30,
+        }
+    }
+}
+
+impl Default for TechParams {
+    fn default() -> Self {
+        Self::cmos_05um()
+    }
+}
+
+/// Component-wise access-time breakdown, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessBreakdown {
+    /// Row-decoder delay.
+    pub decoder: f64,
+    /// Wordline rise.
+    pub wordline: f64,
+    /// Bitline discharge.
+    pub bitline: f64,
+    /// Sense amplifier.
+    pub sense: f64,
+}
+
+impl AccessBreakdown {
+    /// Total access time.
+    pub fn total(&self) -> f64 {
+        self.decoder + self.wordline + self.bitline + self.sense
+    }
+}
+
+/// The register-file timing model.
+///
+/// See the [crate-level documentation](crate) for background and an
+/// example.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimingModel {
+    params: TechParams,
+}
+
+impl TimingModel {
+    /// A model with the calibrated 0.5 µm coefficients.
+    pub fn cmos_05um() -> Self {
+        Self { params: TechParams::cmos_05um() }
+    }
+
+    /// A model with custom coefficients.
+    pub fn with_params(params: TechParams) -> Self {
+        Self { params }
+    }
+
+    /// The coefficients in use.
+    pub fn params(&self) -> &TechParams {
+        &self.params
+    }
+
+    /// Cell width in µm for the geometry's port configuration.
+    pub fn cell_width_um(&self, g: &RegFileGeometry) -> f64 {
+        self.params.cell_w0 + self.params.cell_w_per_bitline * g.bitlines_per_cell() as f64
+    }
+
+    /// Cell height in µm for the geometry's port configuration.
+    pub fn cell_height_um(&self, g: &RegFileGeometry) -> f64 {
+        self.params.cell_h0 + self.params.cell_h_per_wordline * g.wordlines_per_cell() as f64
+    }
+
+    /// Total array area in µm² (the quadratic port dependence the paper
+    /// highlights: doubling ports grows both dimensions).
+    pub fn array_area_um2(&self, g: &RegFileGeometry) -> f64 {
+        self.cell_width_um(g) * g.bits as f64 * self.cell_height_um(g) * g.regs as f64
+    }
+
+    /// Component-wise access time.
+    pub fn access_breakdown(&self, g: &RegFileGeometry) -> AccessBreakdown {
+        let p = &self.params;
+        let addr_bits = (g.regs as f64).log2().ceil().max(1.0);
+        let decoder = p.t_decoder_base + p.t_decoder_per_bit * addr_bits;
+
+        // Wordline: RC of a wire spanning all bit cells, driven by a
+        // fixed driver, loaded by wire + one pass-gate per cell.
+        // kΩ * fF = ps; divide by 1000 for ns.
+        let wl_len = self.cell_width_um(g) * g.bits as f64;
+        let wl_r = p.r_wire * wl_len;
+        let wl_c = p.c_wire * wl_len + p.c_gate_per_cell * g.bits as f64;
+        let wordline = (0.693 * p.r_wordline_driver * wl_c + 0.38 * wl_r * wl_c) / 1000.0;
+
+        // Bitline: discharged through a cell pull-down, loaded by wire +
+        // one drain per register row. Rows beyond one segment contribute
+        // at the tapered rate (segmented bitlines with shared sense
+        // amplifiers, mirroring Wilton–Jouppi array subdivision).
+        let rows = g.regs as f64;
+        let seg = p.seg_rows as f64;
+        let eff_rows = if rows <= seg { rows } else { seg + p.seg_taper * (rows - seg) };
+        let bl_len = self.cell_height_um(g) * eff_rows;
+        let bl_r = p.r_wire * bl_len;
+        let bl_c = p.c_wire * bl_len + p.c_drain_per_cell * eff_rows;
+        let bitline = (0.693 * p.r_cell_pulldown * bl_c + 0.38 * bl_r * bl_c) / 1000.0;
+
+        AccessBreakdown { decoder, wordline, bitline, sense: p.t_sense }
+    }
+
+    /// Access time in ns.
+    pub fn access_time_ns(&self, g: &RegFileGeometry) -> f64 {
+        self.access_breakdown(g).total()
+    }
+
+    /// Cycle time in ns (access time plus precharge overlap).
+    pub fn cycle_time_ns(&self, g: &RegFileGeometry) -> f64 {
+        self.access_time_ns(g) * self.params.cycle_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TimingModel {
+        TimingModel::cmos_05um()
+    }
+
+    fn int4(regs: usize) -> RegFileGeometry {
+        RegFileGeometry::int_for_width(4, regs)
+    }
+
+    fn int8(regs: usize) -> RegFileGeometry {
+        RegFileGeometry::int_for_width(8, regs)
+    }
+
+    #[test]
+    fn cycle_time_is_monotonic_in_registers() {
+        let m = model();
+        let mut last = 0.0;
+        for regs in [32, 48, 64, 80, 96, 128, 160, 256] {
+            let t = m.cycle_time_ns(&int4(regs));
+            assert!(t > last, "t({regs}) = {t} not increasing");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn cycle_time_is_monotonic_in_ports() {
+        let m = model();
+        for regs in [32, 128, 256] {
+            assert!(m.cycle_time_ns(&int8(regs)) > m.cycle_time_ns(&int4(regs)));
+        }
+    }
+
+    #[test]
+    fn fp_file_is_always_faster_than_int_file() {
+        let m = model();
+        for width in [4, 8] {
+            for regs in [32, 80, 256] {
+                let fp = RegFileGeometry::fp_for_width(width, regs);
+                let int = RegFileGeometry::int_for_width(width, regs);
+                assert!(m.cycle_time_ns(&fp) < m.cycle_time_ns(&int));
+            }
+        }
+    }
+
+    #[test]
+    fn doubling_ports_costs_more_than_doubling_registers() {
+        // The paper's key sensitivity claim, evaluated at the relevant
+        // sizes: going from the 4-way to the 8-way port configuration at
+        // 128 registers hurts more than growing 128 -> 256 registers.
+        let m = model();
+        let base = m.cycle_time_ns(&int4(128));
+        let more_regs = m.cycle_time_ns(&int4(256));
+        let more_ports = m.cycle_time_ns(&int8(128));
+        assert!(
+            more_ports - base > more_regs - base,
+            "ports {more_ports:.3} vs regs {more_regs:.3} from base {base:.3}"
+        );
+    }
+
+    #[test]
+    fn doubling_ports_quadruples_area_in_the_limit() {
+        let m = model();
+        let a1 = m.array_area_um2(&int4(128));
+        let a2 = m.array_area_um2(&int8(128));
+        let ratio = a2 / a1;
+        assert!(ratio > 2.5 && ratio < 4.0, "area ratio {ratio}");
+    }
+
+    #[test]
+    fn absolute_values_are_in_the_papers_range() {
+        // Figure 10's cycle times are sub-nanosecond for moderate sizes.
+        let m = model();
+        let t4_80 = m.cycle_time_ns(&int4(80));
+        let t8_128 = m.cycle_time_ns(&int8(128));
+        assert!((0.4..0.9).contains(&t4_80), "4-way/80: {t4_80}");
+        assert!((0.55..1.1).contains(&t8_128), "8-way/128: {t8_128}");
+        assert!(t8_128 / t4_80 > 1.1 && t8_128 / t4_80 < 1.6);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = model();
+        let b = m.access_breakdown(&int4(80));
+        assert!((b.total() - (b.decoder + b.wordline + b.bitline + b.sense)).abs() < 1e-12);
+        assert!(b.decoder > 0.0 && b.wordline > 0.0 && b.bitline > 0.0 && b.sense > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Branch-site behaviours.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The behaviour of one *static* conditional-branch site.
+///
+/// Real programs contain a mixture of branch kinds with very different
+/// predictability; the synthetic program assigns one behaviour to each
+/// branch site at synthesis time so that a site behaves consistently across
+/// its dynamic instances — exactly what table-based predictors exploit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BranchBehavior {
+    /// A branch taken with fixed probability `taken_prob`, independently
+    /// each time. With `taken_prob` near 0 or 1 this is a trivially
+    /// predictable guard; near 0.5 it is data-dependent noise that no
+    /// predictor can learn (asymptotic misprediction rate
+    /// `min(p, 1-p)` for a bimodal counter).
+    Bernoulli {
+        /// Probability the branch is taken on each dynamic instance.
+        taken_prob: f64,
+    },
+    /// A deterministic repeating pattern of `period` outcomes (bit `i` of
+    /// `pattern` = outcome of phase `i`, 1 = taken). Short patterns are
+    /// learnable by the global-history component of the McFarling
+    /// predictor but not by the bimodal one.
+    Pattern {
+        /// Pattern length in `1..=16`.
+        period: u8,
+        /// Outcome bits, LSB first.
+        pattern: u16,
+    },
+    /// The loop-closing backward branch: taken while iterations remain,
+    /// not-taken on loop exit. Outcomes are supplied by the loop walker,
+    /// not sampled here.
+    LoopClose,
+}
+
+impl BranchBehavior {
+    /// Samples the next outcome for this site. `phase` is the site's
+    /// per-site dynamic instance counter (drives `Pattern`); `rng` drives
+    /// `Bernoulli`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`BranchBehavior::LoopClose`], whose outcomes
+    /// come from the loop trip counter.
+    pub fn sample(&self, phase: u64, rng: &mut SmallRng) -> bool {
+        match *self {
+            BranchBehavior::Bernoulli { taken_prob } => rng.gen_bool(taken_prob),
+            BranchBehavior::Pattern { period, pattern } => {
+                let bit = (phase % u64::from(period)) as u16;
+                (pattern >> bit) & 1 == 1
+            }
+            BranchBehavior::LoopClose => {
+                panic!("loop-close outcomes are produced by the loop walker")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_repeats_with_period() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let b = BranchBehavior::Pattern { period: 3, pattern: 0b011 };
+        let outs: Vec<bool> = (0..6).map(|i| b.sample(i, &mut rng)).collect();
+        assert_eq!(outs, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let b = BranchBehavior::Bernoulli { taken_prob: 0.8 };
+        let taken = (0..20_000).filter(|&i| b.sample(i, &mut rng)).count();
+        let frac = taken as f64 / 20_000.0;
+        assert!((frac - 0.8).abs() < 0.02, "observed {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "loop walker")]
+    fn loop_close_cannot_be_sampled() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = BranchBehavior::LoopClose.sample(0, &mut rng);
+    }
+}

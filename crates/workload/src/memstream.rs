@@ -1,0 +1,154 @@
+//! Memory-reference stream models.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The kind of address stream a load/store slot draws from.
+///
+/// Three archetypes cover the locality behaviours that matter for a 64 KB
+/// cache: a small hot region (stack, scalars, hot hash buckets) that
+/// essentially always hits; sequential array walks that miss once per
+/// line; and scattered references over a working set much larger than the
+/// cache that mostly miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// Uniform references within a region small enough to stay resident.
+    Hot {
+        /// Region size in bytes (should be well under the cache size).
+        bytes: u64,
+    },
+    /// A sequential walk with fixed stride over a large array, wrapping at
+    /// the end. Misses once per cache line on each pass (and every pass,
+    /// if the array exceeds the cache).
+    Sequential {
+        /// Array size in bytes.
+        bytes: u64,
+        /// Stride between successive references, in bytes.
+        stride: u64,
+    },
+    /// Uniform references over a region; with `bytes` far above the cache
+    /// size this approximates pointer-chasing misses (steady-state hit
+    /// rate ~ cache_size / bytes under LRU).
+    Scatter {
+        /// Region size in bytes.
+        bytes: u64,
+    },
+}
+
+/// The per-profile memory model: a weighted set of streams that load and
+/// store slots are bound to at program-synthesis time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryModel {
+    /// `(weight, kind)` pairs; weights are normalised when sampling.
+    pub streams: Vec<(f64, StreamKind)>,
+}
+
+impl MemoryModel {
+    /// A model with a single hot region — effectively a perfect-locality
+    /// workload (espresso-like, ~1% miss rate).
+    pub fn resident(hot_bytes: u64) -> Self {
+        Self { streams: vec![(1.0, StreamKind::Hot { bytes: hot_bytes })] }
+    }
+
+    /// A convenience three-stream model: `hot_w` of references to a hot
+    /// region, `seq_w` walking a large array sequentially, `scatter_w`
+    /// scattered over a large region.
+    pub fn three_way(
+        hot_w: f64,
+        seq_w: f64,
+        scatter_w: f64,
+        array_bytes: u64,
+        scatter_bytes: u64,
+    ) -> Self {
+        Self {
+            streams: vec![
+                (hot_w, StreamKind::Hot { bytes: 16 * 1024 }),
+                (seq_w, StreamKind::Sequential { bytes: array_bytes, stride: 8 }),
+                (scatter_w, StreamKind::Scatter { bytes: scatter_bytes }),
+            ],
+        }
+    }
+
+    /// Samples a stream index with probability proportional to weight.
+    pub(crate) fn sample_stream(&self, rng: &mut SmallRng) -> usize {
+        let total: f64 = self.streams.iter().map(|s| s.0).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (i, (w, _)) in self.streams.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        self.streams.len() - 1
+    }
+}
+
+/// Runtime state of one address stream (one per stream in the model).
+#[derive(Debug, Clone)]
+pub struct StreamState {
+    kind: StreamKind,
+    base: u64,
+    cursor: u64,
+}
+
+impl StreamState {
+    /// Creates the state for a stream, placing its region at `base`.
+    pub fn new(kind: StreamKind, base: u64) -> Self {
+        Self { kind, base, cursor: 0 }
+    }
+
+    /// Produces the next address from this stream.
+    pub fn next_addr(&mut self, rng: &mut SmallRng) -> u64 {
+        match self.kind {
+            StreamKind::Hot { bytes } => self.base + (rng.gen_range(0..bytes) & !7),
+            StreamKind::Sequential { bytes, stride } => {
+                let addr = self.base + self.cursor;
+                self.cursor = (self.cursor + stride) % bytes;
+                addr
+            }
+            StreamKind::Scatter { bytes } => self.base + (rng.gen_range(0..bytes) & !7),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sequential_stream_walks_and_wraps() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = StreamState::new(StreamKind::Sequential { bytes: 32, stride: 8 }, 0x1000);
+        let addrs: Vec<u64> = (0..5).map(|_| s.next_addr(&mut rng)).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1008, 0x1010, 0x1018, 0x1000]);
+    }
+
+    #[test]
+    fn hot_stream_stays_in_region() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = StreamState::new(StreamKind::Hot { bytes: 4096 }, 0x10000);
+        for _ in 0..1000 {
+            let a = s.next_addr(&mut rng);
+            assert!((0x10000..0x11000).contains(&a));
+            assert_eq!(a % 8, 0);
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = MemoryModel::three_way(0.8, 0.1, 0.1, 1 << 20, 1 << 20);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[model.sample_stream(&mut rng)] += 1;
+        }
+        assert!(counts[0] > 7500 && counts[0] < 8500, "{counts:?}");
+    }
+
+    #[test]
+    fn resident_model_has_one_stream() {
+        let m = MemoryModel::resident(8192);
+        assert_eq!(m.streams.len(), 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Instruction-mix specification.
+
+use rf_isa::OpKind;
+use std::fmt;
+
+/// Target dynamic instruction mix for a synthetic benchmark.
+///
+/// The eight fractions must sum to 1 (within a small tolerance; the
+/// constructor normalises exactly). FP divides are counted as one fraction
+/// here; the split between 32- and 64-bit divides is a
+/// [`DependencyModel`](crate::DependencyModel) parameter.
+///
+/// # Examples
+///
+/// ```
+/// use rf_workload::InstructionMix;
+/// use rf_isa::OpKind;
+///
+/// let mix = InstructionMix::new(0.45, 0.01, 0.0, 0.0, 0.23, 0.09, 0.11, 0.11);
+/// assert!((mix.fraction(OpKind::Load) - 0.23).abs() < 1e-9);
+/// assert!((mix.total() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    int_alu: f64,
+    int_mul: f64,
+    fp_op: f64,
+    fp_div: f64,
+    load: f64,
+    store: f64,
+    cond_branch: f64,
+    jump: f64,
+}
+
+impl InstructionMix {
+    /// Creates a mix from the eight fractions, normalising them to sum to
+    /// exactly 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is negative, not finite, or all are zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        int_alu: f64,
+        int_mul: f64,
+        fp_op: f64,
+        fp_div: f64,
+        load: f64,
+        store: f64,
+        cond_branch: f64,
+        jump: f64,
+    ) -> Self {
+        let parts = [int_alu, int_mul, fp_op, fp_div, load, store, cond_branch, jump];
+        assert!(
+            parts.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "mix fractions must be finite and non-negative"
+        );
+        let total: f64 = parts.iter().sum();
+        assert!(total > 0.0, "mix must have at least one non-zero fraction");
+        Self {
+            int_alu: int_alu / total,
+            int_mul: int_mul / total,
+            fp_op: fp_op / total,
+            fp_div: fp_div / total,
+            load: load / total,
+            store: store / total,
+            cond_branch: cond_branch / total,
+            jump: jump / total,
+        }
+    }
+
+    /// The fraction of dynamic instructions of the given kind. `FpDiv32`
+    /// and `FpDiv64` both report the combined divide fraction.
+    pub fn fraction(&self, kind: OpKind) -> f64 {
+        match kind {
+            OpKind::IntAlu => self.int_alu,
+            OpKind::IntMul => self.int_mul,
+            OpKind::FpOp => self.fp_op,
+            OpKind::FpDiv32 | OpKind::FpDiv64 => self.fp_div,
+            OpKind::Load => self.load,
+            OpKind::Store => self.store,
+            OpKind::CondBranch => self.cond_branch,
+            OpKind::Jump => self.jump,
+        }
+    }
+
+    /// The sum of all fractions (1 after normalisation; exposed for
+    /// sanity checks).
+    pub fn total(&self) -> f64 {
+        self.int_alu
+            + self.int_mul
+            + self.fp_op
+            + self.fp_div
+            + self.load
+            + self.store
+            + self.cond_branch
+            + self.jump
+    }
+
+    /// The fraction of instructions that are floating-point arithmetic
+    /// (FP ops + divides); used to classify a profile as FP-intensive
+    /// (the paper averages FP register statistics over FP-intensive
+    /// benchmarks only).
+    pub fn fp_fraction(&self) -> f64 {
+        self.fp_op + self.fp_div
+    }
+
+    /// Non-branch, non-close fractions renormalised for filling loop-body
+    /// slots once conditional branches are placed separately. Returns
+    /// `(kinds, weights)` over the seven non-cond-branch kinds.
+    pub(crate) fn body_weights(&self) -> ([OpKind; 7], [f64; 7]) {
+        (
+            [
+                OpKind::IntAlu,
+                OpKind::IntMul,
+                OpKind::FpOp,
+                OpKind::FpDiv32,
+                OpKind::Load,
+                OpKind::Store,
+                OpKind::Jump,
+            ],
+            [
+                self.int_alu,
+                self.int_mul,
+                self.fp_op,
+                self.fp_div,
+                self.load,
+                self.store,
+                self.jump,
+            ],
+        )
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "alu {:.2} mul {:.2} fp {:.2} div {:.2} ld {:.2} st {:.2} br {:.2} jmp {:.2}",
+            self.int_alu,
+            self.int_mul,
+            self.fp_op,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.cond_branch,
+            self.jump
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_to_one() {
+        let mix = InstructionMix::new(2.0, 1.0, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0);
+        assert!((mix.total() - 1.0).abs() < 1e-12);
+        assert!((mix.fraction(OpKind::IntAlu) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divide_fraction_is_shared() {
+        let mix = InstructionMix::new(0.5, 0.0, 0.3, 0.2, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(mix.fraction(OpKind::FpDiv32), mix.fraction(OpKind::FpDiv64));
+        assert!((mix.fp_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_fraction_panics() {
+        let _ = InstructionMix::new(-0.1, 0.0, 0.0, 0.0, 0.5, 0.0, 0.0, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_panics() {
+        let _ = InstructionMix::new(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn body_weights_exclude_cond_branches() {
+        let mix = InstructionMix::new(0.4, 0.0, 0.0, 0.0, 0.2, 0.1, 0.3, 0.0);
+        let (_, weights) = mix.body_weights();
+        let sum: f64 = weights.iter().sum();
+        assert!((sum - 0.7).abs() < 1e-12);
+    }
+}

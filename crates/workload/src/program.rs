@@ -1,0 +1,302 @@
+//! Static-program synthesis: loop bodies with fixed slots.
+
+use crate::branch::BranchBehavior;
+use crate::profile::BenchmarkProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rf_isa::OpKind;
+
+/// Samples a geometric variate with the given mean, clamped to
+/// `1..=max`.
+pub(crate) fn sample_geometric(rng: &mut SmallRng, mean: f64, max: u64) -> u64 {
+    if mean <= 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let d = 1.0 + (u.ln() / (1.0 - p).ln());
+    (d as u64).clamp(1, max)
+}
+
+/// One instruction slot of a synthesized loop body.
+///
+/// All slot parameters are fixed at synthesis time — kinds, dependence
+/// distances, stream bindings and branch behaviours — so that the dynamic
+/// trace has the *static* regularity (stable PCs, recurring sites) that
+/// branch predictors and caches exploit in real programs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Slot {
+    /// An arithmetic operation (`IntAlu`, `IntMul`, `FpOp`, `FpDiv32`,
+    /// `FpDiv64`).
+    Op {
+        /// Which arithmetic kind.
+        kind: OpKind,
+        /// Whether the op reads two register sources (else one).
+        two_src: bool,
+        /// Reuse distance of the first source, in register writes.
+        d1: u16,
+        /// Reuse distance of the second source.
+        d2: u16,
+    },
+    /// A load bound to an address stream.
+    Load {
+        /// Index into the profile's memory-model streams.
+        stream: usize,
+        /// Whether the destination is a floating-point register.
+        fp_dest: bool,
+        /// Reuse distance of the integer base register.
+        addr_d: u16,
+    },
+    /// A store bound to an address stream.
+    Store {
+        /// Index into the profile's memory-model streams.
+        stream: usize,
+        /// Whether the stored value comes from a floating-point register.
+        fp_val: bool,
+        /// Reuse distance of the value register.
+        val_d: u16,
+        /// Reuse distance of the integer base register.
+        addr_d: u16,
+    },
+    /// A conditional branch site.
+    CondBranch {
+        /// The site's fixed behaviour.
+        behavior: BranchBehavior,
+        /// Reuse distance of the integer condition register.
+        cond_d: u16,
+    },
+    /// An unconditional jump / call / return (100% predictable in the
+    /// paper's model). Calls write a return-address register.
+    Jump {
+        /// Whether the jump writes a destination (i.e. is a call).
+        has_dest: bool,
+    },
+}
+
+/// One synthesized loop: a base PC and a body whose last slot is always
+/// the loop-closing conditional branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopBody {
+    /// PC of the first slot; slot `i` is at `base_pc + 4*i`.
+    pub base_pc: u64,
+    /// Body slots; `slots.last()` is the `LoopClose` branch.
+    pub slots: Vec<Slot>,
+}
+
+/// A complete synthesized static program: the set of loops the dynamic
+/// walker executes.
+///
+/// # Examples
+///
+/// ```
+/// use rf_workload::{spec92, StaticProgram};
+///
+/// let prog = StaticProgram::synthesize(&spec92::compress(), 1, 0x1_0000);
+/// assert!(!prog.loops.is_empty());
+/// for l in &prog.loops {
+///     assert!(matches!(
+///         l.slots.last(),
+///         Some(rf_workload::Slot::CondBranch { .. })
+///     ));
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticProgram {
+    /// The synthesized loops.
+    pub loops: Vec<LoopBody>,
+}
+
+impl StaticProgram {
+    /// Synthesizes a static program from a profile. Deterministic in
+    /// `(profile, seed, pc_base)`. `pc_base` offsets all PCs, letting a
+    /// wrong-path program occupy a disjoint PC range.
+    pub fn synthesize(profile: &BenchmarkProfile, seed: u64, pc_base: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5317_ac3d_9e1f_0b24);
+        let mut loops = Vec::with_capacity(profile.loops.n_loops);
+        for li in 0..profile.loops.n_loops {
+            let base_pc = pc_base + (li as u64) * 0x1000;
+            loops.push(Self::synthesize_loop(profile, &mut rng, base_pc));
+        }
+        Self { loops }
+    }
+
+    fn synthesize_loop(profile: &BenchmarkProfile, rng: &mut SmallRng, base_pc: u64) -> LoopBody {
+        let deps = &profile.deps;
+        let mean_len = profile.loops.body_len.max(2);
+        // Vary body length +/-30% across loops for diversity.
+        let lo = (mean_len as f64 * 0.7).max(2.0) as usize;
+        let hi = (mean_len as f64 * 1.3).ceil() as usize;
+        let len = rng.gen_range(lo..=hi.max(lo + 1));
+
+        let cbr_frac = profile.mix.fraction(OpKind::CondBranch);
+        // Total conditional branches this body should contain per
+        // iteration, including the closing branch.
+        let n_cbr = ((cbr_frac * len as f64).round() as usize).max(1);
+        let n_inner_cbr = n_cbr - 1;
+        let n_other = len - n_cbr;
+
+        let (kinds, weights) = profile.mix.body_weights();
+        let wsum: f64 = weights.iter().sum();
+
+        let mut body: Vec<Slot> = Vec::with_capacity(len);
+        for _ in 0..n_other {
+            // Sample a non-branch kind by weight.
+            let mut x = rng.gen_range(0.0..wsum.max(f64::MIN_POSITIVE));
+            let mut kind = kinds[0];
+            for (k, w) in kinds.iter().zip(weights.iter()) {
+                if x < *w {
+                    kind = *k;
+                    break;
+                }
+                x -= w;
+            }
+            let slot = match kind {
+                OpKind::IntAlu | OpKind::IntMul | OpKind::FpOp => Slot::Op {
+                    kind,
+                    two_src: rng.gen_bool(deps.two_src_frac),
+                    d1: sample_geometric(rng, deps.mean_dist, 27) as u16,
+                    d2: sample_geometric(rng, deps.mean_dist, 27) as u16,
+                },
+                OpKind::FpDiv32 | OpKind::FpDiv64 => Slot::Op {
+                    kind: if rng.gen_bool(deps.fp_div_wide_frac) {
+                        OpKind::FpDiv64
+                    } else {
+                        OpKind::FpDiv32
+                    },
+                    two_src: true,
+                    d1: sample_geometric(rng, deps.mean_dist, 27) as u16,
+                    d2: sample_geometric(rng, deps.mean_dist, 27) as u16,
+                },
+                OpKind::Load => Slot::Load {
+                    stream: profile.memory.sample_stream(rng),
+                    fp_dest: rng.gen_bool(deps.fp_mem_frac),
+                    addr_d: sample_geometric(rng, deps.addr_mean_dist, 27) as u16,
+                },
+                OpKind::Store => Slot::Store {
+                    stream: profile.memory.sample_stream(rng),
+                    fp_val: rng.gen_bool(deps.fp_mem_frac),
+                    val_d: sample_geometric(rng, deps.mean_dist, 27) as u16,
+                    addr_d: sample_geometric(rng, deps.addr_mean_dist, 27) as u16,
+                },
+                OpKind::Jump => Slot::Jump { has_dest: rng.gen_bool(0.5) },
+                OpKind::CondBranch => unreachable!("branches are placed separately"),
+            };
+            body.push(slot);
+        }
+
+        // Scatter the inner conditional branches through the body.
+        for _ in 0..n_inner_cbr {
+            let behavior = Self::sample_behavior(profile, rng);
+            let slot = Slot::CondBranch {
+                behavior,
+                cond_d: sample_geometric(rng, profile.deps.cond_mean_dist, 27) as u16,
+            };
+            let pos = rng.gen_range(0..=body.len());
+            body.insert(pos, slot);
+        }
+
+        // The closing branch is always last.
+        body.push(Slot::CondBranch {
+            behavior: BranchBehavior::LoopClose,
+            cond_d: sample_geometric(rng, profile.deps.cond_mean_dist, 27) as u16,
+        });
+
+        LoopBody { base_pc, slots: body }
+    }
+
+    fn sample_behavior(profile: &BenchmarkProfile, rng: &mut SmallRng) -> BranchBehavior {
+        let b = &profile.branch;
+        let x: f64 = rng.gen_range(0.0..1.0);
+        if x < b.biased_frac {
+            let p = if rng.gen_bool(0.5) { b.bias } else { 1.0 - b.bias };
+            BranchBehavior::Bernoulli { taken_prob: p }
+        } else if x < b.biased_frac + b.pattern_frac {
+            // Patterns are "taken except one phase" (e.g. T T T N), the
+            // shape of unrolled-loop or strip-mining guards: learnable by
+            // the global-history component, and merely biased (not 50/50)
+            // for the bimodal one.
+            let period = rng.gen_range(3..=6u8);
+            let skip = rng.gen_range(0..period);
+            let pattern = ((1u16 << period) - 1) & !(1u16 << skip);
+            BranchBehavior::Pattern { period, pattern }
+        } else {
+            BranchBehavior::Bernoulli { taken_prob: b.noise_taken_prob }
+        }
+    }
+
+    /// Total static slots across all loops (a code-footprint measure).
+    pub fn static_size(&self) -> usize {
+        self.loops.iter().map(|l| l.slots.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec92;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = spec92::gcc1();
+        let a = StaticProgram::synthesize(&p, 5, 0);
+        let b = StaticProgram::synthesize(&p, 5, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = spec92::gcc1();
+        let a = StaticProgram::synthesize(&p, 5, 0);
+        let b = StaticProgram::synthesize(&p, 6, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_loop_ends_with_close_branch() {
+        for p in spec92::all() {
+            let prog = StaticProgram::synthesize(&p, 1, 0);
+            for l in &prog.loops {
+                assert!(
+                    matches!(
+                        l.slots.last(),
+                        Some(Slot::CondBranch { behavior: BranchBehavior::LoopClose, .. })
+                    ),
+                    "profile {}",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pc_base_offsets_all_loops() {
+        let p = spec92::compress();
+        let prog = StaticProgram::synthesize(&p, 1, 0x8000_0000);
+        for l in &prog.loops {
+            assert!(l.base_pc >= 0x8000_0000);
+        }
+    }
+
+    #[test]
+    fn geometric_sampler_respects_bounds_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0u64;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let d = sample_geometric(&mut rng, 6.0, 1000);
+            assert!(d >= 1);
+            sum += d;
+        }
+        let mean = sum as f64 / N as f64;
+        assert!((mean - 6.0).abs() < 0.5, "observed mean {mean}");
+    }
+
+    #[test]
+    fn geometric_sampler_clamps() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(sample_geometric(&mut rng, 50.0, 10) <= 10);
+        }
+        assert_eq!(sample_geometric(&mut rng, 0.5, 10), 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Calibrated profiles for the nine SPEC92 benchmarks of Table 1.
+//!
+//! Each function returns a [`BenchmarkProfile`] whose parameters were tuned
+//! (see `EXPERIMENTS.md` at the repository root) so that the synthetic
+//! trace approximates that benchmark's Table 1 characteristics on the
+//! baseline machine: instruction mix, conditional-branch misprediction
+//! rate under the McFarling predictor, load miss rate on the 64 KB 2-way
+//! cache, and instruction-level parallelism (commit IPC).
+//!
+//! The calibration targets (from Table 1 of the paper, 4-way issue):
+//!
+//! | benchmark | load | cbr  | miss | mispredict | commit IPC |
+//! |-----------|------|------|------|------------|------------|
+//! | compress  | 23%  | 11%  | 15%  | 14%        | 2.09       |
+//! | doduc     | 23%  | 5.7% | 1%   | 10%        | 2.49       |
+//! | espresso  | 22%  | 14.5%| 1%   | 13%        | 3.04       |
+//! | gcc1      | 22%  | 11%  | 1%   | 19%        | 2.35       |
+//! | mdljdp2   | 15%  | 9.7% | 3%   | 6%         | 2.12       |
+//! | mdljsp2   | 21%  | 8%   | 1%   | 6%         | 2.69       |
+//! | ora       | 16%  | 4.2% | 0%   | 6%         | 1.86       |
+//! | su2cor    | 24.5%| 2.7% | 17%  | 7%         | 3.22       |
+//! | tomcatv   | 27%  | 3.3% | 33%  | 1%         | 2.77       |
+
+use crate::memstream::{MemoryModel, StreamKind};
+use crate::mix::InstructionMix;
+use crate::profile::{BenchmarkProfile, BranchModel, DependencyModel, LoopModel};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+#[allow(clippy::too_many_arguments)]
+fn profile(
+    name: &str,
+    mix: InstructionMix,
+    branch: BranchModel,
+    memory: MemoryModel,
+    deps: DependencyModel,
+    loops: LoopModel,
+) -> BenchmarkProfile {
+    BenchmarkProfile { name: name.to_owned(), mix, branch, memory, deps, loops }
+}
+
+/// `compress` — integer, LZW compression: moderate miss rate from hash
+/// table scatter, data-dependent branches.
+pub fn compress() -> BenchmarkProfile {
+    profile(
+        "compress",
+        InstructionMix::new(0.50, 0.01, 0.0, 0.0, 0.23, 0.09, 0.11, 0.06),
+        BranchModel {
+            biased_frac: 0.50,
+            pattern_frac: 0.05,
+            bias: 0.985,
+            noise_taken_prob: 0.77,
+            mean_trip: 11.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.75, StreamKind::Hot { bytes: 8 * KB }),
+                (0.15, StreamKind::Sequential { bytes: 4 * MB, stride: 8 }),
+                (0.10, StreamKind::Scatter { bytes: 512 * KB }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 5.5,
+            two_src_frac: 0.6,
+            addr_mean_dist: 10.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.0,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 24, body_len: 27 },
+    )
+}
+
+/// `doduc` — FP, Monte Carlo nuclear reactor model: mixed control flow for
+/// an FP code, tiny working set.
+pub fn doduc() -> BenchmarkProfile {
+    profile(
+        "doduc",
+        InstructionMix::new(0.33, 0.005, 0.26, 0.010, 0.23, 0.08, 0.057, 0.02),
+        BranchModel {
+            biased_frac: 0.62,
+            pattern_frac: 0.05,
+            bias: 0.985,
+            noise_taken_prob: 0.79,
+            mean_trip: 13.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.97, StreamKind::Hot { bytes: 8 * KB }),
+                (0.03, StreamKind::Sequential { bytes: 2 * MB, stride: 8 }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 5.0,
+            two_src_frac: 0.65,
+            addr_mean_dist: 10.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.6,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 32, body_len: 35 },
+    )
+}
+
+/// `espresso` — integer, logic minimisation: branchy, high ILP, resident
+/// working set.
+pub fn espresso() -> BenchmarkProfile {
+    profile(
+        "espresso",
+        InstructionMix::new(0.54, 0.005, 0.0, 0.0, 0.22, 0.07, 0.145, 0.025),
+        BranchModel {
+            biased_frac: 0.62,
+            pattern_frac: 0.10,
+            bias: 0.985,
+            noise_taken_prob: 0.80,
+            mean_trip: 10.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.97, StreamKind::Hot { bytes: 8 * KB }),
+                (0.03, StreamKind::Sequential { bytes: MB, stride: 8 }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 7.5,
+            two_src_frac: 0.6,
+            addr_mean_dist: 10.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.0,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 28, body_len: 21 },
+    )
+}
+
+/// `gcc1` — integer, compilation (`cexp` input): the least predictable
+/// branches in the suite, frequent calls.
+pub fn gcc1() -> BenchmarkProfile {
+    profile(
+        "gcc1",
+        InstructionMix::new(0.525, 0.005, 0.0, 0.0, 0.22, 0.08, 0.11, 0.05),
+        BranchModel {
+            biased_frac: 0.48,
+            pattern_frac: 0.10,
+            bias: 0.98,
+            noise_taken_prob: 0.72,
+            mean_trip: 8.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.96, StreamKind::Hot { bytes: 8 * KB }),
+                (0.04, StreamKind::Sequential { bytes: MB, stride: 8 }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 5.5,
+            two_src_frac: 0.6,
+            addr_mean_dist: 8.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.0,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 40, body_len: 27 },
+    )
+}
+
+/// `mdljdp2` — FP double-precision molecular dynamics: low load fraction,
+/// predictable branches, modest ILP.
+pub fn mdljdp2() -> BenchmarkProfile {
+    profile(
+        "mdljdp2",
+        InstructionMix::new(0.35, 0.005, 0.30, 0.015, 0.15, 0.07, 0.097, 0.02),
+        BranchModel {
+            biased_frac: 0.84,
+            pattern_frac: 0.05,
+            bias: 0.99,
+            noise_taken_prob: 0.82,
+            mean_trip: 24.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.93, StreamKind::Hot { bytes: 8 * KB }),
+                (0.055, StreamKind::Sequential { bytes: 2 * MB, stride: 8 }),
+                (0.015, StreamKind::Scatter { bytes: 256 * KB }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 8.0,
+            two_src_frac: 0.65,
+            addr_mean_dist: 10.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 1.0,
+            fp_mem_frac: 0.65,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 24, body_len: 32 },
+    )
+}
+
+/// `mdljsp2` — FP single-precision molecular dynamics.
+pub fn mdljsp2() -> BenchmarkProfile {
+    profile(
+        "mdljsp2",
+        InstructionMix::new(0.32, 0.005, 0.30, 0.010, 0.21, 0.06, 0.08, 0.02),
+        BranchModel {
+            biased_frac: 0.80,
+            pattern_frac: 0.05,
+            bias: 0.985,
+            noise_taken_prob: 0.80,
+            mean_trip: 20.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.97, StreamKind::Hot { bytes: 8 * KB }),
+                (0.03, StreamKind::Sequential { bytes: 2 * MB, stride: 8 }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 7.0,
+            two_src_frac: 0.65,
+            addr_mean_dist: 10.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 0.0,
+            fp_mem_frac: 0.6,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 24, body_len: 25 },
+    )
+}
+
+/// `ora` — FP ray tracing through an optical system: a serial dependence
+/// chain with divides; IPC barely improves from 4-way to 8-way issue in
+/// the paper (1.86 to 2.08).
+pub fn ora() -> BenchmarkProfile {
+    profile(
+        "ora",
+        InstructionMix::new(0.33, 0.005, 0.35, 0.030, 0.16, 0.05, 0.042, 0.02),
+        BranchModel {
+            biased_frac: 0.80,
+            pattern_frac: 0.10,
+            bias: 0.98,
+            noise_taken_prob: 0.75,
+            mean_trip: 17.0,
+        },
+        MemoryModel::resident(8 * KB),
+        DependencyModel {
+            mean_dist: 3.4,
+            two_src_frac: 0.7,
+            addr_mean_dist: 8.0,
+            cond_mean_dist: 2.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.6,
+            iteration_local_frac: 0.0,
+        },
+        LoopModel { n_loops: 12, body_len: 24 },
+    )
+}
+
+/// `su2cor` — FP quantum physics (quenched lattice gauge): long vector
+/// loops over large arrays, significant miss rate.
+pub fn su2cor() -> BenchmarkProfile {
+    profile(
+        "su2cor",
+        InstructionMix::new(0.32, 0.005, 0.28, 0.005, 0.245, 0.09, 0.027, 0.01),
+        BranchModel {
+            biased_frac: 0.80,
+            pattern_frac: 0.05,
+            bias: 0.98,
+            noise_taken_prob: 0.80,
+            mean_trip: 16.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.46, StreamKind::Hot { bytes: 4 * KB }),
+                (0.50, StreamKind::Sequential { bytes: 8 * MB, stride: 8 }),
+                (0.04, StreamKind::Scatter { bytes: MB }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 12.0,
+            two_src_frac: 0.65,
+            addr_mean_dist: 12.0,
+            cond_mean_dist: 3.0,
+            fp_div_wide_frac: 1.0,
+            fp_mem_frac: 0.7,
+            iteration_local_frac: 0.85,
+        },
+        LoopModel { n_loops: 20, body_len: 50 },
+    )
+}
+
+/// `tomcatv` — FP vectorised mesh generation: the extreme of the suite —
+/// near-perfect branches, huge streaming miss rate, enough ILP to double
+/// its IPC when the issue width doubles.
+pub fn tomcatv() -> BenchmarkProfile {
+    profile(
+        "tomcatv",
+        InstructionMix::new(0.325, 0.002, 0.29, 0.002, 0.235, 0.09, 0.033, 0.005),
+        BranchModel {
+            biased_frac: 0.90,
+            pattern_frac: 0.05,
+            bias: 0.99,
+            noise_taken_prob: 0.8,
+            mean_trip: 100.0,
+        },
+        MemoryModel {
+            streams: vec![
+                (0.30, StreamKind::Hot { bytes: 4 * KB }),
+                (0.55, StreamKind::Sequential { bytes: 14 * MB, stride: 8 }),
+                (0.15, StreamKind::Sequential { bytes: 14 * MB, stride: 32 }),
+            ],
+        },
+        DependencyModel {
+            mean_dist: 20.0,
+            two_src_frac: 0.65,
+            addr_mean_dist: 14.0,
+            cond_mean_dist: 4.0,
+            fp_div_wide_frac: 0.5,
+            fp_mem_frac: 0.7,
+            iteration_local_frac: 0.85,
+        },
+        LoopModel { n_loops: 10, body_len: 45 },
+    )
+}
+
+/// All nine profiles in the paper's Table 1 order.
+pub fn all() -> Vec<BenchmarkProfile> {
+    vec![
+        compress(),
+        doduc(),
+        espresso(),
+        gcc1(),
+        mdljdp2(),
+        mdljsp2(),
+        ora(),
+        su2cor(),
+        tomcatv(),
+    ]
+}
+
+/// Looks a profile up by its Table 1 name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_isa::OpKind;
+
+    #[test]
+    fn all_has_nine_in_table_order() {
+        let names: Vec<String> = all().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "compress", "doduc", "espresso", "gcc1", "mdljdp2", "mdljsp2", "ora",
+                "su2cor", "tomcatv"
+            ]
+        );
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("tomcatv").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn mixes_are_normalised() {
+        for p in all() {
+            assert!((p.mix.total() - 1.0).abs() < 1e-9, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn load_fractions_match_table1() {
+        let expect = [
+            ("compress", 0.23),
+            ("doduc", 0.23),
+            ("espresso", 0.22),
+            ("gcc1", 0.22),
+            ("mdljdp2", 0.15),
+            ("mdljsp2", 0.21),
+            ("ora", 0.16),
+            ("su2cor", 0.245),
+            // tomcatv's mix target is deliberately offset below Table 1's
+            // 27%: its sampled program instance overweights load slots, so
+            // the *generated* fraction lands on 0.27 (checked by the
+            // calibration integration test).
+            ("tomcatv", 0.235),
+        ];
+        for (name, frac) in expect {
+            let p = by_name(name).unwrap();
+            assert!(
+                (p.mix.fraction(OpKind::Load) - frac).abs() < 0.02,
+                "{name}: {} vs {frac}",
+                p.mix.fraction(OpKind::Load)
+            );
+        }
+    }
+
+    #[test]
+    fn cbr_fractions_match_table1() {
+        let expect = [
+            ("compress", 0.11),
+            ("espresso", 0.145),
+            ("tomcatv", 0.033),
+            ("su2cor", 0.027),
+        ];
+        for (name, frac) in expect {
+            let p = by_name(name).unwrap();
+            assert!(
+                (p.mix.fraction(OpKind::CondBranch) - frac).abs() < 0.01,
+                "{name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Binary trace serialisation: record a generated instruction stream to a
+//! file and replay it later.
+//!
+//! The original study replayed ATOM-captured traces; this module provides
+//! the equivalent record/replay workflow for the synthetic generators, so
+//! an experiment sweep can run many machine configurations over *exactly*
+//! the same dynamic instruction stream without re-running generation (or
+//! can ship a trace to another machine).
+//!
+//! ## Format (`RFT1`)
+//!
+//! A 4-byte magic `RFT1`, then one record per instruction:
+//!
+//! * `u8` operation tag,
+//! * `u8` flags (bit 0: taken; bit 1: has pc; bit 2: has address),
+//! * destination and two source register bytes (`0xFF` = none, else
+//!   `class << 6 | index`),
+//! * LEB128 pc if flagged, LEB128 address if flagged.
+//!
+//! All multi-byte integers are unsigned LEB128 varints, so typical
+//! records are 5–12 bytes.
+
+use rf_isa::{ArchReg, Instruction, OpKind, RegClass};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RFT1";
+const NO_REG: u8 = 0xFF;
+
+fn kind_tag(kind: OpKind) -> u8 {
+    match kind {
+        OpKind::IntAlu => 0,
+        OpKind::IntMul => 1,
+        OpKind::FpOp => 2,
+        OpKind::FpDiv32 => 3,
+        OpKind::FpDiv64 => 4,
+        OpKind::Load => 5,
+        OpKind::Store => 6,
+        OpKind::CondBranch => 7,
+        OpKind::Jump => 8,
+    }
+}
+
+fn tag_kind(tag: u8) -> io::Result<OpKind> {
+    Ok(match tag {
+        0 => OpKind::IntAlu,
+        1 => OpKind::IntMul,
+        2 => OpKind::FpOp,
+        3 => OpKind::FpDiv32,
+        4 => OpKind::FpDiv64,
+        5 => OpKind::Load,
+        6 => OpKind::Store,
+        7 => OpKind::CondBranch,
+        8 => OpKind::Jump,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown operation tag {other}"),
+            ))
+        }
+    })
+}
+
+fn reg_byte(reg: Option<ArchReg>) -> u8 {
+    match reg {
+        None => NO_REG,
+        Some(r) => ((r.class().index() as u8) << 6) | r.index(),
+    }
+}
+
+fn byte_reg(b: u8) -> io::Result<Option<ArchReg>> {
+    if b == NO_REG {
+        return Ok(None);
+    }
+    let class = match b >> 6 {
+        0 => RegClass::Int,
+        1 => RegClass::Fp,
+        _ => {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad register class bits"))
+        }
+    };
+    let index = b & 0x3F;
+    if index > 31 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "register index out of range"));
+    }
+    Ok(Some(ArchReg::new(class, index)))
+}
+
+/// Writes an unsigned LEB128 varint.
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads an unsigned LEB128 varint.
+pub(crate) fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 63 && byte[0] > 1 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn write_record<W: Write>(w: &mut W, inst: &Instruction) -> io::Result<()> {
+    let mut flags = 0u8;
+    if inst.taken() {
+        flags |= 1;
+    }
+    if inst.pc() != 0 {
+        flags |= 2;
+    }
+    if inst.mem().is_some() {
+        flags |= 4;
+    }
+    w.write_all(&[kind_tag(inst.kind()), flags])?;
+    w.write_all(&[
+        reg_byte(inst.dest()),
+        reg_byte(inst.srcs()[0]),
+        reg_byte(inst.srcs()[1]),
+    ])?;
+    if flags & 2 != 0 {
+        write_varint(w, inst.pc())?;
+    }
+    if let Some(m) = inst.mem() {
+        write_varint(w, m.addr())?;
+    }
+    Ok(())
+}
+
+fn read_record<R: Read>(r: &mut R) -> io::Result<Option<Instruction>> {
+    let mut head = [0u8; 2];
+    match r.read_exact(&mut head[..1]) {
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        other => other?,
+    }
+    r.read_exact(&mut head[1..])?;
+    let kind = tag_kind(head[0])?;
+    let flags = head[1];
+    let mut regs = [0u8; 3];
+    r.read_exact(&mut regs)?;
+    let dest = byte_reg(regs[0])?;
+    let src0 = byte_reg(regs[1])?;
+    let src1 = byte_reg(regs[2])?;
+    let pc = if flags & 2 != 0 { read_varint(r)? } else { 0 };
+    let addr = if flags & 4 != 0 { Some(read_varint(r)?) } else { None };
+    let taken = flags & 1 != 0;
+
+    let need = |reg: Option<ArchReg>, what: &str| {
+        reg.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("missing {what} register"))
+        })
+    };
+    let inst = match kind {
+        OpKind::IntAlu => Instruction::int_alu(need(dest, "destination")?, [src0, src1]),
+        OpKind::IntMul => Instruction::int_mul(need(dest, "destination")?, [src0, src1]),
+        OpKind::FpOp => Instruction::fp_op(need(dest, "destination")?, [src0, src1]),
+        OpKind::FpDiv32 => Instruction::fp_div(need(dest, "destination")?, [src0, src1], false),
+        OpKind::FpDiv64 => Instruction::fp_div(need(dest, "destination")?, [src0, src1], true),
+        OpKind::Load => {
+            let addr = addr
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "load without address"))?;
+            Instruction::load(need(dest, "destination")?, need(src0, "base")?, addr)
+        }
+        OpKind::Store => {
+            let addr = addr
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "store without address"))?;
+            Instruction::store(need(src1, "value")?, need(src0, "base")?, addr)
+        }
+        OpKind::CondBranch => Instruction::cond_branch(pc, taken, src0),
+        OpKind::Jump => Instruction::jump(dest, src0),
+    };
+    Ok(Some(inst.with_pc(pc)))
+}
+
+/// Writes a trace header and every instruction from `insts` to `w`,
+/// returning the number of records written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use rf_workload::{spec92, trace_io, TraceGenerator};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let gen = TraceGenerator::new(&spec92::compress(), 1);
+/// let mut buf = Vec::new();
+/// let n = trace_io::write_trace(&mut buf, gen.take(100))?;
+/// assert_eq!(n, 100);
+/// let replay = trace_io::read_trace(&mut buf.as_slice())?;
+/// assert_eq!(replay.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(
+    w: &mut W,
+    insts: impl IntoIterator<Item = Instruction>,
+) -> io::Result<u64> {
+    w.write_all(MAGIC)?;
+    let mut n = 0u64;
+    for inst in insts {
+        write_record(w, &inst)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Reads an entire trace from `r`.
+///
+/// # Errors
+///
+/// Fails on a bad magic header, any malformed record, or I/O errors.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<Instruction>> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not an RFT1 trace"));
+    }
+    let mut out = Vec::new();
+    while let Some(inst) = read_record(r)? {
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::spec92;
+
+    #[test]
+    fn roundtrips_every_profile() {
+        for p in spec92::all() {
+            let original: Vec<Instruction> =
+                TraceGenerator::new(&p, 7).take(5_000).collect();
+            let mut buf = Vec::new();
+            let n = write_trace(&mut buf, original.iter().copied()).unwrap();
+            assert_eq!(n, 5_000);
+            let replay = read_trace(&mut buf.as_slice()).unwrap();
+            assert_eq!(original, replay, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn records_are_compact() {
+        let original: Vec<Instruction> =
+            TraceGenerator::new(&spec92::compress(), 1).take(10_000).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original).unwrap();
+        let per_record = buf.len() as f64 / 10_000.0;
+        assert!(per_record < 14.0, "{per_record} bytes per record");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&mut &b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_records() {
+        let original: Vec<Instruction> =
+            TraceGenerator::new(&spec92::gcc1(), 2).take(100).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, original).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tags() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&[99, 0, 0xFF, 0xFF, 0xFF]);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_roundtrip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let mut buf = Vec::new();
+        assert_eq!(write_trace(&mut buf, std::iter::empty()).unwrap(), 0);
+        assert!(read_trace(&mut buf.as_slice()).unwrap().is_empty());
+    }
+}

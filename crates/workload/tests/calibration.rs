@@ -1,0 +1,110 @@
+//! Standalone calibration checks: run each profile's trace through the
+//! cache and branch-predictor models (no pipeline) and verify the observed
+//! load miss rate and conditional-branch misprediction rate land near the
+//! paper's Table 1 values.
+//!
+//! These are *functional* (in-order, no wrong path) measurements, so the
+//! bands are deliberately loose; the pipeline adds wrong-path pollution
+//! and out-of-order predictor-update timing on top.
+
+use rf_bpred::{CombiningPredictor, PredictorStats};
+use rf_isa::OpKind;
+use rf_mem::{CacheConfig, CacheOrg};
+use rf_workload::{spec92, BenchmarkProfile, TraceGenerator};
+
+const N: usize = 400_000;
+
+struct Observed {
+    miss_rate: f64,
+    mispredict_rate: f64,
+    load_frac: f64,
+    cbr_frac: f64,
+}
+
+fn measure(profile: &BenchmarkProfile) -> Observed {
+    let mut cache = CacheConfig::baseline().build(CacheOrg::LockupFree);
+    let mut bp = CombiningPredictor::default_mcfarling();
+    let mut bstats = PredictorStats::new();
+    let mut loads = 0u64;
+    let mut cbrs = 0u64;
+    let mut cycle = 0u64;
+    for (i, inst) in TraceGenerator::new(profile, 12345).take(N).enumerate() {
+        // Advance pseudo-time ~1 instruction per cycle so fills return.
+        cycle += 1;
+        cache.drain_fills(cycle);
+        match inst.kind() {
+            OpKind::Load => {
+                loads += 1;
+                cache.load(inst.mem().unwrap().addr(), cycle, i as u64);
+            }
+            OpKind::Store => {
+                cache.store(inst.mem().unwrap().addr(), cycle);
+            }
+            OpKind::CondBranch => {
+                cbrs += 1;
+                let pred = bp.predict(inst.pc());
+                let cp = bp.speculate(pred.taken());
+                if pred.taken() != inst.taken() {
+                    bp.recover(cp, inst.taken());
+                }
+                bp.train(inst.pc(), pred, inst.taken());
+                bstats.record(pred.taken(), inst.taken());
+            }
+            _ => {}
+        }
+    }
+    Observed {
+        miss_rate: cache.stats().load_miss_rate(),
+        mispredict_rate: bstats.misprediction_rate(),
+        load_frac: loads as f64 / N as f64,
+        cbr_frac: cbrs as f64 / N as f64,
+    }
+}
+
+/// Table 1 targets (4-way): (name, load_frac, cbr_frac, miss, mispredict).
+const TARGETS: &[(&str, f64, f64, f64, f64)] = &[
+    ("compress", 0.23, 0.11, 0.15, 0.14),
+    ("doduc", 0.23, 0.057, 0.01, 0.10),
+    ("espresso", 0.22, 0.145, 0.01, 0.13),
+    ("gcc1", 0.22, 0.11, 0.01, 0.19),
+    ("mdljdp2", 0.15, 0.097, 0.03, 0.06),
+    ("mdljsp2", 0.21, 0.08, 0.01, 0.06),
+    ("ora", 0.16, 0.042, 0.00, 0.06),
+    ("su2cor", 0.245, 0.027, 0.17, 0.07),
+    ("tomcatv", 0.27, 0.033, 0.33, 0.01),
+];
+
+#[test]
+fn calibration_against_table1() {
+    let mut failures = Vec::new();
+    for &(name, load_t, cbr_t, miss_t, mis_t) in TARGETS {
+        let p = spec92::by_name(name).expect("known profile");
+        let o = measure(&p);
+        println!(
+            "{name:10} load {:.3} (target {load_t:.3})  cbr {:.3} ({cbr_t:.3})  \
+             miss {:.3} ({miss_t:.3})  mispredict {:.3} ({mis_t:.3})",
+            o.load_frac, o.cbr_frac, o.miss_rate, o.mispredict_rate
+        );
+        // Mix fractions: +/- 0.04 absolute.
+        if (o.load_frac - load_t).abs() > 0.04 {
+            failures.push(format!("{name}: load fraction {:.3} vs {load_t}", o.load_frac));
+        }
+        if (o.cbr_frac - cbr_t).abs() > 0.04 {
+            failures.push(format!("{name}: cbr fraction {:.3} vs {cbr_t}", o.cbr_frac));
+        }
+        // Miss rate: +/- max(0.05, 40% relative).
+        let miss_tol = (miss_t * 0.4).max(0.05);
+        if (o.miss_rate - miss_t).abs() > miss_tol {
+            failures.push(format!("{name}: miss rate {:.3} vs {miss_t}", o.miss_rate));
+        }
+        // Mispredict rate: +/- max(0.03, 40% relative).
+        let mis_tol = (mis_t * 0.4).max(0.03);
+        if (o.mispredict_rate - mis_t).abs() > mis_tol {
+            failures.push(format!(
+                "{name}: mispredict rate {:.3} vs {mis_t}",
+                o.mispredict_rate
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "calibration drift:\n{}", failures.join("\n"));
+}

@@ -1,0 +1,112 @@
+//! Property tests over workload generation: arbitrary (valid) profiles
+//! must yield deterministic, well-formed traces whose statistics track
+//! their parameters.
+
+use proptest::prelude::*;
+use rf_isa::OpKind;
+use rf_workload::{
+    BenchmarkProfile, BranchModel, DependencyModel, InstructionMix, LoopModel, MemoryModel,
+    StreamKind, TraceGenerator,
+};
+
+fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.2f64..0.6,  // int_alu
+        0.0f64..0.3,  // fp_op
+        0.05f64..0.3, // load
+        0.02f64..0.1, // store
+        0.02f64..0.2, // cond_branch
+        1.5f64..20.0, // mean_dist
+        2.0f64..50.0, // mean_trip
+        5usize..40,   // body_len
+        2usize..20,   // n_loops
+    )
+        .prop_map(
+            |(alu, fp, load, store, cbr, mean_dist, mean_trip, body_len, n_loops)| {
+                BenchmarkProfile {
+                    name: "generated".to_owned(),
+                    mix: InstructionMix::new(alu, 0.01, fp, 0.005, load, store, cbr, 0.02),
+                    branch: BranchModel {
+                        biased_frac: 0.5,
+                        pattern_frac: 0.1,
+                        bias: 0.97,
+                        noise_taken_prob: 0.7,
+                        mean_trip,
+                    },
+                    memory: MemoryModel {
+                        streams: vec![
+                            (0.8, StreamKind::Hot { bytes: 8 * 1024 }),
+                            (0.15, StreamKind::Sequential { bytes: 1 << 20, stride: 8 }),
+                            (0.05, StreamKind::Scatter { bytes: 256 * 1024 }),
+                        ],
+                    },
+                    deps: DependencyModel {
+                        mean_dist,
+                        two_src_frac: 0.6,
+                        addr_mean_dist: 8.0,
+                        cond_mean_dist: 3.0,
+                        fp_div_wide_frac: 0.5,
+                        fp_mem_frac: if fp > 0.05 { 0.5 } else { 0.0 },
+                        iteration_local_frac: 0.3,
+                    },
+                    loops: LoopModel { n_loops, body_len },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traces_are_deterministic_and_well_formed(
+        profile in arb_profile(),
+        seed in 0u64..10_000,
+    ) {
+        let a: Vec<_> = TraceGenerator::new(&profile, seed).take(3_000).collect();
+        let b: Vec<_> = TraceGenerator::new(&profile, seed).take(3_000).collect();
+        prop_assert_eq!(&a, &b);
+        for inst in &a {
+            // Memory ops always carry addresses; register indices valid.
+            if inst.kind().is_mem() {
+                prop_assert!(inst.mem().is_some());
+            }
+            if let Some(d) = inst.dest() {
+                prop_assert!(d.index() < 31, "dests are renameable registers");
+            }
+            // Addresses are 8-byte aligned (the generator's unit).
+            if let Some(m) = inst.mem() {
+                prop_assert_eq!(m.addr() % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_branch_fraction_tracks_mix(
+        profile in arb_profile(),
+        seed in 0u64..100,
+    ) {
+        const N: usize = 20_000;
+        let cbr = TraceGenerator::new(&profile, seed)
+            .take(N)
+            .filter(|i| i.kind() == OpKind::CondBranch)
+            .count();
+        let got = cbr as f64 / N as f64;
+        // Every loop body carries a closing branch, so the achievable
+        // fraction is floored at ~1/body_len regardless of the mix
+        // target; body-length rounding adds further quantisation.
+        let floor = 1.0 / profile.loops.body_len as f64;
+        let want = profile.mix.fraction(OpKind::CondBranch).max(floor);
+        prop_assert!(
+            (got - want).abs() < 0.09,
+            "cbr fraction {got:.3} vs effective target {want:.3}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces(profile in arb_profile()) {
+        let a: Vec<_> = TraceGenerator::new(&profile, 1).take(500).collect();
+        let b: Vec<_> = TraceGenerator::new(&profile, 2).take(500).collect();
+        prop_assert_ne!(a, b);
+    }
+}

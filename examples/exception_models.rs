@@ -1,0 +1,46 @@
+//! Compare the precise and imprecise exception models across
+//! register-file sizes for one benchmark (a single-benchmark slice of the
+//! paper's Figure 6).
+//!
+//! The imprecise model frees physical registers earlier — as soon as the
+//! writer, its readers, and a branch-cleared later writer have all
+//! *completed* — so it tolerates smaller register files; with plenty of
+//! registers the two models converge.
+//!
+//! ```sh
+//! cargo run --release --example exception_models [benchmark] [commits]
+//! ```
+
+use rfstudy::core::{ExceptionModel, MachineConfig, Pipeline};
+use rfstudy::workload::{spec92, TraceGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "tomcatv".to_owned());
+    let commits: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let profile = spec92::by_name(&bench).expect("known benchmark name");
+
+    println!("benchmark: {bench}, 4-way issue, dq 32, lockup-free cache\n");
+    println!("{:>6} {:>14} {:>14} {:>12} {:>12}", "regs", "IPC(precise)", "IPC(imprecise)", "stall%(pre)", "stall%(imp)");
+    for regs in [32usize, 40, 48, 64, 80, 96, 128, 256] {
+        let mut row = Vec::new();
+        for model in [ExceptionModel::Precise, ExceptionModel::Imprecise] {
+            let config = MachineConfig::new(4)
+                .dispatch_queue(32)
+                .physical_regs(regs)
+                .exceptions(model);
+            let mut trace = TraceGenerator::new(&profile, 1);
+            let stats = Pipeline::new(config).run(&mut trace, commits);
+            row.push((stats.commit_ipc(), 100.0 * stats.no_free_reg_fraction()));
+        }
+        println!(
+            "{regs:>6} {:>14.2} {:>14.2} {:>12.1} {:>12.1}",
+            row[0].0, row[1].0, row[0].1, row[1].1
+        );
+    }
+    println!(
+        "\nReading: at small sizes the imprecise model wins (earlier freeing);\n\
+         both saturate once free registers are plentiful — the paper's\n\
+         conclusion is that precise exceptions cost relatively few registers."
+    );
+}

@@ -1,0 +1,375 @@
+//! Argument parsing for the `rfstudy` command-line simulator.
+//!
+//! Hand-rolled (no dependency) subcommand parser. See `main.rs` for the
+//! command implementations and `rfstudy help` for usage.
+
+use rf_bpred::PredictorKind;
+use rf_core::{ExceptionModel, MachineConfig, SchedPolicy};
+use rf_mem::CacheOrg;
+
+/// Machine options shared by `run` and `replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineOpts {
+    /// Issue width.
+    pub width: usize,
+    /// Dispatch-queue entries (default `8 x width`).
+    pub dq: Option<usize>,
+    /// Physical registers per class.
+    pub regs: usize,
+    /// Exception model.
+    pub exceptions: ExceptionModel,
+    /// Cache organisation.
+    pub cache: CacheOrg,
+    /// Scheduler policy.
+    pub sched: SchedPolicy,
+    /// Split dispatch queues.
+    pub split_queues: bool,
+    /// Branch predictor kind.
+    pub predictor: PredictorKind,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for MachineOpts {
+    fn default() -> Self {
+        Self {
+            width: 4,
+            dq: None,
+            regs: 2048,
+            exceptions: ExceptionModel::Precise,
+            cache: CacheOrg::LockupFree,
+            sched: SchedPolicy::OldestFirst,
+            split_queues: false,
+            predictor: PredictorKind::Combining,
+            seed: 1,
+        }
+    }
+}
+
+impl MachineOpts {
+    /// Builds the machine configuration.
+    pub fn to_config(&self) -> MachineConfig {
+        let mut c = MachineConfig::new(self.width)
+            .dispatch_queue(self.dq.unwrap_or(self.width * 8))
+            .physical_regs(self.regs)
+            .exceptions(self.exceptions)
+            .cache(self.cache)
+            .scheduling(self.sched)
+            .predictor(self.predictor)
+            .seed(self.seed);
+        if self.split_queues {
+            c = c.split_dispatch_queues(true);
+        }
+        c
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// List the available benchmark profiles.
+    List,
+    /// Simulate a benchmark.
+    Run {
+        /// Benchmark name.
+        bench: String,
+        /// Commit budget.
+        commits: u64,
+        /// Machine options.
+        machine: MachineOpts,
+    },
+    /// Record a trace file.
+    Record {
+        /// Benchmark name.
+        bench: String,
+        /// Output path.
+        out: String,
+        /// Instructions to record.
+        count: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Replay a trace file through the pipeline.
+    Replay {
+        /// Trace path.
+        trace: String,
+        /// Commit budget (0 = drain the whole trace).
+        commits: u64,
+        /// Machine options.
+        machine: MachineOpts,
+    },
+    /// Dataflow ILP-limit analysis.
+    Dataflow {
+        /// Benchmark name.
+        bench: String,
+        /// Optional sliding window.
+        window: Option<usize>,
+        /// Instructions to analyse.
+        count: u64,
+    },
+    /// Register-file timing table.
+    Timing {
+        /// Issue width.
+        width: usize,
+    },
+    /// Dump a binary trace as text.
+    Dump {
+        /// Trace path.
+        trace: String,
+        /// Maximum instructions to print (0 = all).
+        count: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+fn parse_machine(opt: &str, value: Option<&str>, m: &mut MachineOpts) -> Result<bool, String> {
+    fn need<'a>(opt: &str, v: Option<&'a str>) -> Result<&'a str, String> {
+        v.ok_or_else(|| format!("{opt} requires a value"))
+    }
+    match opt {
+        "--width" => m.width = parse_num(opt, need(opt, value)?)?,
+        "--dq" => m.dq = Some(parse_num(opt, need(opt, value)?)?),
+        "--regs" => m.regs = parse_num(opt, need(opt, value)?)?,
+        "--seed" => m.seed = parse_num(opt, need(opt, value)?)?,
+        "--exceptions" => {
+            m.exceptions = match need(opt, value)? {
+                "precise" => ExceptionModel::Precise,
+                "imprecise" => ExceptionModel::Imprecise,
+                "alpha-hybrid" => ExceptionModel::AlphaHybrid,
+                other => return Err(format!("unknown exception model {other:?}")),
+            }
+        }
+        "--cache" => {
+            m.cache = match need(opt, value)? {
+                "perfect" => CacheOrg::Perfect,
+                "lockup" => CacheOrg::Lockup,
+                "lockup-free" => CacheOrg::LockupFree,
+                other => return Err(format!("unknown cache organisation {other:?}")),
+            }
+        }
+        "--sched" => {
+            m.sched = match need(opt, value)? {
+                "oldest-first" => SchedPolicy::OldestFirst,
+                "youngest-first" => SchedPolicy::YoungestFirst,
+                other => return Err(format!("unknown scheduler policy {other:?}")),
+            }
+        }
+        "--predictor" => {
+            m.predictor = match need(opt, value)? {
+                "bimodal" => PredictorKind::Bimodal,
+                "gshare" => PredictorKind::Gshare,
+                "combining" => PredictorKind::Combining,
+                other => return Err(format!("unknown predictor {other:?}")),
+            }
+        }
+        "--split-queues" => {
+            m.split_queues = true;
+            return Ok(false); // flag: consumed no value
+        }
+        _ => return Err(format!("unknown option {opt:?}")),
+    }
+    Ok(true)
+}
+
+fn parse_num<T: std::str::FromStr>(opt: &str, v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid value {v:?} for {opt}"))
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, options, or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().map(String::as_str).peekable();
+    let cmd = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    // Collect option/value pairs.
+    let mut opts: Vec<(String, Option<String>)> = Vec::new();
+    while let Some(opt) = it.next() {
+        if !opt.starts_with("--") {
+            return Err(format!("unexpected argument {opt:?}"));
+        }
+        let value = if opt == "--split-queues" {
+            None
+        } else {
+            it.next().map(str::to_owned)
+        };
+        opts.push((opt.to_owned(), value));
+    }
+    let take = |name: &str, opts: &[(String, Option<String>)]| -> Option<String> {
+        opts.iter().find(|(o, _)| o == name).and_then(|(_, v)| v.clone())
+    };
+
+    match cmd {
+        "list" => Ok(Command::List),
+        "run" => {
+            let bench = take("--bench", &opts).ok_or("run requires --bench")?;
+            let commits =
+                take("--commits", &opts).map_or(Ok(200_000), |v| parse_num("--commits", &v))?;
+            let mut machine = MachineOpts::default();
+            for (o, v) in &opts {
+                if o == "--bench" || o == "--commits" {
+                    continue;
+                }
+                parse_machine(o, v.as_deref(), &mut machine)?;
+            }
+            Ok(Command::Run { bench, commits, machine })
+        }
+        "record" => Ok(Command::Record {
+            bench: take("--bench", &opts).ok_or("record requires --bench")?,
+            out: take("--out", &opts).ok_or("record requires --out")?,
+            count: take("--count", &opts).map_or(Ok(1_000_000), |v| parse_num("--count", &v))?,
+            seed: take("--seed", &opts).map_or(Ok(1), |v| parse_num("--seed", &v))?,
+        }),
+        "replay" => {
+            let trace = take("--trace", &opts).ok_or("replay requires --trace")?;
+            let commits =
+                take("--commits", &opts).map_or(Ok(0), |v| parse_num("--commits", &v))?;
+            let mut machine = MachineOpts::default();
+            for (o, v) in &opts {
+                if o == "--trace" || o == "--commits" {
+                    continue;
+                }
+                parse_machine(o, v.as_deref(), &mut machine)?;
+            }
+            Ok(Command::Replay { trace, commits, machine })
+        }
+        "dataflow" => Ok(Command::Dataflow {
+            bench: take("--bench", &opts).ok_or("dataflow requires --bench")?,
+            window: take("--window", &opts)
+                .map(|v| parse_num("--window", &v))
+                .transpose()?,
+            count: take("--count", &opts).map_or(Ok(200_000), |v| parse_num("--count", &v))?,
+        }),
+        "timing" => Ok(Command::Timing {
+            width: take("--width", &opts).map_or(Ok(4), |v| parse_num("--width", &v))?,
+        }),
+        "dump" => Ok(Command::Dump {
+            trace: take("--trace", &opts).ok_or("dump requires --trace")?,
+            count: take("--count", &opts).map_or(Ok(0), |v| parse_num("--count", &v))?,
+        }),
+        other => Err(format!("unknown command {other:?}; try `rfstudy help`")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rfstudy — register-file design study simulator (HPCA'96 reproduction)
+
+USAGE:
+  rfstudy list
+  rfstudy run      --bench NAME [--commits N] [machine options]
+  rfstudy record   --bench NAME --out FILE [--count N] [--seed N]
+  rfstudy replay   --trace FILE [--commits N] [machine options]
+  rfstudy dataflow --bench NAME [--window N] [--count N]
+  rfstudy timing   [--width N]
+  rfstudy dump     --trace FILE [--count N]
+  rfstudy help
+
+MACHINE OPTIONS:
+  --width N             issue width (default 4)
+  --dq N                dispatch-queue entries (default 8 x width)
+  --regs N              physical registers per class (default 2048)
+  --exceptions MODEL    precise | imprecise | alpha-hybrid
+  --cache ORG           perfect | lockup | lockup-free
+  --sched POLICY        oldest-first | youngest-first
+  --predictor KIND      bimodal | gshare | combining
+  --split-queues        split the dispatch queue (extension)
+  --seed N              workload / simulation seed
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_run_with_machine_options() {
+        let cmd = parse(&argv(
+            "run --bench tomcatv --commits 5000 --width 8 --regs 128 \
+             --exceptions imprecise --cache perfect --split-queues",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { bench, commits, machine } => {
+                assert_eq!(bench, "tomcatv");
+                assert_eq!(commits, 5000);
+                assert_eq!(machine.width, 8);
+                assert_eq!(machine.regs, 128);
+                assert_eq!(machine.exceptions, ExceptionModel::Imprecise);
+                assert_eq!(machine.cache, CacheOrg::Perfect);
+                assert!(machine.split_queues);
+                let config = machine.to_config();
+                assert_eq!(config.dq_size(), 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_bench() {
+        assert!(parse(&argv("run --commits 100")).is_err());
+    }
+
+    #[test]
+    fn parses_record_and_replay() {
+        let cmd = parse(&argv("record --bench gcc1 --out /tmp/t.rft --count 42")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Record {
+                bench: "gcc1".into(),
+                out: "/tmp/t.rft".into(),
+                count: 42,
+                seed: 1
+            }
+        );
+        let cmd = parse(&argv("replay --trace /tmp/t.rft --regs 64")).unwrap();
+        match cmd {
+            Command::Replay { trace, commits, machine } => {
+                assert_eq!(trace, "/tmp/t.rft");
+                assert_eq!(commits, 0);
+                assert_eq!(machine.regs, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_dataflow_and_timing() {
+        let cmd = parse(&argv("dataflow --bench ora --window 64")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dataflow { bench: "ora".into(), window: Some(64), count: 200_000 }
+        );
+        assert_eq!(parse(&argv("timing --width 8")).unwrap(), Command::Timing { width: 8 });
+    }
+
+    #[test]
+    fn parses_dump() {
+        let cmd = parse(&argv("dump --trace x.rft --count 10")).unwrap();
+        assert_eq!(cmd, Command::Dump { trace: "x.rft".into(), count: 10 });
+    }
+
+    #[test]
+    fn rejects_junk() {
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --bench x --exceptions nonsense")).is_err());
+        assert!(parse(&argv("run --bench x --width abc")).is_err());
+        assert!(parse(&argv("run bench")).is_err());
+    }
+
+    #[test]
+    fn empty_and_help_yield_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

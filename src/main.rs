@@ -1,0 +1,148 @@
+//! The `rfstudy` command-line simulator.
+//!
+//! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
+//! `replay`, `dump`, `dataflow`, `timing`.
+
+mod cli;
+
+use cli::{Command, MachineOpts};
+use rf_core::dataflow::analyze;
+use rf_core::{LiveModel, Pipeline, SimStats};
+use rf_isa::RegClass;
+use rf_timing::{RegFileGeometry, TimingModel};
+use rf_workload::{spec92, trace_io, TraceGenerator, WrongPathGenerator};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{}", cli::USAGE);
+            Ok(())
+        }
+        Command::List => {
+            println!("{:<10} {:>6} {:>6} {:>8}", "benchmark", "fp?", "loops", "body");
+            for p in spec92::all() {
+                println!(
+                    "{:<10} {:>6} {:>6} {:>8}",
+                    p.name,
+                    if p.is_fp_intensive() { "fp" } else { "int" },
+                    p.loops.n_loops,
+                    p.loops.body_len
+                );
+            }
+            Ok(())
+        }
+        Command::Run { bench, commits, machine } => {
+            let profile =
+                spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+            let mut trace = TraceGenerator::new(&profile, machine.seed);
+            let stats = Pipeline::new(machine.to_config()).run(&mut trace, commits);
+            print_stats(&bench, &stats);
+            Ok(())
+        }
+        Command::Record { bench, out, count, seed } => {
+            let profile =
+                spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+            let mut file = std::fs::File::create(&out)
+                .map_err(|e| format!("cannot create {out:?}: {e}"))?;
+            let gen = TraceGenerator::new(&profile, seed);
+            let n = trace_io::write_trace(&mut file, gen.take(count as usize))
+                .map_err(|e| format!("write failed: {e}"))?;
+            println!("recorded {n} instructions of {bench} to {out}");
+            Ok(())
+        }
+        Command::Replay { trace, commits, machine } => {
+            let mut file =
+                std::fs::File::open(&trace).map_err(|e| format!("cannot open {trace:?}: {e}"))?;
+            let insts =
+                trace_io::read_trace(&mut file).map_err(|e| format!("bad trace: {e}"))?;
+            let n = insts.len() as u64;
+            let target = if commits == 0 { n } else { commits.min(n) };
+            run_replay(&trace, insts, target, &machine);
+            Ok(())
+        }
+        Command::Dataflow { bench, window, count } => {
+            let profile =
+                spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+            let gen = TraceGenerator::new(&profile, 1);
+            let limit = analyze(gen.take(count as usize), window);
+            println!("benchmark      : {bench}");
+            println!("instructions   : {}", limit.instructions);
+            println!("critical path  : {} cycles", limit.critical_path);
+            match window {
+                Some(w) => println!("dataflow IPC   : {:.2} (window {w})", limit.ipc()),
+                None => println!("dataflow IPC   : {:.2} (unbounded)", limit.ipc()),
+            }
+            Ok(())
+        }
+        Command::Dump { trace, count } => {
+            let mut file =
+                std::fs::File::open(&trace).map_err(|e| format!("cannot open {trace:?}: {e}"))?;
+            let insts =
+                trace_io::read_trace(&mut file).map_err(|e| format!("bad trace: {e}"))?;
+            let limit = if count == 0 { insts.len() } else { count as usize };
+            for inst in insts.iter().take(limit) {
+                println!("{:#010x}: {inst}", inst.pc());
+            }
+            Ok(())
+        }
+        Command::Timing { width } => {
+            let model = TimingModel::cmos_05um();
+            println!("{width}-way issue register-file timing (0.5um CMOS)");
+            println!("{:>6} {:>14} {:>14}", "regs", "int cycle (ns)", "fp cycle (ns)");
+            for regs in [32usize, 48, 64, 80, 96, 128, 160, 256] {
+                println!(
+                    "{regs:>6} {:>14.3} {:>14.3}",
+                    model.cycle_time_ns(&RegFileGeometry::int_for_width(width, regs)),
+                    model.cycle_time_ns(&RegFileGeometry::fp_for_width(width, regs)),
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn run_replay(name: &str, insts: Vec<rf_isa::Instruction>, commits: u64, machine: &MachineOpts) {
+    // Wrong-path instructions come from a generic profile (the trace file
+    // does not know which benchmark it came from).
+    let mut wp = WrongPathGenerator::new(&spec92::compress(), machine.seed);
+    let mut trace = insts.into_iter();
+    let stats = Pipeline::new(machine.to_config()).run_with(&mut trace, &mut wp, commits);
+    print_stats(name, &stats);
+}
+
+fn print_stats(name: &str, stats: &SimStats) {
+    println!("benchmark/trace      : {name}");
+    println!("committed            : {}", stats.committed);
+    println!("cycles               : {}", stats.cycles);
+    println!("issue IPC            : {:.2}", stats.issue_ipc());
+    println!("commit IPC           : {:.2}", stats.commit_ipc());
+    println!("load miss rate       : {:.1}%", 100.0 * stats.cache.load_miss_rate());
+    println!("cbr mispredict rate  : {:.1}%", 100.0 * stats.mispredict_rate());
+    println!("squashed             : {}", stats.squashed);
+    println!("no-free-reg cycles   : {:.1}%", 100.0 * stats.no_free_reg_fraction());
+    for (class, label) in [(RegClass::Int, "int"), (RegClass::Fp, "fp ")] {
+        let p90 = stats.live_percentile(class, LiveModel::Precise, 90.0);
+        let i90 = stats.live_percentile(class, LiveModel::Imprecise, 90.0);
+        println!("{label} live regs (90th)  : precise {p90}, imprecise {i90}");
+    }
+}

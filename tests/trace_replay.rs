@@ -1,0 +1,55 @@
+//! Record/replay integration: a trace serialised to the RFT1 format and
+//! replayed through the pipeline must reproduce the original simulation
+//! exactly.
+
+use rfstudy::core::{MachineConfig, Pipeline, SimStats};
+use rfstudy::isa::Instruction;
+use rfstudy::workload::{spec92, trace_io, TraceGenerator, WrongPathGenerator};
+
+fn run_vec(insts: Vec<Instruction>, profile_name: &str, commits: u64) -> SimStats {
+    let profile = spec92::by_name(profile_name).expect("known");
+    let config = MachineConfig::new(4).dispatch_queue(32).physical_regs(96).seed(5);
+    let mut trace = insts.into_iter();
+    let mut wp = WrongPathGenerator::new(&profile, 5);
+    Pipeline::new(config).run_with(&mut trace, &mut wp, commits)
+}
+
+#[test]
+fn replayed_trace_reproduces_the_simulation() {
+    const N: u64 = 6_000;
+    for name in ["compress", "tomcatv"] {
+        let profile = spec92::by_name(name).unwrap();
+        // Capture enough instructions to cover wrong-path-free fetch of N
+        // commits (the correct path consumes at most inserted ones).
+        let original: Vec<Instruction> =
+            TraceGenerator::new(&profile, 5).take(4 * N as usize).collect();
+
+        // Serialise and replay.
+        let mut buf = Vec::new();
+        trace_io::write_trace(&mut buf, original.iter().copied()).unwrap();
+        let replayed = trace_io::read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(original, replayed);
+
+        let a = run_vec(original, name, N);
+        let b = run_vec(replayed, name, N);
+        assert_eq!(a.cycles, b.cycles, "{name}");
+        assert_eq!(a.issued, b.issued, "{name}");
+        assert_eq!(a.squashed, b.squashed, "{name}");
+        assert_eq!(a.cache.load_misses(), b.cache.load_misses(), "{name}");
+    }
+}
+
+#[test]
+fn trace_files_round_trip_through_disk() {
+    let profile = spec92::espresso();
+    let original: Vec<Instruction> = TraceGenerator::new(&profile, 9).take(2_000).collect();
+    let path = std::env::temp_dir().join("rfstudy_trace_test.rft");
+    {
+        let mut f = std::fs::File::create(&path).unwrap();
+        trace_io::write_trace(&mut f, original.iter().copied()).unwrap();
+    }
+    let mut f = std::fs::File::open(&path).unwrap();
+    let replayed = trace_io::read_trace(&mut f).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(original, replayed);
+}
