@@ -1,0 +1,57 @@
+//! Throughput of the parallel simulation executor and the run cache:
+//! one batch of benchmark baselines through 1 worker vs all cores, and
+//! the cost of a fully-cached batch.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rf_experiments::runner::{RunCache, RunSpec, SimPool};
+use std::hint::black_box;
+
+const COMMITS: u64 = 10_000;
+
+fn batch() -> Vec<RunSpec> {
+    ["compress", "espresso", "tomcatv", "gcc1", "ora", "doduc"]
+        .iter()
+        .map(|n| RunSpec::baseline(n, 4).commits(COMMITS))
+        .collect()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let specs = batch();
+    let mut group = c.benchmark_group("parallel/run_many");
+    group.throughput(Throughput::Elements(COMMITS * specs.len() as u64));
+    group.bench_function("1 worker, uncached", |b| {
+        let pool = SimPool::new(1);
+        b.iter(|| {
+            let cache = RunCache::disabled();
+            black_box(pool.run_many_cached(&specs, &cache).len())
+        })
+    });
+    group.bench_function("all cores, uncached", |b| {
+        let pool = SimPool::from_env();
+        b.iter(|| {
+            let cache = RunCache::disabled();
+            black_box(pool.run_many_cached(&specs, &cache).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let specs = batch();
+    let mut group = c.benchmark_group("parallel/run_cache");
+    group.throughput(Throughput::Elements(COMMITS * specs.len() as u64));
+    group.bench_function("warm cache batch", |b| {
+        let pool = SimPool::from_env();
+        let cache = RunCache::new();
+        let _ = pool.run_many_cached(&specs, &cache);
+        b.iter(|| black_box(pool.run_many_cached(&specs, &cache).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pool, bench_cache
+);
+criterion_main!(benches);

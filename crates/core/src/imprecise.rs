@@ -96,13 +96,26 @@ impl KillEngine {
     /// Records completion of a correct-path conditional branch, returning
     /// mappings newly killed by writers that the rising watermark cleared.
     pub fn branch_completed(&mut self, seq: u64) -> Vec<Killed> {
+        let mut killed = Vec::new();
+        self.branch_completed_into(seq, &mut killed);
+        killed
+    }
+
+    /// Allocation-free form of [`KillEngine::branch_completed`]: appends
+    /// the killed mappings to `out` instead of returning a fresh `Vec`.
+    pub fn branch_completed_into(&mut self, seq: u64, out: &mut Vec<Killed>) {
         self.outstanding_branches.remove(&seq);
-        self.drain_cleared()
+        self.drain_cleared_into(out);
     }
 
     /// Records completion of a non-branch exception barrier.
     pub fn barrier_completed(&mut self, seq: u64) -> Vec<Killed> {
         self.branch_completed(seq)
+    }
+
+    /// Allocation-free form of [`KillEngine::barrier_completed`].
+    pub fn barrier_completed_into(&mut self, seq: u64, out: &mut Vec<Killed>) {
+        self.branch_completed_into(seq, out);
     }
 
     /// Removes a squashed branch from the outstanding set.
@@ -132,11 +145,23 @@ impl KillEngine {
     /// Records completion of a register-writing instruction, returning any
     /// mappings this kills (possibly after waiting for branch clearance).
     pub fn writer_completed(&mut self, class: RegClass, vreg: u8, seq: u64) -> Vec<Killed> {
+        let mut killed = Vec::new();
+        self.writer_completed_into(class, vreg, seq, &mut killed);
+        killed
+    }
+
+    /// Allocation-free form of [`KillEngine::writer_completed`].
+    pub fn writer_completed_into(
+        &mut self,
+        class: RegClass,
+        vreg: u8,
+        seq: u64,
+        out: &mut Vec<Killed>,
+    ) {
         if seq < self.watermark() {
-            self.kill_up_to(class, vreg, seq)
+            self.kill_up_to_into(class, vreg, seq, out);
         } else {
             self.pending.push((class, vreg, seq));
-            Vec::new()
         }
     }
 
@@ -144,6 +169,13 @@ impl KillEngine {
     /// and outstanding branches younger than `boundary` (the mispredicted
     /// branch), then returns kills enabled by the watermark change.
     pub fn squash_younger_than(&mut self, boundary: u64) -> Vec<Killed> {
+        let mut killed = Vec::new();
+        self.squash_younger_than_into(boundary, &mut killed);
+        killed
+    }
+
+    /// Allocation-free form of [`KillEngine::squash_younger_than`].
+    pub fn squash_younger_than_into(&mut self, boundary: u64, out: &mut Vec<Killed>) {
         self.pending.retain(|&(_, _, seq)| seq <= boundary);
         // Outstanding branches above the boundary are removed one by one
         // by the pipeline via `branch_squashed`, but doing it wholesale
@@ -155,39 +187,36 @@ impl KillEngine {
                 break;
             }
         }
-        self.drain_cleared()
+        self.drain_cleared_into(out);
     }
 
-    fn drain_cleared(&mut self) -> Vec<Killed> {
+    fn drain_cleared_into(&mut self, out: &mut Vec<Killed>) {
         let watermark = self.watermark();
-        let mut killed = Vec::new();
         let mut i = 0;
         while i < self.pending.len() {
             let (class, vreg, seq) = self.pending[i];
             if seq < watermark {
                 self.pending.swap_remove(i);
-                killed.extend(self.kill_up_to(class, vreg, seq));
+                self.kill_up_to_into(class, vreg, seq, out);
             } else {
                 i += 1;
             }
         }
-        killed
     }
 
     /// Kills every retired mapping of `vreg` whose killer sequence is at
-    /// most `seq` (they were all retired before the cleared writer).
-    fn kill_up_to(&mut self, class: RegClass, vreg: u8, seq: u64) -> Vec<Killed> {
+    /// most `seq` (they were all retired before the cleared writer),
+    /// appending them to `out`.
+    fn kill_up_to_into(&mut self, class: RegClass, vreg: u8, seq: u64, out: &mut Vec<Killed>) {
         let q = &mut self.retired[class.index()][vreg as usize];
-        let mut killed = Vec::new();
         while let Some(&(phys, killer)) = q.front() {
             if killer <= seq {
                 q.pop_front();
-                killed.push((class, phys));
+                out.push((class, phys));
             } else {
                 break;
             }
         }
-        killed
     }
 
     /// Number of retired-but-unkilled mappings (diagnostics).

@@ -60,6 +60,8 @@ pub struct Pipeline {
     commit_target: u64,
     // Scratch buffers reused across cycles.
     scratch_issue: Vec<u64>,
+    scratch_selected: Vec<u64>,
+    scratch_kills: Vec<(RegClass, u32)>,
     scratch_store_addrs: HashSet<u64>,
     scratch_load_addrs: HashSet<u64>,
 }
@@ -104,6 +106,8 @@ impl Pipeline {
             trace_done: false,
             commit_target: u64::MAX,
             scratch_issue: Vec::new(),
+            scratch_selected: Vec::new(),
+            scratch_kills: Vec::new(),
             scratch_store_addrs: HashSet::new(),
             scratch_load_addrs: HashSet::new(),
             config,
@@ -270,8 +274,8 @@ impl Pipeline {
             // Feeding wrong-path writers to the kill engine is safe: they
             // can never gain branch clearance while their mispredicted
             // branch is outstanding, and squash purges them.
-            let killed = self.kill.writer_completed(class, vreg, seq);
-            self.apply_kills(killed);
+            self.kill.writer_completed_into(class, vreg, seq, &mut self.scratch_kills);
+            self.apply_kills();
         }
 
         // Under the Alpha-style hybrid model, completing memory
@@ -281,8 +285,8 @@ impl Pipeline {
             && !wrong_path
             && self.config.exception_model() == ExceptionModel::AlphaHybrid
         {
-            let killed = self.kill.barrier_completed(seq);
-            self.apply_kills(killed);
+            self.kill.barrier_completed_into(seq, &mut self.scratch_kills);
+            self.apply_kills();
         }
 
         // Conditional branches: train the predictor (correct path only)
@@ -299,21 +303,25 @@ impl Pipeline {
                         // hence any kills) may advance.
                         return true;
                     }
-                    let killed = self.kill.branch_completed(seq);
-                    self.apply_kills(killed);
+                    self.kill.branch_completed_into(seq, &mut self.scratch_kills);
+                    self.apply_kills();
                 }
             }
         }
         false
     }
 
-    /// Applies mapping kills from the kill engine: marks registers killed
-    /// and frees them if the remaining imprecise conditions hold.
-    fn apply_kills(&mut self, killed: Vec<(RegClass, u32)>) {
-        for (class, p) in killed {
+    /// Applies mapping kills accumulated in `scratch_kills` (filled by the
+    /// kill engine's `*_into` methods): marks registers killed and frees
+    /// them if the remaining imprecise conditions hold. Draining a reused
+    /// scratch buffer keeps the kill path free of per-event allocation.
+    fn apply_kills(&mut self) {
+        let mut killed = std::mem::take(&mut self.scratch_kills);
+        for (class, p) in killed.drain(..) {
             self.regs[class.index()].reg_mut(p).killed = true;
             self.maybe_free_imprecise(class, p);
         }
+        self.scratch_kills = killed;
     }
 
     /// If all three imprecise conditions hold for register `p` — writer
@@ -385,10 +393,10 @@ impl Pipeline {
         // Purge kill-engine state belonging to squashed instructions,
         // then complete the branch itself; only now may the watermark
         // advance and kills fire.
-        let killed = self.kill.squash_younger_than(branch_seq);
-        self.apply_kills(killed);
-        let killed = self.kill.branch_completed(branch_seq);
-        self.apply_kills(killed);
+        self.kill.squash_younger_than_into(branch_seq, &mut self.scratch_kills);
+        self.apply_kills();
+        self.kill.branch_completed_into(branch_seq, &mut self.scratch_kills);
+        self.apply_kills();
 
         // Restore the global history to its pre-insertion value, then
         // shift in the actual direction.
@@ -524,7 +532,7 @@ impl Pipeline {
         if self.config.sched_policy() == crate::SchedPolicy::YoungestFirst {
             candidates.reverse();
         }
-        let mut selected = Vec::with_capacity(self.limits.width());
+        let mut selected = std::mem::take(&mut self.scratch_selected);
         for &seq in &candidates {
             if budget == 0 {
                 break;
@@ -547,6 +555,8 @@ impl Pipeline {
         for &seq in &selected {
             self.do_issue(seq);
         }
+        selected.clear();
+        self.scratch_selected = selected;
         candidates.clear();
         self.scratch_issue = candidates;
     }

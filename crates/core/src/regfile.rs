@@ -129,6 +129,7 @@ impl PhysRegFile {
     }
 
     /// Registers currently on the free list (staged frees excluded).
+    #[inline]
     pub fn free_count(&self) -> usize {
         self.free.len()
     }
@@ -136,6 +137,7 @@ impl PhysRegFile {
     /// Allocated (live) registers. Staged frees still count as live: they
     /// are freed but unusable until next cycle, and the paper counts a
     /// register live until it can be reused.
+    #[inline]
     pub fn live_count(&self) -> usize {
         self.state.len() - self.free.len()
     }
@@ -143,17 +145,20 @@ impl PhysRegFile {
     /// Live registers under the *imprecise* model: allocated registers
     /// minus those already marked imprecise-free (the shadow engine's
     /// view when running under precise exceptions).
+    #[inline]
     pub fn live_count_imprecise(&self) -> usize {
         self.live_count() - self.cat_counts[Category::WaitPrecise.index()] as usize
     }
 
     /// Current count of each liveness category.
+    #[inline]
     pub fn category_counts(&self) -> [u32; 4] {
         self.cat_counts
     }
 
     /// Allocates a register (writer entering the dispatch queue), or
     /// `None` if the free list is empty.
+    #[inline]
     pub fn alloc(&mut self) -> Option<u32> {
         let p = self.free.pop()?;
         let s = &mut self.state[p as usize];
@@ -196,6 +201,7 @@ impl PhysRegFile {
 
     /// Moves an allocated register to a new category, maintaining the
     /// counters.
+    #[inline]
     pub fn transition(&mut self, p: u32, to: Category) {
         let s = &mut self.state[p as usize];
         debug_assert!(s.allocated, "transition of unallocated register {p}");
@@ -206,6 +212,7 @@ impl PhysRegFile {
 
     /// Stages a register for freeing; it returns to the free list at
     /// [`PhysRegFile::end_cycle`].
+    #[inline]
     pub fn stage_free(&mut self, p: u32) {
         let s = &mut self.state[p as usize];
         debug_assert!(s.allocated, "double free of register {p}");
@@ -216,6 +223,7 @@ impl PhysRegFile {
 
     /// Returns staged frees to the free list (call once per cycle, after
     /// the insertion phase).
+    #[inline]
     pub fn end_cycle(&mut self) {
         self.free.append(&mut self.staged);
     }

@@ -25,7 +25,7 @@ pub enum LiveModel {
 /// which exactly `n` registers of `class` were live. They drive the
 /// paper's 90th-percentile metric (Figure 3), run-time coverage curves
 /// (Figures 4, 5, 8), and category breakdowns (`cat_sums`).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
     /// Simulated cycles.
     pub cycles: u64,

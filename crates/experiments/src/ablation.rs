@@ -5,21 +5,23 @@
 //! paper's 1.5x issue width vs 1.0x and 2.0x).
 
 use crate::aggregate::{all_names, mean_over};
-use crate::runner::{Scale};
+use crate::runner::{RunSpec, Scale, SimPool};
 use crate::table::Table;
 use rf_bpred::PredictorKind;
-use rf_core::{MachineConfig, Pipeline, SchedPolicy, SimStats};
-use rf_workload::{spec92, TraceGenerator};
+use rf_core::{SchedPolicy, SimStats};
+use std::sync::Arc;
 
-fn run_suite(configure: impl Fn(MachineConfig) -> MachineConfig, commits: u64) -> Vec<(String, SimStats)> {
-    spec92::all()
-        .into_iter()
-        .map(|p| {
-            let config = configure(MachineConfig::new(4).dispatch_queue(32).physical_regs(2048));
-            let mut trace = TraceGenerator::new(&p, 12);
-            (p.name, Pipeline::new(config).run(&mut trace, commits))
-        })
-        .collect()
+fn run_suite(
+    configure: impl Fn(RunSpec) -> RunSpec,
+    commits: u64,
+) -> Vec<(String, Arc<SimStats>)> {
+    let names = all_names();
+    let specs: Vec<RunSpec> = names
+        .iter()
+        .map(|n| configure(RunSpec::baseline(n, 4).commits(commits)))
+        .collect();
+    let stats = SimPool::from_env().run_many(&specs);
+    names.into_iter().zip(stats).collect()
 }
 
 /// Runs both ablations and renders the report.
@@ -32,7 +34,7 @@ pub fn run(scale: &Scale) -> String {
     out.push_str("Scheduler selection policy\n");
     let mut t = Table::new(vec!["policy", "avg issue IPC", "avg commit IPC"]);
     for policy in [SchedPolicy::OldestFirst, SchedPolicy::YoungestFirst] {
-        let runs = run_suite(|c| c.scheduling(policy), scale.commits);
+        let runs = run_suite(|c| c.policy(policy), scale.commits);
         t.row(vec![
             policy.to_string(),
             format!("{:.2}", mean_over(&runs, &names, SimStats::issue_ipc)),
@@ -56,7 +58,7 @@ pub fn run(scale: &Scale) -> String {
     out.push_str("\nDispatch-queue insertion bandwidth (paper: 1.5 x width = 6)\n");
     let mut t = Table::new(vec!["insert/cycle", "avg commit IPC", "avg dq occupancy"]);
     for bw in [4usize, 6, 8] {
-        let runs = run_suite(|c| c.insert_bandwidth(bw), scale.commits);
+        let runs = run_suite(|c| c.insert_bw(bw), scale.commits);
         t.row(vec![
             bw.to_string(),
             format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
@@ -74,8 +76,8 @@ mod tests {
     #[test]
     fn oldest_first_commits_at_least_as_fast() {
         let commits = 8_000;
-        let old = run_suite(|c| c.scheduling(SchedPolicy::OldestFirst), commits);
-        let young = run_suite(|c| c.scheduling(SchedPolicy::YoungestFirst), commits);
+        let old = run_suite(|c| c.policy(SchedPolicy::OldestFirst), commits);
+        let young = run_suite(|c| c.policy(SchedPolicy::YoungestFirst), commits);
         let names = all_names();
         let o = mean_over(&old, &names, SimStats::commit_ipc);
         let y = mean_over(&young, &names, SimStats::commit_ipc);
@@ -85,8 +87,8 @@ mod tests {
     #[test]
     fn wider_insertion_never_hurts_much() {
         let commits = 6_000;
-        let narrow = run_suite(|c| c.insert_bandwidth(4), commits);
-        let wide = run_suite(|c| c.insert_bandwidth(8), commits);
+        let narrow = run_suite(|c| c.insert_bw(4), commits);
+        let wide = run_suite(|c| c.insert_bw(8), commits);
         let names = all_names();
         let n = mean_over(&narrow, &names, SimStats::commit_ipc);
         let w = mean_over(&wide, &names, SimStats::commit_ipc);

@@ -3,6 +3,7 @@
 
 use rf_core::{LiveModel, SimStats};
 use rf_isa::RegClass;
+use std::borrow::Borrow;
 
 /// Averages per-benchmark normalised live-register distributions, then
 /// returns the combined distribution. This is the paper's method: "the
@@ -10,8 +11,8 @@ use rf_isa::RegClass;
 /// the (simulated) run time of the benchmark ... the normalised
 /// distribution for all benchmarks of a given system model are averaged
 /// together", preventing one long-running benchmark from dominating.
-pub fn averaged_distribution(
-    runs: &[(String, SimStats)],
+pub fn averaged_distribution<S: Borrow<SimStats>>(
+    runs: &[(String, S)],
     include: &[String],
     class: RegClass,
     model: LiveModel,
@@ -19,7 +20,7 @@ pub fn averaged_distribution(
     let selected: Vec<&SimStats> = runs
         .iter()
         .filter(|(name, _)| include.contains(name))
-        .map(|(_, s)| s)
+        .map(|(_, s)| s.borrow())
         .collect();
     assert!(!selected.is_empty(), "no benchmarks selected for aggregation");
     let len = selected.iter().map(|s| s.live_histogram(class, model).len()).max().unwrap();
@@ -78,15 +79,15 @@ pub fn sample_coverage(curve: &[f64], points: &[usize]) -> Vec<(usize, f64)> {
 }
 
 /// Arithmetic mean over selected benchmarks of a per-run metric.
-pub fn mean_over(
-    runs: &[(String, SimStats)],
+pub fn mean_over<S: Borrow<SimStats>>(
+    runs: &[(String, S)],
     include: &[String],
     metric: impl Fn(&SimStats) -> f64,
 ) -> f64 {
     let vals: Vec<f64> = runs
         .iter()
         .filter(|(name, _)| include.contains(name))
-        .map(|(_, s)| metric(s))
+        .map(|(_, s)| metric(s.borrow()))
         .collect();
     assert!(!vals.is_empty(), "no benchmarks selected for mean");
     vals.iter().sum::<f64>() / vals.len() as f64

@@ -1,0 +1,180 @@
+//! Wall-clock benchmarking of the experiment suite.
+//!
+//! [`SuiteBench`] wraps each harness invocation, records its elapsed time
+//! together with how many simulations (and committed instructions) it
+//! actually executed, optionally measures the parallel speedup against a
+//! single worker, and renders everything as the `BENCH_suite.json`
+//! report.
+
+use crate::runner::{
+    instructions_committed, simulations_run, RunCache, RunSpec, SimPool,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One timed harness.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Harness name (report file stem).
+    pub name: String,
+    /// Wall-clock seconds spent in the harness.
+    pub seconds: f64,
+    /// Simulations executed during the harness (cache hits excluded).
+    pub sims: u64,
+    /// Instructions committed by those simulations.
+    pub committed: u64,
+}
+
+/// Times the harnesses of one suite invocation and renders the JSON
+/// benchmark report.
+#[derive(Debug)]
+pub struct SuiteBench {
+    commits: u64,
+    entries: Vec<Entry>,
+    started: Instant,
+    speedup: Option<f64>,
+}
+
+impl SuiteBench {
+    /// Starts timing a suite run at `commits` committed instructions per
+    /// simulation.
+    pub fn start(commits: u64) -> Self {
+        Self { commits, entries: Vec::new(), started: Instant::now(), speedup: None }
+    }
+
+    /// Runs one harness, recording its wall-clock time and the number of
+    /// simulations it executed, and returns the harness's report.
+    pub fn time(&mut self, name: &str, harness: impl FnOnce() -> String) -> String {
+        let sims0 = simulations_run();
+        let committed0 = instructions_committed();
+        let start = Instant::now();
+        let report = harness();
+        self.entries.push(Entry {
+            name: name.to_owned(),
+            seconds: start.elapsed().as_secs_f64(),
+            sims: simulations_run() - sims0,
+            committed: instructions_committed() - committed0,
+        });
+        report
+    }
+
+    /// The per-harness records so far.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Measures the parallel speedup of the configured pool over a single
+    /// worker on a calibration batch (all nine benchmark baselines at
+    /// `commits` each, uncached so both passes do identical work), and
+    /// records it for the report. Returns the measured speedup.
+    pub fn measure_speedup(&mut self, commits: u64) -> f64 {
+        let specs: Vec<RunSpec> = crate::aggregate::all_names()
+            .iter()
+            .map(|n| RunSpec::baseline(n, 4).commits(commits))
+            .collect();
+        let timed = |pool: SimPool| {
+            let cache = RunCache::disabled();
+            let start = Instant::now();
+            let _ = pool.run_many_cached(&specs, &cache);
+            start.elapsed().as_secs_f64()
+        };
+        let serial = timed(SimPool::new(1));
+        let parallel = timed(SimPool::from_env());
+        let speedup = if parallel > 0.0 { serial / parallel } else { 1.0 };
+        self.speedup = Some(speedup);
+        speedup
+    }
+
+    /// Renders the benchmark report as JSON.
+    pub fn to_json(&self) -> String {
+        let total: f64 = self.started.elapsed().as_secs_f64();
+        let sims: u64 = self.entries.iter().map(|e| e.sims).sum();
+        let committed: u64 = self.entries.iter().map(|e| e.committed).sum();
+        let harness_time: f64 = self.entries.iter().map(|e| e.seconds).sum();
+        let cache = RunCache::global();
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"jobs\": {},", SimPool::from_env().jobs());
+        let _ = writeln!(out, "  \"commits_per_run\": {},", self.commits);
+        let _ = writeln!(out, "  \"total_seconds\": {total:.3},");
+        let _ = writeln!(out, "  \"simulations\": {sims},");
+        let _ = writeln!(out, "  \"instructions_committed\": {committed},");
+        let _ = writeln!(out, "  \"sims_per_second\": {:.3},", rate(sims as f64, harness_time));
+        let _ = writeln!(
+            out,
+            "  \"committed_per_second\": {:.1},",
+            rate(committed as f64, harness_time)
+        );
+        let _ = writeln!(out, "  \"cache_hits\": {},", cache.hits());
+        let _ = writeln!(out, "  \"cache_misses\": {},", cache.misses());
+        match self.speedup {
+            Some(s) => {
+                let _ = writeln!(out, "  \"speedup_vs_1_worker\": {s:.2},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"speedup_vs_1_worker\": null,");
+            }
+        }
+        out.push_str("  \"harnesses\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"simulations\": {}, \
+                 \"instructions_committed\": {}}}",
+                e.name, e.seconds, e.sims, e.committed
+            );
+            out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn rate(amount: f64, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        amount / seconds
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_counts_simulations() {
+        let mut bench = SuiteBench::start(1_000);
+        let report = bench.time("tiny", || {
+            let spec = RunSpec::baseline("espresso", 4).commits(1_000);
+            format!("{}", crate::runner::simulate(&spec).committed)
+        });
+        assert_eq!(report, "1000");
+        let e = &bench.entries()[0];
+        assert_eq!(e.name, "tiny");
+        assert_eq!(e.sims, 1);
+        assert_eq!(e.committed, 1_000);
+        assert!(e.seconds >= 0.0);
+    }
+
+    #[test]
+    fn json_has_expected_keys() {
+        let mut bench = SuiteBench::start(500);
+        let _ = bench.time("noop", String::new);
+        let json = bench.to_json();
+        for key in [
+            "\"jobs\"",
+            "\"commits_per_run\": 500",
+            "\"total_seconds\"",
+            "\"simulations\"",
+            "\"sims_per_second\"",
+            "\"committed_per_second\"",
+            "\"cache_hits\"",
+            "\"cache_misses\"",
+            "\"speedup_vs_1_worker\": null",
+            "\"harnesses\"",
+            "\"name\": \"noop\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -1,11 +1,14 @@
-//! Runs every table/figure harness and writes reports under `results/`.
+//! Runs every table/figure harness and writes reports under `results/`,
+//! plus a `results/BENCH_suite.json` timing report for the whole suite.
 //!
 //! Pass a commit budget as the first argument or set RF_COMMITS
-//! (default 200000).
+//! (default 200000). RF_JOBS sets the number of parallel simulation
+//! workers (default: all cores); RF_CACHE=0 disables the shared run
+//! cache.
 
+use rf_experiments::bench::SuiteBench;
 use rf_experiments::runner::Scale;
 use std::fs;
-use std::time::Instant;
 
 fn main() -> std::io::Result<()> {
     let scale = Scale {
@@ -30,12 +33,21 @@ fn main() -> std::io::Result<()> {
         ("sensitivity", rf_experiments::sensitivity::run),
         ("dataflow", rf_experiments::dataflow::run),
     ];
+    let mut bench = SuiteBench::start(scale.commits);
     for (name, run) in experiments {
-        let start = Instant::now();
-        let report = run(&scale);
+        let report = bench.time(name, || run(&scale));
         let path = format!("results/{name}.txt");
         fs::write(&path, &report)?;
-        println!("== {name} ({:.1}s) -> {path}\n{report}", start.elapsed().as_secs_f64());
+        let timed = bench.entries().last().expect("just recorded");
+        println!(
+            "== {name} ({:.1}s, {} sims) -> {path}\n{report}",
+            timed.seconds, timed.sims
+        );
     }
+    let speedup = bench.measure_speedup(scale.commits.min(10_000));
+    println!("parallel speedup vs 1 worker: {speedup:.2}x");
+    let json = bench.to_json();
+    fs::write("results/BENCH_suite.json", &json)?;
+    println!("== benchmark -> results/BENCH_suite.json\n{json}");
     Ok(())
 }

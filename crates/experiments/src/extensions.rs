@@ -9,23 +9,22 @@
 //!    two-queue organisation of the same total capacity costs.
 
 use crate::aggregate::{all_names, mean_over};
-use crate::runner::Scale;
+use crate::runner::{RunSpec, Scale, SimPool};
 use crate::table::Table;
-use rf_core::{ExceptionModel, MachineConfig, Pipeline, SimStats};
-use rf_workload::{spec92, TraceGenerator};
+use rf_core::{ExceptionModel, SimStats};
+use std::sync::Arc;
 
 fn run_suite(
-    configure: impl Fn(MachineConfig) -> MachineConfig,
+    configure: impl Fn(RunSpec) -> RunSpec,
     commits: u64,
-) -> Vec<(String, SimStats)> {
-    spec92::all()
-        .into_iter()
-        .map(|p| {
-            let config = configure(MachineConfig::new(4).dispatch_queue(32));
-            let mut trace = TraceGenerator::new(&p, 12);
-            (p.name, Pipeline::new(config).run(&mut trace, commits))
-        })
-        .collect()
+) -> Vec<(String, Arc<SimStats>)> {
+    let names = all_names();
+    let specs: Vec<RunSpec> = names
+        .iter()
+        .map(|n| configure(RunSpec::baseline(n, 4).commits(commits)))
+        .collect();
+    let stats = SimPool::from_env().run_many(&specs);
+    names.into_iter().zip(stats).collect()
 }
 
 /// Runs both extension experiments and renders the report.
@@ -40,8 +39,7 @@ pub fn run(scale: &Scale) -> String {
         for model in
             [ExceptionModel::Precise, ExceptionModel::AlphaHybrid, ExceptionModel::Imprecise]
         {
-            let runs =
-                run_suite(|c| c.physical_regs(regs).exceptions(model), scale.commits);
+            let runs = run_suite(|c| c.regs(regs).exceptions(model), scale.commits);
             row.push(format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)));
         }
         t.row(row);
@@ -51,7 +49,7 @@ pub fn run(scale: &Scale) -> String {
     out.push_str("\nBounded reorder buffer (active-list capacity): average commit IPC\n");
     let mut t = Table::new(vec!["rob", "avg commit IPC"]);
     for rob in [32usize, 64, 128] {
-        let runs = run_suite(|c| c.reorder_limit(rob), scale.commits);
+        let runs = run_suite(|c| c.reorder(rob), scale.commits);
         t.row(vec![
             rob.to_string(),
             format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
@@ -67,9 +65,8 @@ pub fn run(scale: &Scale) -> String {
     out.push_str("\nUnified vs split dispatch queues: average commit IPC\n");
     let mut t = Table::new(vec!["dq(total)", "unified", "split"]);
     for dq in [16usize, 32, 64] {
-        let unified = run_suite(|c| c.dispatch_queue(dq), scale.commits);
-        let split =
-            run_suite(|c| c.dispatch_queue(dq).split_dispatch_queues(true), scale.commits);
+        let unified = run_suite(|c| c.dq(dq), scale.commits);
+        let split = run_suite(|c| c.dq(dq).split_dq(true), scale.commits);
         t.row(vec![
             dq.to_string(),
             format!("{:.2}", mean_over(&unified, &names, SimStats::commit_ipc)),

@@ -9,7 +9,7 @@
 use crate::aggregate::{
     all_names, averaged_distribution, distribution_percentile, mean_over,
 };
-use crate::runner::{fp_benchmarks, simulate_suite, RunSpec, Scale};
+use crate::runner::{fp_benchmarks, RunSpec, Scale, SimPool};
 use crate::table::Table;
 use rf_core::{LiveModel, SimStats};
 use rf_isa::RegClass;
@@ -33,15 +33,26 @@ pub struct Point {
     pub categories: [[f64; 4]; 2],
 }
 
-/// Sweeps one issue width over the dispatch-queue sizes.
+/// Sweeps one issue width over the dispatch-queue sizes. The whole
+/// (queue size x benchmark) grid is submitted as one batch so the pool
+/// can spread it over every core.
 pub fn sweep(width: usize, scale: &Scale) -> Vec<Point> {
     let names = all_names();
     let fp_names = fp_benchmarks();
+    let specs: Vec<RunSpec> = DQ_SIZES
+        .iter()
+        .flat_map(|&dq| {
+            names
+                .iter()
+                .map(move |n| RunSpec::baseline(n, width).dq(dq).commits(scale.commits))
+        })
+        .collect();
+    let stats = SimPool::from_env().run_many(&specs);
     DQ_SIZES
         .iter()
-        .map(|&dq| {
-            let base = RunSpec::baseline("compress", width).dq(dq).commits(scale.commits);
-            let runs = simulate_suite(&base);
+        .zip(stats.chunks(names.len()))
+        .map(|(&dq, chunk)| {
+            let runs: Vec<_> = names.iter().cloned().zip(chunk.iter().cloned()).collect();
             let live90 = [RegClass::Int, RegClass::Fp].map(|class| {
                 let include = if class == RegClass::Int { &names } else { &fp_names };
                 let p = averaged_distribution(&runs, include, class, LiveModel::Precise);

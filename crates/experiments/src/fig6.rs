@@ -4,7 +4,7 @@
 
 use crate::aggregate::{all_names, mean_over};
 use crate::plot::Chart;
-use crate::runner::{simulate_suite, RunSpec, Scale};
+use crate::runner::{RunSpec, Scale, SimPool};
 use crate::table::Table;
 use rf_core::{ExceptionModel, SimStats};
 
@@ -22,17 +22,24 @@ pub struct Point {
     pub no_free_frac: f64,
 }
 
-/// Sweeps register counts for one width and exception model.
+/// Sweeps register counts for one width and exception model, submitting
+/// the whole (register count x benchmark) grid as one parallel batch.
 pub fn sweep(width: usize, model: ExceptionModel, scale: &Scale) -> Vec<Point> {
     let names = all_names();
+    let specs: Vec<RunSpec> = REG_SIZES
+        .iter()
+        .flat_map(|&regs| {
+            names.iter().map(move |n| {
+                RunSpec::baseline(n, width).regs(regs).exceptions(model).commits(scale.commits)
+            })
+        })
+        .collect();
+    let stats = SimPool::from_env().run_many(&specs);
     REG_SIZES
         .iter()
-        .map(|&regs| {
-            let base = RunSpec::baseline("compress", width)
-                .regs(regs)
-                .exceptions(model)
-                .commits(scale.commits);
-            let runs = simulate_suite(&base);
+        .zip(stats.chunks(names.len()))
+        .map(|(&regs, chunk)| {
+            let runs: Vec<_> = names.iter().cloned().zip(chunk.iter().cloned()).collect();
             Point {
                 regs,
                 commit_ipc: mean_over(&runs, &names, SimStats::commit_ipc),

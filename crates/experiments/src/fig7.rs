@@ -4,7 +4,7 @@
 
 use crate::aggregate::{all_names, mean_over};
 use crate::fig6::REG_SIZES;
-use crate::runner::{simulate_suite, RunSpec, Scale};
+use crate::runner::{RunSpec, Scale, SimPool};
 use crate::table::Table;
 use rf_core::{ExceptionModel, SimStats};
 use rf_mem::CacheOrg;
@@ -16,19 +16,35 @@ pub const ORGS: &[CacheOrg] = &[CacheOrg::Perfect, CacheOrg::LockupFree, CacheOr
 pub type OrgSeries = (CacheOrg, Vec<(usize, f64)>);
 
 /// Average commit IPC per (org, register count) for one width and model.
+/// The (org x register count x benchmark) grid runs as one parallel
+/// batch; the lockup-free series re-uses Figure 6's cached points.
 pub fn sweep(width: usize, model: ExceptionModel, scale: &Scale) -> Vec<OrgSeries> {
     let names = all_names();
-    ORGS.iter()
-        .map(|&org| {
-            let series = REG_SIZES
-                .iter()
-                .map(|&regs| {
-                    let base = RunSpec::baseline("compress", width)
+    let mut specs = Vec::new();
+    for &org in ORGS {
+        for &regs in REG_SIZES {
+            for n in &names {
+                specs.push(
+                    RunSpec::baseline(n, width)
                         .regs(regs)
                         .exceptions(model)
                         .cache(org)
-                        .commits(scale.commits);
-                    let runs = simulate_suite(&base);
+                        .commits(scale.commits),
+                );
+            }
+        }
+    }
+    let stats = SimPool::from_env().run_many(&specs);
+    let per_org = REG_SIZES.len() * names.len();
+    ORGS.iter()
+        .zip(stats.chunks(per_org))
+        .map(|(&org, org_chunk)| {
+            let series = REG_SIZES
+                .iter()
+                .zip(org_chunk.chunks(names.len()))
+                .map(|(&regs, chunk)| {
+                    let runs: Vec<_> =
+                        names.iter().cloned().zip(chunk.iter().cloned()).collect();
                     (regs, mean_over(&runs, &names, SimStats::commit_ipc))
                 })
                 .collect();

@@ -9,29 +9,33 @@
 //! between in shape but lowest in register count.
 
 use crate::aggregate::coverage_curve;
-use crate::runner::{simulate, RunSpec, Scale};
+use crate::runner::{simulate_cached, RunSpec, Scale, SimPool};
 use crate::table::Table;
 use rf_core::{LiveModel, SimStats};
 use rf_isa::RegClass;
 use rf_mem::CacheOrg;
+use std::sync::Arc;
 
 /// X-axis sample points, as in the paper's Figure 8.
 pub const SAMPLE_POINTS: &[usize] = &[30, 40, 50, 60, 70, 80, 90, 100, 120, 150];
 
-/// Runs compress under one cache organisation.
-pub fn simulate_compress(org: CacheOrg, scale: &Scale) -> SimStats {
-    simulate(&RunSpec::baseline("compress", 4).cache(org).commits(scale.commits))
+/// Runs compress under one cache organisation (via the run cache — the
+/// lockup-free point is the baseline Table 1 also simulates).
+pub fn simulate_compress(org: CacheOrg, scale: &Scale) -> Arc<SimStats> {
+    simulate_cached(&RunSpec::baseline("compress", 4).cache(org).commits(scale.commits))
 }
 
 /// Runs Figure 8 and renders the report.
 pub fn run(scale: &Scale) -> String {
     let orgs = [CacheOrg::Perfect, CacheOrg::LockupFree, CacheOrg::Lockup];
-    let curves: Vec<Vec<f64>> = orgs
+    let specs: Vec<RunSpec> = orgs
         .iter()
-        .map(|&org| {
-            let s = simulate_compress(org, scale);
-            coverage_curve(&s.live_distribution(RegClass::Int, LiveModel::Precise))
-        })
+        .map(|&org| RunSpec::baseline("compress", 4).cache(org).commits(scale.commits))
+        .collect();
+    let curves: Vec<Vec<f64>> = SimPool::from_env()
+        .run_many(&specs)
+        .iter()
+        .map(|s| coverage_curve(&s.live_distribution(RegClass::Int, LiveModel::Precise)))
         .collect();
     let at = |c: &[f64], p: usize| {
         c.get(p).copied().unwrap_or_else(|| c.last().copied().unwrap_or(0.0))

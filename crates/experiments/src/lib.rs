@@ -44,6 +44,7 @@
 
 pub mod ablation;
 pub mod aggregate;
+pub mod bench;
 pub mod dataflow;
 pub mod extensions;
 pub mod fig10;
@@ -59,4 +60,4 @@ pub mod sensitivity;
 pub mod table;
 pub mod table1;
 
-pub use runner::{RunSpec, Scale};
+pub use runner::{RunCache, RunSpec, Scale, SimPool};

@@ -1,8 +1,13 @@
-//! Simulation run specifications and execution.
+//! Simulation run specifications and execution: single runs, the shared
+//! run cache, and the parallel [`SimPool`] executor.
 
-use rf_core::{ExceptionModel, MachineConfig, Pipeline, SimStats};
-use rf_mem::CacheOrg;
+use rf_bpred::PredictorKind;
+use rf_core::{ExceptionModel, MachineConfig, Pipeline, SchedPolicy, SimStats};
+use rf_mem::{CacheConfig, CacheOrg};
 use rf_workload::{spec92, TraceGenerator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How long each simulation runs, in committed instructions.
 ///
@@ -39,7 +44,12 @@ impl Default for Scale {
 }
 
 /// One simulation point: a benchmark plus a machine configuration.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A `RunSpec` captures *every* configuration dimension that influences a
+/// simulation's result, so equal specs are guaranteed to produce equal
+/// [`SimStats`] — which is what lets the [`RunCache`] share results
+/// between harnesses and lets [`SimPool::run_many`] deduplicate batches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunSpec {
     /// Benchmark name (one of the nine SPEC92 profile names).
     pub benchmark: String,
@@ -53,6 +63,20 @@ pub struct RunSpec {
     pub exceptions: ExceptionModel,
     /// Cache organisation.
     pub cache: CacheOrg,
+    /// Data-cache geometry.
+    pub cache_geometry: CacheConfig,
+    /// Scheduler selection policy.
+    pub policy: SchedPolicy,
+    /// Branch-predictor kind.
+    pub predictor: PredictorKind,
+    /// Dispatch-queue insertion bandwidth override, if any.
+    pub insert_bw: Option<usize>,
+    /// Reorder-buffer capacity bound, if any.
+    pub reorder: Option<usize>,
+    /// Whether the dispatch queue is split into non-FP/FP halves.
+    pub split_dq: bool,
+    /// Instruction cache geometry and miss penalty, if enabled.
+    pub icache: Option<(CacheConfig, u64)>,
     /// Committed instructions to simulate.
     pub commits: u64,
     /// Workload and simulation seed.
@@ -62,7 +86,8 @@ pub struct RunSpec {
 impl RunSpec {
     /// The paper's baseline configuration for a benchmark at an issue
     /// width: dispatch queue of `8 x width` (32 / 64), 2048 registers,
-    /// precise exceptions, lockup-free cache, 200k commits.
+    /// precise exceptions, lockup-free cache, and the current default
+    /// [`Scale`]'s commit budget.
     pub fn baseline(benchmark: &str, width: usize) -> Self {
         Self {
             benchmark: benchmark.to_owned(),
@@ -71,7 +96,14 @@ impl RunSpec {
             regs: 2048,
             exceptions: ExceptionModel::Precise,
             cache: CacheOrg::LockupFree,
-            commits: 200_000,
+            cache_geometry: CacheConfig::baseline(),
+            policy: SchedPolicy::OldestFirst,
+            predictor: PredictorKind::Combining,
+            insert_bw: None,
+            reorder: None,
+            split_dq: false,
+            icache: None,
+            commits: Scale::default().commits,
             seed: 12,
         }
     }
@@ -105,9 +137,93 @@ impl RunSpec {
         self.cache = org;
         self
     }
+
+    /// Sets the data-cache geometry.
+    pub fn cache_geometry(mut self, config: CacheConfig) -> Self {
+        self.cache_geometry = config;
+        self
+    }
+
+    /// Sets the scheduler policy.
+    pub fn policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the branch-predictor kind.
+    pub fn predictor(mut self, kind: PredictorKind) -> Self {
+        self.predictor = kind;
+        self
+    }
+
+    /// Overrides the dispatch-queue insertion bandwidth.
+    pub fn insert_bw(mut self, per_cycle: usize) -> Self {
+        self.insert_bw = Some(per_cycle);
+        self
+    }
+
+    /// Bounds the reorder buffer.
+    pub fn reorder(mut self, limit: usize) -> Self {
+        self.reorder = Some(limit);
+        self
+    }
+
+    /// Splits the dispatch queue into non-FP/FP halves.
+    pub fn split_dq(mut self, split: bool) -> Self {
+        self.split_dq = split;
+        self
+    }
+
+    /// Enables a finite instruction cache.
+    pub fn icache(mut self, config: CacheConfig, penalty: u64) -> Self {
+        self.icache = Some((config, penalty));
+        self
+    }
+
+    /// The machine configuration this spec describes.
+    pub fn machine_config(&self) -> MachineConfig {
+        let mut config = MachineConfig::new(self.width)
+            .dispatch_queue(self.dq)
+            .physical_regs(self.regs)
+            .exceptions(self.exceptions)
+            .cache(self.cache)
+            .cache_config(self.cache_geometry)
+            .scheduling(self.policy)
+            .predictor(self.predictor)
+            .split_dispatch_queues(self.split_dq)
+            .seed(self.seed);
+        if let Some(bw) = self.insert_bw {
+            config = config.insert_bandwidth(bw);
+        }
+        if let Some(limit) = self.reorder {
+            config = config.reorder_limit(limit);
+        }
+        if let Some((geometry, penalty)) = self.icache {
+            config = config.instruction_cache(geometry, penalty);
+        }
+        config
+    }
 }
 
-/// Runs one simulation point.
+/// Simulations executed process-wide (cache hits excluded); feeds the
+/// benchmark report.
+static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
+/// Instructions committed by executed simulations, process-wide.
+static SIM_COMMITS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of simulations actually executed so far in this process
+/// (run-cache hits do not count).
+pub fn simulations_run() -> u64 {
+    SIM_RUNS.load(Ordering::Relaxed)
+}
+
+/// Instructions committed by simulations actually executed so far in
+/// this process.
+pub fn instructions_committed() -> u64 {
+    SIM_COMMITS.load(Ordering::Relaxed)
+}
+
+/// Runs one simulation point (always executes; no caching).
 ///
 /// # Panics
 ///
@@ -116,25 +232,235 @@ pub fn simulate(spec: &RunSpec) -> SimStats {
     let profile = spec92::by_name(&spec.benchmark)
         .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.benchmark));
     let mut trace = TraceGenerator::new(&profile, spec.seed);
-    let config = MachineConfig::new(spec.width)
-        .dispatch_queue(spec.dq)
-        .physical_regs(spec.regs)
-        .exceptions(spec.exceptions)
-        .cache(spec.cache)
-        .seed(spec.seed);
-    Pipeline::new(config).run(&mut trace, spec.commits)
+    let stats = Pipeline::new(spec.machine_config()).run(&mut trace, spec.commits);
+    SIM_RUNS.fetch_add(1, Ordering::Relaxed);
+    SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
+    stats
 }
 
-/// Runs one simulation per benchmark (all nine), returning
-/// `(name, stats)` pairs in Table 1 order.
-pub fn simulate_suite(base: &RunSpec) -> Vec<(String, SimStats)> {
-    spec92::all()
-        .into_iter()
-        .map(|p| {
-            let spec = RunSpec { benchmark: p.name.clone(), ..base.clone() };
-            (p.name, simulate(&spec))
+/// A keyed memo of simulation results: [`RunSpec`] → [`SimStats`].
+///
+/// Harnesses share many simulation points (every figure re-simulates the
+/// paper's baseline machine, for instance); routing their batches through
+/// a common cache means each distinct point is simulated once per
+/// process. The global instance is shared by all harnesses; tests can
+/// build private instances. Disabled caches always miss.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    map: Mutex<HashMap<RunSpec, Arc<SimStats>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disabled: bool,
+}
+
+impl RunCache {
+    /// Creates an empty, enabled cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache that never stores or returns results (every lookup
+    /// is a miss), for measuring uncached behaviour.
+    pub fn disabled() -> Self {
+        Self { disabled: true, ..Self::default() }
+    }
+
+    /// The process-wide cache shared by every harness. Set `RF_CACHE=0`
+    /// to disable it (each batch then simulates every point it lists).
+    pub fn global() -> &'static RunCache {
+        static GLOBAL: OnceLock<RunCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            if std::env::var("RF_CACHE").is_ok_and(|v| v == "0") {
+                RunCache::disabled()
+            } else {
+                RunCache::new()
+            }
         })
-        .collect()
+    }
+
+    /// Whether this cache stores results.
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Looks up a spec, counting a hit or miss.
+    pub fn get(&self, spec: &RunSpec) -> Option<Arc<SimStats>> {
+        if self.disabled {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let found = self.map.lock().expect("run cache poisoned").get(spec).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a result (no-op when disabled).
+    pub fn insert(&self, spec: RunSpec, stats: Arc<SimStats>) {
+        if !self.disabled {
+            self.map.lock().expect("run cache poisoned").insert(spec, stats);
+        }
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that required a simulation so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct results currently stored.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("run cache poisoned").len()
+    }
+
+    /// Whether the cache holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A work-stealing executor for batches of simulation points.
+///
+/// Workers are scoped threads pulling tasks from a shared atomic cursor,
+/// so long and short simulations load-balance automatically. Results come
+/// back in input order regardless of completion order, and equal specs
+/// within a batch are simulated once — so a report built from a batch is
+/// byte-identical to one built by running the specs sequentially.
+#[derive(Debug, Clone, Copy)]
+pub struct SimPool {
+    jobs: usize,
+}
+
+impl SimPool {
+    /// Creates a pool running up to `jobs` simulations concurrently
+    /// (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized from the `RF_JOBS` environment variable, defaulting
+    /// to the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("RF_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&j| j > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        Self::new(jobs)
+    }
+
+    /// The number of concurrent simulations this pool runs.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every spec, sharing results through the global [`RunCache`].
+    /// Results are in input order: `result[i]` corresponds to `specs[i]`.
+    pub fn run_many(&self, specs: &[RunSpec]) -> Vec<Arc<SimStats>> {
+        self.run_many_cached(specs, RunCache::global())
+    }
+
+    /// As [`SimPool::run_many`], but against an explicit cache.
+    pub fn run_many_cached(&self, specs: &[RunSpec], cache: &RunCache) -> Vec<Arc<SimStats>> {
+        let mut results: Vec<Option<Arc<SimStats>>> = vec![None; specs.len()];
+
+        // Resolve cache hits and deduplicate the remainder, preserving
+        // first-appearance order for determinism. With the cache disabled
+        // every spec becomes its own task (the true uncached workload).
+        let mut tasks: Vec<&RunSpec> = Vec::new();
+        let mut needers: Vec<Vec<usize>> = Vec::new();
+        let mut task_of: HashMap<&RunSpec, usize> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if let Some(found) = cache.get(spec) {
+                results[i] = Some(found);
+            } else if cache.is_enabled() {
+                let t = *task_of.entry(spec).or_insert_with(|| {
+                    tasks.push(spec);
+                    needers.push(Vec::new());
+                    tasks.len() - 1
+                });
+                needers[t].push(i);
+            } else {
+                tasks.push(spec);
+                needers.push(vec![i]);
+            }
+        }
+
+        for (t, stats) in self.execute(&tasks) {
+            cache.insert(tasks[t].clone(), Arc::clone(&stats));
+            for &i in &needers[t] {
+                results[i] = Some(Arc::clone(&stats));
+            }
+        }
+
+        results.into_iter().map(|r| r.expect("every spec resolved")).collect()
+    }
+
+    /// Executes `tasks`, returning `(task_index, stats)` pairs.
+    fn execute(&self, tasks: &[&RunSpec]) -> Vec<(usize, Arc<SimStats>)> {
+        let workers = self.jobs.min(tasks.len());
+        if workers <= 1 {
+            return tasks
+                .iter()
+                .enumerate()
+                .map(|(t, spec)| (t, Arc::new(simulate(spec))))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let mut done: Vec<(usize, Arc<SimStats>)> = Vec::with_capacity(tasks.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let t = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(spec) = tasks.get(t) else { break };
+                            mine.push((t, Arc::new(simulate(spec))));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                done.extend(handle.join().expect("simulation worker panicked"));
+            }
+        });
+        done
+    }
+}
+
+impl Default for SimPool {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Runs one simulation point through the global [`RunCache`] (no thread
+/// fan-out — the point of this over [`simulate`] is result sharing).
+pub fn simulate_cached(spec: &RunSpec) -> Arc<SimStats> {
+    SimPool::new(1)
+        .run_many(std::slice::from_ref(spec))
+        .pop()
+        .expect("one spec in, one result out")
+}
+
+/// Runs one simulation per benchmark (all nine) through the shared pool
+/// and cache, returning `(name, stats)` pairs in Table 1 order.
+pub fn simulate_suite(base: &RunSpec) -> Vec<(String, Arc<SimStats>)> {
+    let names: Vec<String> = spec92::all().into_iter().map(|p| p.name).collect();
+    let specs: Vec<RunSpec> =
+        names.iter().map(|n| RunSpec { benchmark: n.clone(), ..base.clone() }).collect();
+    let stats = SimPool::from_env().run_many(&specs);
+    names.into_iter().zip(stats).collect()
 }
 
 /// The FP-intensive subset of benchmark names; the paper's FP-register
@@ -158,6 +484,16 @@ mod tests {
         assert_eq!(s.regs, 2048);
         assert_eq!(s.exceptions, ExceptionModel::Precise);
         assert_eq!(s.cache, CacheOrg::LockupFree);
+        assert_eq!(s.policy, SchedPolicy::OldestFirst);
+        assert_eq!(s.predictor, PredictorKind::Combining);
+        assert!(!s.split_dq);
+    }
+
+    #[test]
+    fn baseline_commits_follow_scale() {
+        // The budget comes from Scale::default() (RF_COMMITS or 200k),
+        // not a hardcoded constant.
+        assert_eq!(RunSpec::baseline("tomcatv", 4).commits, Scale::default().commits);
     }
 
     #[test]
@@ -181,5 +517,60 @@ mod tests {
         assert_eq!(fp.len(), 6);
         assert!(fp.contains(&"tomcatv".to_owned()));
         assert!(!fp.contains(&"gcc1".to_owned()));
+    }
+
+    #[test]
+    fn run_many_is_input_ordered_and_deduplicated() {
+        let cache = RunCache::new();
+        let pool = SimPool::new(2);
+        let a = RunSpec::baseline("espresso", 4).commits(2_000);
+        let b = RunSpec::baseline("compress", 4).commits(2_000);
+        let specs = vec![a.clone(), b.clone(), a.clone()];
+        let out = pool.run_many_cached(&specs, &cache);
+        assert_eq!(out.len(), 3);
+        assert_eq!(*out[0], *out[2]);
+        assert_eq!(*out[0], simulate(&a));
+        assert_eq!(*out[1], simulate(&b));
+        // The duplicate was not simulated separately.
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let cache = RunCache::disabled();
+        let spec = RunSpec::baseline("ora", 4).commits(1_000);
+        let pool = SimPool::new(1);
+        let _ = pool.run_many_cached(std::slice::from_ref(&spec), &cache);
+        let _ = pool.run_many_cached(&[spec], &cache);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn machine_config_reflects_every_dimension() {
+        let spec = RunSpec::baseline("gcc1", 4)
+            .dq(16)
+            .regs(48)
+            .exceptions(ExceptionModel::Imprecise)
+            .cache(CacheOrg::Lockup)
+            .policy(SchedPolicy::YoungestFirst)
+            .predictor(PredictorKind::Gshare)
+            .insert_bw(2)
+            .reorder(32)
+            .split_dq(true)
+            .icache(CacheConfig::new(16 * 1024, 2, 32, 1, 8), 8);
+        let config = spec.machine_config();
+        assert_eq!(config.dq_size(), 16);
+        assert_eq!(config.phys_regs(), 48);
+        assert_eq!(config.exception_model(), ExceptionModel::Imprecise);
+        assert_eq!(config.cache_org(), CacheOrg::Lockup);
+        assert_eq!(config.sched_policy(), SchedPolicy::YoungestFirst);
+        assert_eq!(config.predictor_kind(), PredictorKind::Gshare);
+        assert_eq!(config.effective_insert_bandwidth(), 2);
+        assert_eq!(config.reorder_capacity(), Some(32));
+        assert!(config.has_split_queues());
+        assert!(config.icache_config().is_some());
+        assert_eq!(config.sim_seed(), 12);
     }
 }

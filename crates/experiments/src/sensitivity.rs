@@ -4,24 +4,23 @@
 //! (the paper's is effectively perfect).
 
 use crate::aggregate::{all_names, mean_over};
-use crate::runner::Scale;
+use crate::runner::{RunSpec, Scale, SimPool};
 use crate::table::Table;
-use rf_core::{MachineConfig, Pipeline, SimStats};
+use rf_core::SimStats;
 use rf_mem::CacheConfig;
-use rf_workload::{spec92, TraceGenerator};
+use std::sync::Arc;
 
 fn run_suite(
-    configure: impl Fn(MachineConfig) -> MachineConfig,
+    configure: impl Fn(RunSpec) -> RunSpec,
     commits: u64,
-) -> Vec<(String, SimStats)> {
-    spec92::all()
-        .into_iter()
-        .map(|p| {
-            let config = configure(MachineConfig::new(4).dispatch_queue(32).physical_regs(96));
-            let mut trace = TraceGenerator::new(&p, 12);
-            (p.name, Pipeline::new(config).run(&mut trace, commits))
-        })
-        .collect()
+) -> Vec<(String, Arc<SimStats>)> {
+    let names = all_names();
+    let specs: Vec<RunSpec> = names
+        .iter()
+        .map(|n| configure(RunSpec::baseline(n, 4).regs(96).commits(commits)))
+        .collect();
+    let stats = SimPool::from_env().run_many(&specs);
+    names.into_iter().zip(stats).collect()
 }
 
 /// Runs the sensitivity sweeps and renders the report.
@@ -35,7 +34,7 @@ pub fn run(scale: &Scale) -> String {
     let mut t = Table::new(vec!["latency", "avg commit IPC", "avg miss%"]);
     for latency in [8u64, 16, 32, 64] {
         let geometry = CacheConfig::new(64 * 1024, 2, 32, 1, latency);
-        let runs = run_suite(|c| c.cache_config(geometry), scale.commits);
+        let runs = run_suite(|c| c.cache_geometry(geometry), scale.commits);
         t.row(vec![
             latency.to_string(),
             format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
@@ -48,7 +47,7 @@ pub fn run(scale: &Scale) -> String {
     let mut t = Table::new(vec!["capacity", "avg commit IPC", "avg miss%"]);
     for kb in [16usize, 32, 64, 128, 256] {
         let geometry = CacheConfig::new(kb * 1024, 2, 32, 1, 16);
-        let runs = run_suite(|c| c.cache_config(geometry), scale.commits);
+        let runs = run_suite(|c| c.cache_geometry(geometry), scale.commits);
         t.row(vec![
             format!("{kb}KB"),
             format!("{:.2}", mean_over(&runs, &names, SimStats::commit_ipc)),
@@ -66,7 +65,7 @@ pub fn run(scale: &Scale) -> String {
         "0.0".to_owned(),
     ]);
     let finite = run_suite(
-        |c| c.instruction_cache(CacheConfig::new(64 * 1024, 2, 32, 1, 16), 16),
+        |c| c.icache(CacheConfig::new(64 * 1024, 2, 32, 1, 16), 16),
         scale.commits,
     );
     t.row(vec![
@@ -87,11 +86,11 @@ mod tests {
         let commits = 4_000;
         let names = all_names();
         let fast = run_suite(
-            |c| c.cache_config(CacheConfig::new(64 * 1024, 2, 32, 1, 8)),
+            |c| c.cache_geometry(CacheConfig::new(64 * 1024, 2, 32, 1, 8)),
             commits,
         );
         let slow = run_suite(
-            |c| c.cache_config(CacheConfig::new(64 * 1024, 2, 32, 1, 32)),
+            |c| c.cache_geometry(CacheConfig::new(64 * 1024, 2, 32, 1, 32)),
             commits,
         );
         let f = mean_over(&fast, &names, SimStats::commit_ipc);
@@ -104,11 +103,11 @@ mod tests {
         let commits = 4_000;
         let names = all_names();
         let small = run_suite(
-            |c| c.cache_config(CacheConfig::new(16 * 1024, 2, 32, 1, 16)),
+            |c| c.cache_geometry(CacheConfig::new(16 * 1024, 2, 32, 1, 16)),
             commits,
         );
         let big = run_suite(
-            |c| c.cache_config(CacheConfig::new(256 * 1024, 2, 32, 1, 16)),
+            |c| c.cache_geometry(CacheConfig::new(256 * 1024, 2, 32, 1, 16)),
             commits,
         );
         let sm = mean_over(&small, &names, |s| s.cache.load_miss_rate());

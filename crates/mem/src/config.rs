@@ -20,7 +20,7 @@ use crate::cache::{CacheOrg, DataCache};
 /// let small = CacheConfig::new(8 * 1024, 1, 32, 1, 16);
 /// assert_eq!(small.sets(), 256);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     size_bytes: usize,
     assoc: usize,

@@ -1,0 +1,37 @@
+//! Test-runner configuration and the per-test deterministic RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block (the `ProptestConfig` of real
+/// proptest, reduced to the fields this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Returns the deterministic RNG for a test, seeded from its fully
+/// qualified name so distinct tests explore distinct inputs.
+pub fn rng_for(test_name: &str) -> SmallRng {
+    // FNV-1a over the name; any stable hash works here.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}

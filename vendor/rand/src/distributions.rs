@@ -1,0 +1,322 @@
+//! Distributions: `Standard`, `Bernoulli`, and uniform range sampling,
+//! all numerically identical to rand 0.8.5.
+
+use crate::RngCore;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: the full integer range, `[0, 1)` for
+/// floats, and a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8.5: one bit from a fresh u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit multiply-based [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// The Bernoulli distribution, via rand 0.8.5's 64-bit fixed-point
+/// comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+/// Error for a probability outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BernoulliError;
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    /// Creates a Bernoulli distribution with success probability `p`.
+    pub fn new(p: f64) -> Result<Self, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Self { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError);
+        }
+        Ok(Self { p_int: (p * SCALE) as u64 })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Samples from `[low, high)`.
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Samples from `[low, high]`.
+        fn sample_single_inclusive<R: RngCore + ?Sized>(
+            low: Self,
+            high: Self,
+            rng: &mut R,
+        ) -> Self;
+    }
+
+    /// Range expressions usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Samples one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "cannot sample empty range");
+            T::sample_single_inclusive(start, end, rng)
+        }
+    }
+
+    // rand 0.8.5's widening-multiply rejection sampling for integers.
+    // `$large` is u32 for sub-u32 types and the type itself otherwise;
+    // `$wide` is the double-width type used for the widening multiply.
+    macro_rules! uniform_int {
+        ($ty:ty, $unsigned:ty, $large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range = high.wrapping_sub(low) as $unsigned as $large;
+                    let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                        let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                        <$large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $large = Standard.sample(rng);
+                        let m = (v as $wide) * (range as $wide);
+                        let (hi, lo) =
+                            ((m >> <$large>::BITS) as $large, m as $large);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let range =
+                        high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                    if range == 0 {
+                        // The full integer range.
+                        let v: $large = Standard.sample(rng);
+                        return v as $ty;
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                        let ints_to_reject = (<$large>::MAX - range + 1) % range;
+                        <$large>::MAX - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $large = Standard.sample(rng);
+                        let m = (v as $wide) * (range as $wide);
+                        let (hi, lo) =
+                            ((m >> <$large>::BITS) as $large, m as $large);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int!(u8, u8, u32, u64);
+    uniform_int!(u16, u16, u32, u64);
+    uniform_int!(u32, u32, u32, u64);
+    uniform_int!(u64, u64, u64, u128);
+    uniform_int!(usize, usize, usize, u128);
+    uniform_int!(i8, u8, u32, u64);
+    uniform_int!(i16, u16, u32, u64);
+    uniform_int!(i32, u32, u32, u64);
+    uniform_int!(i64, u64, u64, u128);
+    uniform_int!(isize, usize, usize, u128);
+
+    // rand 0.8.5's float sampling: a value in [1, 2) minus one, scaled.
+    macro_rules! uniform_float {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bias:expr, $fraction_bits:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    let mut scale = high - low;
+                    assert!(scale.is_finite(), "range overflow in gen_range");
+                    loop {
+                        let fraction: $uty = {
+                            let v: $uty = Standard.sample(rng);
+                            v >> $bits_to_discard
+                        };
+                        // into_float_with_exponent(0): a value in [1, 2).
+                        let value1_2 = <$ty>::from_bits(
+                            (($exponent_bias as $uty) << $fraction_bits) | fraction,
+                        );
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Edge case (FMA rounding onto `high`): shrink the
+                        // scale by one ulp, as rand's decrease_masked does.
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    // Matches rand 0.8.5: inclusive float ranges sample the
+                    // scaled [0, 1] span without rejection.
+                    let scale = high - low;
+                    assert!(scale.is_finite(), "range overflow in gen_range");
+                    let fraction: $uty = {
+                        let v: $uty = Standard.sample(rng);
+                        v >> $bits_to_discard
+                    };
+                    let value1_2 = <$ty>::from_bits(
+                        (($exponent_bias as $uty) << $fraction_bits) | fraction,
+                    );
+                    let value0_1 = value1_2 - 1.0;
+                    value0_1 * scale + low
+                }
+            }
+        };
+    }
+
+    uniform_float!(f64, u64, 12, 1023u64, 52);
+    uniform_float!(f32, u32, 9, 127u32, 23);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn standard_f64_is_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_u64_covers_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[u64::sample_single(0, 8, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_u8_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.gen_range(3..=6u8) {
+                3 => lo = true,
+                6 => hi = true,
+                4 | 5 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn bernoulli_rejects_invalid() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+        assert!(Bernoulli::new(1.0).is_ok());
+    }
+}
