@@ -57,6 +57,7 @@ pub mod dataflow;
 mod config;
 mod fu;
 mod imprecise;
+pub mod obs;
 mod pipeline;
 mod regfile;
 mod stats;
@@ -65,6 +66,7 @@ pub use active::{ActiveEntry, ActiveList, Stage};
 pub use config::{ExceptionModel, MachineConfig, SchedPolicy};
 pub use fu::DividerPool;
 pub use imprecise::KillEngine;
+pub use obs::{EventKind, NullObserver, Observer, StallCause, TraceEvent};
 pub use pipeline::Pipeline;
 pub use regfile::{Category, PhysRegFile, RegState};
 pub use stats::{LiveModel, SimStats};

@@ -4,6 +4,7 @@ use crate::active::{ActiveList, BranchInfo, Stage};
 use crate::config::{ExceptionModel, MachineConfig};
 use crate::fu::DividerPool;
 use crate::imprecise::KillEngine;
+use crate::obs::{EventKind, NullObserver, Observer, StallCause, TraceEvent};
 use crate::regfile::{Category, PhysRegFile};
 use crate::stats::SimStats;
 use rf_bpred::AnyPredictor;
@@ -26,10 +27,18 @@ const DEADLOCK_HORIZON: u64 = 200_000;
 /// rename maps, dispatch queue, active list, branch predictor, data cache,
 /// register files — and produces a [`SimStats`].
 ///
+/// The type is generic over an [`Observer`] (default [`NullObserver`],
+/// which monomorphizes every hook away). Attach a recorder with
+/// [`Pipeline::with_observer`] and retrieve it alongside the statistics
+/// via [`Pipeline::run_observed`]. An observer can never change the
+/// simulated schedule: a traced run produces byte-identical `SimStats` to
+/// an untraced one.
+///
 /// See the [crate-level documentation](crate) for the modelled machine and
 /// an example.
 #[derive(Debug)]
-pub struct Pipeline {
+pub struct Pipeline<O: Observer = NullObserver> {
+    obs: O,
     config: MachineConfig,
     limits: IssueLimits,
     cache: DataCache,
@@ -66,10 +75,19 @@ pub struct Pipeline {
     scratch_load_addrs: HashSet<u64>,
 }
 
-impl Pipeline {
+impl Pipeline<NullObserver> {
     /// Builds a pipeline in its initial state: all virtual registers
     /// mapped to architectural physical registers, everything else empty.
     pub fn new(config: MachineConfig) -> Self {
+        Self::with_observer(config, NullObserver)
+    }
+}
+
+impl<O: Observer> Pipeline<O> {
+    /// As [`Pipeline::new`], but with `obs` attached to every lifecycle
+    /// and stall hook. Retrieve it after the run with
+    /// [`Pipeline::run_observed`].
+    pub fn with_observer(config: MachineConfig, obs: O) -> Self {
         let limits = config.limits();
         let cache = config.cache_geometry().build(config.cache_org());
         let mut regs =
@@ -87,6 +105,7 @@ impl Pipeline {
         let icache =
             config.icache_config().map(|(c, penalty)| InstructionCache::new(c, penalty));
         Self {
+            obs,
             limits,
             cache,
             icache,
@@ -153,9 +172,15 @@ impl Pipeline {
     /// instructions have committed, generating wrong-path instructions
     /// from the trace's own profile. Returns the accumulated statistics.
     pub fn run(self, trace: &mut TraceGenerator, n_commits: u64) -> SimStats {
+        self.run_observed(trace, n_commits).0
+    }
+
+    /// As [`run`](Pipeline::run), but also returns the observer so that
+    /// whatever it recorded can be inspected or exported.
+    pub fn run_observed(self, trace: &mut TraceGenerator, n_commits: u64) -> (SimStats, O) {
         let mut wrong_path =
             WrongPathGenerator::new(trace.profile(), self.config.sim_seed());
-        self.run_with(trace, &mut wrong_path, n_commits)
+        self.run_with_observed(trace, &mut wrong_path, n_commits)
     }
 
     /// As [`run`](Pipeline::run), but with an explicit wrong-path
@@ -167,11 +192,26 @@ impl Pipeline {
     /// Panics if the machine makes no commit progress for an extended
     /// period (a deadlock, indicating a model bug).
     pub fn run_with(
-        mut self,
+        self,
         trace: &mut dyn Iterator<Item = Instruction>,
         wrong_path: &mut dyn Iterator<Item = Instruction>,
         n_commits: u64,
     ) -> SimStats {
+        self.run_with_observed(trace, wrong_path, n_commits).0
+    }
+
+    /// As [`run_with`](Pipeline::run_with), but also returns the
+    /// observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock, as [`run_with`](Pipeline::run_with).
+    pub fn run_with_observed(
+        mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+        n_commits: u64,
+    ) -> (SimStats, O) {
         self.commit_target = n_commits;
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
         while self.stats.committed < n_commits {
@@ -194,7 +234,7 @@ impl Pipeline {
         if let Some(ic) = &self.icache {
             self.stats.icache_miss_rate = ic.miss_rate();
         }
-        self.stats
+        (self.stats, self.obs)
     }
 
     /// Advances the machine one cycle.
@@ -257,6 +297,18 @@ impl Pipeline {
         let dest = entry.dest;
         let branch = entry.branch;
         let pc = entry.pc;
+        if O::ACTIVE {
+            self.obs.event(TraceEvent {
+                cycle: self.now,
+                seq,
+                kind: EventKind::Complete,
+                op: kind,
+                pc,
+                wrong_path,
+                dest: None,
+                freed: None,
+            });
+        }
 
         // Source registers: this reader has completed.
         for (class, p) in srcs.iter().flatten().copied() {
@@ -341,7 +393,12 @@ impl Pipeline {
         }
         file.reg_mut(p).imprecise_free = true;
         match self.config.exception_model() {
-            ExceptionModel::Imprecise | ExceptionModel::AlphaHybrid => file.stage_free(p),
+            ExceptionModel::Imprecise | ExceptionModel::AlphaHybrid => {
+                file.stage_free(p);
+                if O::ACTIVE {
+                    self.obs.reg_free(self.now, class, p);
+                }
+            }
             ExceptionModel::Precise => file.transition(p, Category::WaitPrecise),
         }
     }
@@ -389,6 +446,18 @@ impl Pipeline {
                 self.kill.rollback_retirement(class, vreg, e.seq);
                 self.regs[class.index()].stage_free(new);
             }
+            if O::ACTIVE {
+                self.obs.event(TraceEvent {
+                    cycle: self.now,
+                    seq: e.seq,
+                    kind: EventKind::Squash,
+                    op: e.kind,
+                    pc: e.pc,
+                    wrong_path: e.wrong_path,
+                    dest: None,
+                    freed: e.dest.map(|(class, new, _, _)| (class, new)),
+                });
+            }
         }
         // Purge kill-engine state belonging to squashed instructions,
         // then complete the branch itself; only now may the watermark
@@ -415,6 +484,7 @@ impl Pipeline {
 
     /// Commits up to `2 x width` completed instructions in program order.
     fn commit_phase(&mut self) {
+        let mut committed_this_cycle = 0u64;
         for _ in 0..self.limits.commit_bandwidth() {
             if self.stats.committed >= self.commit_target {
                 break;
@@ -429,11 +499,13 @@ impl Pipeline {
             );
             let e = self.active.pop_front().expect("front exists");
             self.stats.committed += 1;
+            committed_this_cycle += 1;
             match e.kind {
                 OpKind::Load => self.stats.committed_loads += 1,
                 OpKind::CondBranch => self.stats.committed_cbr += 1,
                 _ => {}
             }
+            let mut freed = None;
             if let Some((class, _new, _vreg, prev)) = e.dest {
                 if self.config.exception_model() == ExceptionModel::Precise {
                     debug_assert!(
@@ -441,10 +513,33 @@ impl Pipeline {
                         "imprecise conditions always precede precise freeing"
                     );
                     self.regs[class.index()].stage_free(prev);
+                    freed = Some((class, prev));
                 }
                 // Under the imprecise model the kill engine already freed
                 // (or will free) `prev`; commit plays no role.
             }
+            if O::ACTIVE {
+                self.obs.event(TraceEvent {
+                    cycle: self.now,
+                    seq: e.seq,
+                    kind: EventKind::Commit,
+                    op: e.kind,
+                    pc: e.pc,
+                    wrong_path: false,
+                    dest: None,
+                    freed,
+                });
+            }
+        }
+        // In-order commit blocked: nothing retired although instructions
+        // were in flight (the head of the active list is still
+        // executing). Attributed once per cycle.
+        if O::ACTIVE
+            && committed_this_cycle == 0
+            && !self.active.is_empty()
+            && self.stats.committed < self.commit_target
+        {
+            self.obs.stall(self.now, StallCause::CommitBlocked);
         }
     }
 
@@ -478,6 +573,10 @@ impl Pipeline {
         self.scratch_store_addrs.clear();
         self.scratch_load_addrs.clear();
 
+        // Set when a data-ready memory operation could not even become a
+        // candidate because the cache had no free access slot.
+        let mut cache_blocked = false;
+
         // Pass 1: collect every data- and hazard-ready candidate.
         for e in self.active.iter() {
             if e.stage == Stage::InQueue {
@@ -490,14 +589,21 @@ impl Pipeline {
                     match e.kind {
                         OpKind::Load => {
                             let addr = e.mem_addr.expect("loads carry addresses");
-                            if !cache_free || self.scratch_store_addrs.contains(&addr) {
+                            if !cache_free {
+                                cache_blocked = true;
+                                break 'check;
+                            }
+                            if self.scratch_store_addrs.contains(&addr) {
                                 break 'check;
                             }
                         }
                         OpKind::Store => {
                             let addr = e.mem_addr.expect("stores carry addresses");
-                            if !cache_free
-                                || self.scratch_store_addrs.contains(&addr)
+                            if !cache_free {
+                                cache_blocked = true;
+                                break 'check;
+                            }
+                            if self.scratch_store_addrs.contains(&addr)
                                 || self.scratch_load_addrs.contains(&addr)
                             {
                                 break 'check;
@@ -533,17 +639,23 @@ impl Pipeline {
             candidates.reverse();
         }
         let mut selected = std::mem::take(&mut self.scratch_selected);
+        // Set when a ready candidate lost out to the width, per-class, or
+        // divider budget (a functional-unit structural stall).
+        let mut fu_busy = false;
         for &seq in &candidates {
             if budget == 0 {
+                fu_busy = true;
                 break;
             }
             let kind = self.active.get(seq).expect("candidate is live").kind;
             let class = kind.issue_class();
             if class_budget[class.index()] == 0 {
+                fu_busy = true;
                 continue;
             }
             if matches!(kind, OpKind::FpDiv32 | OpKind::FpDiv64) {
                 if divs_free == 0 {
+                    fu_busy = true;
                     continue;
                 }
                 divs_free -= 1;
@@ -551,6 +663,14 @@ impl Pipeline {
             class_budget[class.index()] -= 1;
             budget -= 1;
             selected.push(seq);
+        }
+        if O::ACTIVE {
+            if cache_blocked {
+                self.obs.stall(self.now, StallCause::CacheMissBlocked);
+            }
+            if fu_busy {
+                self.obs.stall(self.now, StallCause::FuBusy);
+            }
         }
         for &seq in &selected {
             self.do_issue(seq);
@@ -605,6 +725,19 @@ impl Pipeline {
         if let Some((class, new, _, _)) = self.active.get(seq).expect("present").dest {
             self.regs[class.index()].transition(new, Category::InFlight);
         }
+        if O::ACTIVE {
+            let e = self.active.get(seq).expect("present");
+            self.obs.event(TraceEvent {
+                cycle: self.now,
+                seq,
+                kind: EventKind::Issue,
+                op: e.kind,
+                pc: e.pc,
+                wrong_path: e.wrong_path,
+                dest: None,
+                freed: None,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -620,11 +753,17 @@ impl Pipeline {
         wrong_path: &mut dyn Iterator<Item = Instruction>,
     ) {
         if self.now < self.fetch_resume_at {
+            if O::ACTIVE {
+                self.obs.stall(self.now, StallCause::FetchStarved);
+            }
             return;
         }
         for _slot in 0..self.config.effective_insert_bandwidth() {
             if self.dq_total() >= self.config.dq_size() {
                 self.stats.insert_stall_dq_full += 1;
+                if O::ACTIVE {
+                    self.obs.stall(self.now, StallCause::DqFull);
+                }
                 break;
             }
             // Bounded reorder buffer (extension): no insertion while the
@@ -635,6 +774,9 @@ impl Pipeline {
                 .is_some_and(|cap| self.active.len() >= cap)
             {
                 self.stats.insert_stall_dq_full += 1;
+                if O::ACTIVE {
+                    self.obs.stall(self.now, StallCause::DqFull);
+                }
                 break;
             }
             // Fetch (or reuse the stalled buffer).
@@ -669,6 +811,9 @@ impl Pipeline {
             let q = Self::queue_of(self.config.has_split_queues(), inst.kind());
             if self.dq_counts[q] >= self.queue_cap(q) {
                 self.stats.insert_stall_dq_full += 1;
+                if O::ACTIVE {
+                    self.obs.stall(self.now, StallCause::DqFull);
+                }
                 self.fetch_buffer = Some((inst, on_wrong_path));
                 break;
             }
@@ -677,6 +822,9 @@ impl Pipeline {
             if let Some(d) = inst.dest() {
                 if self.regs[d.class().index()].free_count() == 0 {
                     self.stats.insert_stall_no_reg += 1;
+                    if O::ACTIVE {
+                        self.obs.stall(self.now, StallCause::NoFreeReg);
+                    }
                     self.fetch_buffer = Some((inst, on_wrong_path));
                     break;
                 }
@@ -739,6 +887,18 @@ impl Pipeline {
         entry.mem_addr = inst.mem().map(|m| m.addr());
         self.dq_counts[Self::queue_of(self.config.has_split_queues(), inst.kind())] += 1;
         self.stats.inserted += 1;
+        if O::ACTIVE {
+            self.obs.event(TraceEvent {
+                cycle: self.now,
+                seq,
+                kind: EventKind::Insert,
+                op: inst.kind(),
+                pc: inst.pc(),
+                wrong_path: on_wrong_path,
+                dest: dest.map(|(class, new, _, prev)| (class, new, prev)),
+                freed: None,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -769,6 +929,9 @@ impl Pipeline {
         }
         self.regs[0].end_cycle();
         self.regs[1].end_cycle();
+        if O::ACTIVE {
+            self.obs.cycle_end(self.now, int_empty, fp_empty);
+        }
     }
 }
 
@@ -780,7 +943,7 @@ mod tests {
     #[test]
     fn queue_routing_is_unified_by_default() {
         for kind in OpKind::ALL {
-            assert_eq!(Pipeline::queue_of(false, kind), 0, "{kind}");
+            assert_eq!(Pipeline::<NullObserver>::queue_of(false, kind), 0, "{kind}");
         }
     }
 
@@ -788,7 +951,7 @@ mod tests {
     fn queue_routing_splits_fp_arithmetic_only() {
         for kind in OpKind::ALL {
             let expected = matches!(kind, OpKind::FpOp | OpKind::FpDiv32 | OpKind::FpDiv64);
-            assert_eq!(Pipeline::queue_of(true, kind) == 1, expected, "{kind}");
+            assert_eq!(Pipeline::<NullObserver>::queue_of(true, kind) == 1, expected, "{kind}");
         }
     }
 

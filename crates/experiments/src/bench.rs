@@ -1,14 +1,22 @@
-//! Wall-clock benchmarking of the experiment suite.
+//! Wall-clock benchmarking and telemetry of the experiment suite.
 //!
 //! [`SuiteBench`] wraps each harness invocation, records its elapsed time
 //! together with how many simulations (and committed instructions) it
-//! actually executed, optionally measures the parallel speedup against a
-//! single worker, and renders everything as the `BENCH_suite.json`
-//! report.
+//! actually executed, differences the process-wide stall-attribution
+//! counters per harness, optionally attaches a traced probe (a small
+//! observed run giving full six-cause stall attribution and latency
+//! percentiles), measures the parallel speedup against a single worker,
+//! and renders everything as the `BENCH_suite.json` report.
+//!
+//! Setting `RF_LOG=text` or `RF_LOG=json` makes each timed harness emit a
+//! structured progress line on stderr as it finishes.
 
 use crate::runner::{
-    instructions_committed, simulations_run, RunCache, RunSpec, SimPool,
+    instructions_committed, simulations_run, stall_telemetry, RunCache, RunSpec, SimPool,
 };
+use rf_core::{NullObserver, Observer as _, Pipeline, StallCause};
+use rf_obs::Recorder;
+use rf_workload::{spec92, TraceGenerator};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -23,6 +31,113 @@ pub struct Entry {
     pub sims: u64,
     /// Instructions committed by those simulations.
     pub committed: u64,
+    /// Cycles simulated by those simulations.
+    pub cycles: u64,
+    /// No-free-register insert-stall cycles across those simulations.
+    pub stall_no_reg: u64,
+    /// Dispatch-queue-full insert-stall cycles across those simulations.
+    pub stall_dq_full: u64,
+    /// Cycles with an empty free list across those simulations.
+    pub no_free_cycles: u64,
+    /// The traced probe attached to this harness, if any.
+    pub probe: Option<ProbeSummary>,
+}
+
+/// Stall attribution and latency percentiles from one small traced run.
+#[derive(Debug, Clone)]
+pub struct ProbeSummary {
+    /// Benchmark the probe simulated (the paper's baseline machine).
+    pub bench: String,
+    /// Cycles the probe ran.
+    pub cycles: u64,
+    /// Per-cause stall cycles, in [`StallCause::ALL`] order.
+    pub stall_cycles: [u64; StallCause::COUNT],
+    /// Insert-to-commit latency `(p50, p90, p99)` in cycles.
+    pub insert_to_commit: (u64, u64, u64),
+    /// Issue-to-commit latency `(p50, p90, p99)` in cycles.
+    pub issue_to_commit: (u64, u64, u64),
+}
+
+impl ProbeSummary {
+    /// Runs a traced probe: `bench` on the paper's 4-wide baseline
+    /// machine for `commits` committed instructions, with the recorder
+    /// attached.
+    pub fn collect(bench: &str, commits: u64) -> Self {
+        let spec = RunSpec::baseline(bench, 4).commits(commits);
+        let profile = spec92::by_name(bench)
+            .unwrap_or_else(|| panic!("unknown probe benchmark {bench:?}"));
+        let mut trace = TraceGenerator::new(&profile, spec.seed);
+        let (stats, mut rec) = Pipeline::with_observer(spec.machine_config(), Recorder::unbounded())
+            .run_observed(&mut trace, commits);
+        rec.seal();
+        let mut stall_cycles = [0u64; StallCause::COUNT];
+        for cause in StallCause::ALL {
+            stall_cycles[cause.index()] = rec.stall_cycles(cause);
+        }
+        let pcts = |name: &str| {
+            rec.metrics()
+                .histogram(name)
+                .map(|h| (h.percentile(50.0), h.percentile(90.0), h.percentile(99.0)))
+                .unwrap_or((0, 0, 0))
+        };
+        Self {
+            bench: bench.to_owned(),
+            cycles: stats.cycles,
+            stall_cycles,
+            insert_to_commit: pcts("latency.insert-to-commit"),
+            issue_to_commit: pcts("latency.issue-to-commit"),
+        }
+    }
+}
+
+/// Where harness progress lines go, selected by `RF_LOG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LogMode {
+    Off,
+    Text,
+    Json,
+}
+
+impl LogMode {
+    fn from_env() -> Self {
+        match std::env::var("RF_LOG").as_deref() {
+            Ok("json") => LogMode::Json,
+            Ok("text") => LogMode::Text,
+            _ => LogMode::Off,
+        }
+    }
+}
+
+/// Renders one harness progress line in the chosen mode (`None` = off).
+fn progress_line(mode: LogMode, done: usize, entry: &Entry) -> Option<String> {
+    match mode {
+        LogMode::Off => None,
+        LogMode::Text => Some(format!(
+            "[rfstudy] harness={} n={done} seconds={:.3} sims={} committed={} \
+             cycles={} stall_no_reg={} stall_dq_full={} no_free_cycles={}",
+            entry.name,
+            entry.seconds,
+            entry.sims,
+            entry.committed,
+            entry.cycles,
+            entry.stall_no_reg,
+            entry.stall_dq_full,
+            entry.no_free_cycles,
+        )),
+        LogMode::Json => Some(format!(
+            "{{\"event\":\"harness\",\"name\":\"{}\",\"n\":{done},\"seconds\":{:.3},\
+             \"simulations\":{},\"instructions_committed\":{},\"cycles\":{},\
+             \"stall_no_reg\":{},\"stall_dq_full\":{},\"no_free_cycles\":{}}}",
+            entry.name,
+            entry.seconds,
+            entry.sims,
+            entry.committed,
+            entry.cycles,
+            entry.stall_no_reg,
+            entry.stall_dq_full,
+            entry.no_free_cycles,
+        )),
+    }
 }
 
 /// Times the harnesses of one suite invocation and renders the JSON
@@ -33,29 +148,58 @@ pub struct SuiteBench {
     entries: Vec<Entry>,
     started: Instant,
     speedup: Option<f64>,
+    log: LogMode,
 }
 
 impl SuiteBench {
     /// Starts timing a suite run at `commits` committed instructions per
     /// simulation.
     pub fn start(commits: u64) -> Self {
-        Self { commits, entries: Vec::new(), started: Instant::now(), speedup: None }
+        Self {
+            commits,
+            entries: Vec::new(),
+            started: Instant::now(),
+            speedup: None,
+            log: LogMode::from_env(),
+        }
     }
 
-    /// Runs one harness, recording its wall-clock time and the number of
-    /// simulations it executed, and returns the harness's report.
+    /// Runs one harness, recording its wall-clock time, the number of
+    /// simulations it executed, and the stall attribution those
+    /// simulations accumulated; returns the harness's report. Emits a
+    /// progress line on stderr when `RF_LOG` is `text` or `json`.
     pub fn time(&mut self, name: &str, harness: impl FnOnce() -> String) -> String {
         let sims0 = simulations_run();
         let committed0 = instructions_committed();
+        let (cycles0, no_reg0, dq_full0, no_free0) = stall_telemetry();
         let start = Instant::now();
         let report = harness();
+        let (cycles1, no_reg1, dq_full1, no_free1) = stall_telemetry();
         self.entries.push(Entry {
             name: name.to_owned(),
             seconds: start.elapsed().as_secs_f64(),
             sims: simulations_run() - sims0,
             committed: instructions_committed() - committed0,
+            cycles: cycles1 - cycles0,
+            stall_no_reg: no_reg1 - no_reg0,
+            stall_dq_full: dq_full1 - dq_full0,
+            no_free_cycles: no_free1 - no_free0,
+            probe: None,
         });
+        if let Some(line) = progress_line(self.log, self.entries.len(), self.entries.last().unwrap())
+        {
+            eprintln!("{line}");
+        }
         report
+    }
+
+    /// Attaches a traced probe to the most recently timed harness: a
+    /// small observed run of `bench` giving full six-cause stall
+    /// attribution and latency percentiles for the report.
+    pub fn attach_probe(&mut self, bench: &str, commits: u64) {
+        if let Some(last) = self.entries.last_mut() {
+            last.probe = Some(ProbeSummary::collect(bench, commits));
+        }
     }
 
     /// The per-harness records so far.
@@ -119,9 +263,42 @@ impl SuiteBench {
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"simulations\": {}, \
-                 \"instructions_committed\": {}}}",
-                e.name, e.seconds, e.sims, e.committed
+                 \"instructions_committed\": {}, \"cycles\": {}, \
+                 \"stall_no_reg\": {}, \"stall_dq_full\": {}, \"no_free_cycles\": {}",
+                e.name,
+                e.seconds,
+                e.sims,
+                e.committed,
+                e.cycles,
+                e.stall_no_reg,
+                e.stall_dq_full,
+                e.no_free_cycles
             );
+            if let Some(p) = &e.probe {
+                let _ = write!(
+                    out,
+                    ", \"probe\": {{\"bench\": \"{}\", \"cycles\": {}, \"stalls\": {{",
+                    p.bench, p.cycles
+                );
+                for (j, cause) in StallCause::ALL.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "{}\"{}\": {}",
+                        if j > 0 { ", " } else { "" },
+                        cause.label(),
+                        p.stall_cycles[cause.index()]
+                    );
+                }
+                let (i50, i90, i99) = p.insert_to_commit;
+                let (q50, q90, q99) = p.issue_to_commit;
+                let _ = write!(
+                    out,
+                    "}}, \"latency_insert_to_commit\": {{\"p50\": {i50}, \"p90\": {i90}, \
+                     \"p99\": {i99}}}, \"latency_issue_to_commit\": {{\"p50\": {q50}, \
+                     \"p90\": {q90}, \"p99\": {q99}}}}}"
+                );
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
@@ -137,16 +314,24 @@ fn rate(amount: f64, seconds: f64) -> f64 {
     }
 }
 
+/// Compile-time proof that the default pipeline stays unobserved: the
+/// suite's hot path is `Pipeline<NullObserver>`, whose observer is
+/// inactive and therefore compiled out.
+const _: () = assert!(!NullObserver::ACTIVE);
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::simulate;
 
     #[test]
-    fn timing_counts_simulations() {
+    fn timing_counts_simulations_and_stalls() {
         let mut bench = SuiteBench::start(1_000);
         let report = bench.time("tiny", || {
-            let spec = RunSpec::baseline("espresso", 4).commits(1_000);
-            format!("{}", crate::runner::simulate(&spec).committed)
+            // A 16-entry queue at width 4 stalls on dq-full routinely, so
+            // the per-harness stall delta must be visible.
+            let spec = RunSpec::baseline("espresso", 4).dq(16).commits(1_000);
+            format!("{}", simulate(&spec).committed)
         });
         assert_eq!(report, "1000");
         let e = &bench.entries()[0];
@@ -154,12 +339,29 @@ mod tests {
         assert_eq!(e.sims, 1);
         assert_eq!(e.committed, 1_000);
         assert!(e.seconds >= 0.0);
+        assert!(e.cycles > 0, "cycle delta not recorded");
+        assert!(e.stall_dq_full > 0, "dq-full stalls not recorded");
+    }
+
+    #[test]
+    fn probe_attaches_attribution_and_latencies() {
+        let mut bench = SuiteBench::start(500);
+        let _ = bench.time("probed", String::new);
+        bench.attach_probe("compress", 2_000);
+        let p = bench.entries()[0].probe.as_ref().expect("probe attached");
+        assert_eq!(p.bench, "compress");
+        assert!(p.cycles > 0);
+        assert!(p.insert_to_commit.0 >= 1, "p50 insert-to-commit missing");
+        assert!(p.insert_to_commit.2 >= p.insert_to_commit.0, "p99 < p50");
+        // The baseline machine is generously sized: no register stalls.
+        assert_eq!(p.stall_cycles[StallCause::NoFreeReg.index()], 0);
     }
 
     #[test]
     fn json_has_expected_keys() {
         let mut bench = SuiteBench::start(500);
         let _ = bench.time("noop", String::new);
+        bench.attach_probe("ora", 1_000);
         let json = bench.to_json();
         for key in [
             "\"jobs\"",
@@ -173,8 +375,37 @@ mod tests {
             "\"speedup_vs_1_worker\": null",
             "\"harnesses\"",
             "\"name\": \"noop\"",
+            "\"stall_no_reg\"",
+            "\"stall_dq_full\"",
+            "\"no_free_cycles\"",
+            "\"probe\"",
+            "\"in-order-commit-blocked\"",
+            "\"latency_insert_to_commit\"",
+            "\"p99\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        rf_obs::json::validate(&json).expect("benchmark report must be valid JSON");
+    }
+
+    #[test]
+    fn progress_lines_follow_rf_log_mode() {
+        let entry = Entry {
+            name: "fig3".into(),
+            seconds: 1.25,
+            sims: 9,
+            committed: 90_000,
+            cycles: 30_000,
+            stall_no_reg: 5,
+            stall_dq_full: 7,
+            no_free_cycles: 11,
+            probe: None,
+        };
+        assert_eq!(progress_line(LogMode::Off, 1, &entry), None);
+        let text = progress_line(LogMode::Text, 1, &entry).unwrap();
+        assert!(text.contains("harness=fig3") && text.contains("stall_dq_full=7"), "{text}");
+        let json = progress_line(LogMode::Json, 3, &entry).unwrap();
+        rf_obs::json::validate(&json).expect("json progress line must parse");
+        assert!(json.contains("\"name\":\"fig3\"") && json.contains("\"n\":3"), "{json}");
     }
 }

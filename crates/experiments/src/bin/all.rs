@@ -4,11 +4,17 @@
 //! Pass a commit budget as the first argument or set RF_COMMITS
 //! (default 200000). RF_JOBS sets the number of parallel simulation
 //! workers (default: all cores); RF_CACHE=0 disables the shared run
-//! cache.
+//! cache; RF_LOG=text|json emits a structured progress line on stderr as
+//! each harness finishes.
 
 use rf_experiments::bench::SuiteBench;
 use rf_experiments::runner::Scale;
 use std::fs;
+
+/// Commit budget of the per-harness traced probes (small: each probe is
+/// one extra observed simulation whose stall attribution and latency
+/// percentiles annotate the harness in `BENCH_suite.json`).
+const PROBE_COMMITS: u64 = 5_000;
 
 fn main() -> std::io::Result<()> {
     let scale = Scale {
@@ -19,23 +25,27 @@ fn main() -> std::io::Result<()> {
     };
     fs::create_dir_all("results")?;
     type Harness = fn(&Scale) -> String;
-    let experiments: Vec<(&str, Harness)> = vec![
-        ("table1", rf_experiments::table1::run),
-        ("fig3", rf_experiments::fig3::run),
-        ("fig4", rf_experiments::fig4::run),
-        ("fig5", rf_experiments::fig5::run),
-        ("fig6", rf_experiments::fig6::run),
-        ("fig7", rf_experiments::fig7::run),
-        ("fig8", rf_experiments::fig8::run),
-        ("fig10", rf_experiments::fig10::run),
-        ("ablation", rf_experiments::ablation::run),
-        ("extensions", rf_experiments::extensions::run),
-        ("sensitivity", rf_experiments::sensitivity::run),
-        ("dataflow", rf_experiments::dataflow::run),
+    // Each harness carries a representative benchmark for its traced
+    // probe: FP-heavy figures probe an FP benchmark, integer-focused
+    // ones an integer benchmark.
+    let experiments: Vec<(&str, Harness, &str)> = vec![
+        ("table1", rf_experiments::table1::run, "compress"),
+        ("fig3", rf_experiments::fig3::run, "espresso"),
+        ("fig4", rf_experiments::fig4::run, "tomcatv"),
+        ("fig5", rf_experiments::fig5::run, "su2cor"),
+        ("fig6", rf_experiments::fig6::run, "tomcatv"),
+        ("fig7", rf_experiments::fig7::run, "doduc"),
+        ("fig8", rf_experiments::fig8::run, "su2cor"),
+        ("fig10", rf_experiments::fig10::run, "gcc1"),
+        ("ablation", rf_experiments::ablation::run, "mdljdp2"),
+        ("extensions", rf_experiments::extensions::run, "espresso"),
+        ("sensitivity", rf_experiments::sensitivity::run, "ora"),
+        ("dataflow", rf_experiments::dataflow::run, "mdljsp2"),
     ];
     let mut bench = SuiteBench::start(scale.commits);
-    for (name, run) in experiments {
+    for (name, run, probe_bench) in experiments {
         let report = bench.time(name, || run(&scale));
+        bench.attach_probe(probe_bench, PROBE_COMMITS.min(scale.commits));
         let path = format!("results/{name}.txt");
         fs::write(&path, &report)?;
         let timed = bench.entries().last().expect("just recorded");

@@ -210,6 +210,17 @@ impl RunSpec {
 static SIM_RUNS: AtomicU64 = AtomicU64::new(0);
 /// Instructions committed by executed simulations, process-wide.
 static SIM_COMMITS: AtomicU64 = AtomicU64::new(0);
+/// Cycles simulated by executed simulations, process-wide.
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+/// Insert-stalled cycles (no free register), summed over executed
+/// simulations.
+static SIM_STALL_NO_REG: AtomicU64 = AtomicU64::new(0);
+/// Insert-stalled cycles (dispatch queue full), summed over executed
+/// simulations.
+static SIM_STALL_DQ_FULL: AtomicU64 = AtomicU64::new(0);
+/// Cycles with an empty free list (either class), summed over executed
+/// simulations.
+static SIM_NO_FREE_CYCLES: AtomicU64 = AtomicU64::new(0);
 
 /// Number of simulations actually executed so far in this process
 /// (run-cache hits do not count).
@@ -221,6 +232,22 @@ pub fn simulations_run() -> u64 {
 /// this process.
 pub fn instructions_committed() -> u64 {
     SIM_COMMITS.load(Ordering::Relaxed)
+}
+
+/// Process-wide stall attribution accumulated from every executed
+/// simulation's statistics: `(cycles, no-free-reg insert stalls, dq-full
+/// insert stalls, empty-free-list cycles)`.
+///
+/// These come straight out of [`SimStats`], so they are free to collect
+/// (no observer attached) and deterministic across worker counts; the
+/// suite benchmark report differences them per harness.
+pub fn stall_telemetry() -> (u64, u64, u64, u64) {
+    (
+        SIM_CYCLES.load(Ordering::Relaxed),
+        SIM_STALL_NO_REG.load(Ordering::Relaxed),
+        SIM_STALL_DQ_FULL.load(Ordering::Relaxed),
+        SIM_NO_FREE_CYCLES.load(Ordering::Relaxed),
+    )
 }
 
 /// Runs one simulation point (always executes; no caching).
@@ -235,6 +262,10 @@ pub fn simulate(spec: &RunSpec) -> SimStats {
     let stats = Pipeline::new(spec.machine_config()).run(&mut trace, spec.commits);
     SIM_RUNS.fetch_add(1, Ordering::Relaxed);
     SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    SIM_STALL_NO_REG.fetch_add(stats.insert_stall_no_reg, Ordering::Relaxed);
+    SIM_STALL_DQ_FULL.fetch_add(stats.insert_stall_dq_full, Ordering::Relaxed);
+    SIM_NO_FREE_CYCLES.fetch_add(stats.no_free_any_cycles, Ordering::Relaxed);
     stats
 }
 

@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON export (loadable by Perfetto / `chrome://tracing`).
+//!
+//! Layout: one process per traced run, with one track (thread) per
+//! pipeline stage — dispatch-queue wait, one execute track per
+//! functional-unit class, a waiting-for-commit track — plus a track of
+//! instant stall markers per cause. Timestamps are simulated cycles
+//! expressed as microseconds (1 cycle = 1 µs), so Perfetto's time axis
+//! reads directly in cycles.
+
+use crate::recorder::{InstRecord, Recorder};
+use rf_core::obs::StallCause;
+use rf_isa::IssueClass;
+use std::fmt::Write as _;
+
+const PID: u32 = 1;
+const TID_QUEUE: u32 = 1;
+const TID_EXEC_BASE: u32 = 10; // + IssueClass::index()
+const TID_COMMIT: u32 = 20;
+const TID_STALL_BASE: u32 = 30; // + StallCause::index()
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_meta(out: &mut String, tid: u32, name: &str) {
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"{}\"}}}},",
+        escape(name)
+    );
+}
+
+fn push_span(out: &mut String, tid: u32, name: &str, start: u64, end: u64, rec: &InstRecord) {
+    let dur = end.saturating_sub(start).max(1);
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":{PID},\"tid\":{tid},\"ts\":{start},\"dur\":{dur},\
+         \"name\":\"{}\",\"args\":{{\"seq\":{},\"pc\":\"0x{:x}\",\"op\":\"{}\",\
+         \"wrong_path\":{}}}}},",
+        escape(name),
+        rec.seq,
+        rec.pc,
+        rec.op,
+        rec.wrong_path
+    );
+}
+
+fn spans_for(out: &mut String, rec: &InstRecord) {
+    let name = format!("{} seq={}", rec.op, rec.seq);
+    let issue = rec.issue.unwrap_or(rec.retire);
+    if issue > rec.insert {
+        push_span(out, TID_QUEUE, &name, rec.insert, issue, rec);
+    }
+    if let Some(issue) = rec.issue {
+        let done = rec.complete.unwrap_or(rec.retire).max(issue);
+        let tid = TID_EXEC_BASE + rec.op.issue_class().index() as u32;
+        push_span(out, tid, &name, issue, done, rec);
+        if rec.retire > done && !rec.squashed {
+            push_span(out, TID_COMMIT, &name, done, rec.retire, rec);
+        }
+    }
+    let (ph_name, ph) = if rec.squashed { ("squash", "i") } else { ("commit", "i") };
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"{ph}\",\"pid\":{PID},\"tid\":{TID_COMMIT},\"ts\":{},\"s\":\"t\",\
+         \"name\":\"{ph_name} seq={}\"}},",
+        rec.retire, rec.seq
+    );
+}
+
+/// Renders the recorder's windowed contents as a complete Chrome
+/// trace-event JSON document.
+pub fn chrome_trace(rec: &Recorder) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"rfstudy pipeline\"}}}},"
+    );
+    push_meta(&mut out, TID_QUEUE, "dispatch-queue wait");
+    for class in IssueClass::ALL {
+        push_meta(
+            &mut out,
+            TID_EXEC_BASE + class.index() as u32,
+            &format!("execute: {class}"),
+        );
+    }
+    push_meta(&mut out, TID_COMMIT, "await commit");
+    for cause in StallCause::ALL {
+        push_meta(
+            &mut out,
+            TID_STALL_BASE + cause.index() as u32,
+            &format!("stall: {}", cause.label()),
+        );
+    }
+    for r in rec.records() {
+        spans_for(&mut out, r);
+    }
+    for r in rec.in_flight() {
+        // Still-in-flight instructions get an open-ended queue span so the
+        // tail of the run is visible.
+        let end = rec.cycles().max(r.insert + 1);
+        push_span(&mut out, TID_QUEUE, &format!("{} seq={} (in flight)", r.op, r.seq), r.insert, end, r);
+    }
+    for &(cycle, cause) in rec.stall_marks() {
+        let tid = TID_STALL_BASE + cause.index() as u32;
+        let _ = writeln!(
+            out,
+            "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":{tid},\"ts\":{cycle},\"s\":\"t\",\
+             \"name\":\"{}\"}},",
+            cause.label()
+        );
+    }
+    // Closing sentinel event avoids trailing-comma bookkeeping above.
+    let _ = writeln!(
+        out,
+        "{{\"ph\":\"i\",\"pid\":{PID},\"tid\":0,\"ts\":{},\"s\":\"g\",\"name\":\"end of trace\"}}",
+        rec.cycles()
+    );
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use rf_core::obs::{EventKind, Observer, TraceEvent};
+    use rf_isa::OpKind;
+
+    #[test]
+    fn trace_is_valid_json_with_expected_tracks() {
+        let mut r = Recorder::unbounded();
+        r.event(TraceEvent {
+            cycle: 1,
+            seq: 0,
+            kind: EventKind::Insert,
+            op: OpKind::Load,
+            pc: 0x400,
+            wrong_path: false,
+            dest: None,
+            freed: None,
+        });
+        r.event(TraceEvent {
+            cycle: 3,
+            seq: 0,
+            kind: EventKind::Issue,
+            op: OpKind::Load,
+            pc: 0x400,
+            wrong_path: false,
+            dest: None,
+            freed: None,
+        });
+        r.event(TraceEvent {
+            cycle: 6,
+            seq: 0,
+            kind: EventKind::Complete,
+            op: OpKind::Load,
+            pc: 0x400,
+            wrong_path: false,
+            dest: None,
+            freed: None,
+        });
+        r.event(TraceEvent {
+            cycle: 8,
+            seq: 0,
+            kind: EventKind::Commit,
+            op: OpKind::Load,
+            pc: 0x400,
+            wrong_path: false,
+            dest: None,
+            freed: None,
+        });
+        r.stall(4, StallCause::DqFull);
+        r.cycle_end(8, false, false);
+        let t = chrome_trace(&r);
+        json::validate(&t).expect("valid JSON");
+        assert!(t.contains("\"displayTimeUnit\""));
+        assert!(t.contains("dispatch-queue wait"));
+        assert!(t.contains("execute: memory"));
+        assert!(t.contains("stall: dq-full"));
+        assert!(t.contains("\"ph\":\"X\""));
+        assert!(t.contains("\"ts\":4"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,38 @@
+//! # rf-obs — pipeline observability
+//!
+//! Recorders, metrics, and trace exporters built on the zero-cost
+//! [`Observer`](rf_core::Observer) hook that
+//! [`Pipeline`](rf_core::Pipeline) is generic over.
+//!
+//! The moving parts:
+//!
+//! - [`Recorder`] implements `Observer`: it assembles per-instruction
+//!   lifecycle events into [`InstRecord`]s inside a bounded cycle window,
+//!   attributes stall cycles to [`StallCause`](rf_core::StallCause)s, and
+//!   feeds a [`MetricsRegistry`] of latency, register-lifetime, and
+//!   stall-burst [`Histogram`]s. Windowed detail is pruned; run-wide
+//!   aggregates are not, so they reconcile exactly with
+//!   [`SimStats`](rf_core::SimStats) (see [`report::reconcile`]).
+//! - [`chrome::chrome_trace`] renders a recorded window as Chrome
+//!   trace-event JSON (Perfetto / `chrome://tracing` loadable), one track
+//!   per pipeline stage and per functional-unit class.
+//! - [`report::summary`] and [`report::text_timeline`] are the text
+//!   renderings used by `rfstudy trace`.
+//! - [`json::validate`] is the dependency-free JSON recogniser the tests
+//!   and CI smoke step use to prove the exporter's output parses.
+//!
+//! A traced run is driven through `Pipeline::with_observer` +
+//! `run_observed`; because the observer only receives copies of pipeline
+//! state, a traced run's `SimStats` are byte-identical to an untraced
+//! run's (asserted by this crate's determinism tests).
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use chrome::chrome_trace;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{InstRecord, Recorder};
+pub use report::{reconcile, summary, text_timeline};

@@ -1,0 +1,188 @@
+//! A small metrics registry: named counters and value histograms.
+//!
+//! The registry is the numeric substrate of the trace summary: latency
+//! distributions (insert→issue, issue→commit, …), register lifetimes, and
+//! per-cause stall counters all live here, and its derived numbers are
+//! asserted against [`SimStats`](rf_core::SimStats) by the reconciliation
+//! tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An exact value histogram over `u64` samples.
+///
+/// Samples are stored sparsely (value → count), so percentiles are exact
+/// rather than bucket-quantised; simulated latencies concentrate on a few
+/// dozen distinct values, keeping the map small.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.counts.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// The `pct` percentile (0–100): the smallest recorded value `v` such
+    /// that at least `pct` percent of samples are `<= v`. Returns 0 when
+    /// empty.
+    pub fn percentile(&self, pct: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (pct / 100.0 * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            if acc >= threshold {
+                return v;
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.total,
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// Named counters and histograms, sorted by name for deterministic
+/// reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at 0).
+    pub fn inc(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Reads a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram (creating it).
+    pub fn record(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&n, h)| (n, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 50);
+        assert_eq!(h.percentile(90.0), 90);
+        assert_eq!(h.percentile(99.0), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.count(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(90.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn registry_counters_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.inc("stall.dq-full", 2);
+        m.inc("stall.dq-full", 3);
+        m.record("latency", 7);
+        m.record("latency", 9);
+        assert_eq!(m.counter("stall.dq-full"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.histogram("latency").unwrap().count(), 2);
+        assert_eq!(m.counters().count(), 1);
+        assert_eq!(m.histograms().count(), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut h = Histogram::new();
+        h.record(4);
+        let s = h.to_string();
+        assert!(s.contains("n=1") && s.contains("p50=4"), "{s}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Text renderings of a recorded run: the reconciled summary and the
+//! plain-text cycle timeline.
+
+use crate::recorder::Recorder;
+use rf_core::obs::{EventKind, StallCause};
+use rf_core::SimStats;
+use std::fmt::Write as _;
+
+/// Checks every recorder-derived aggregate against its [`SimStats`]
+/// counterpart. Returns the list of mismatches (empty = fully reconciled).
+///
+/// These are *exact* equalities: the observer sees the same cycle-by-cycle
+/// facts the accounting phase counts, so any drift is a bug in the hooks.
+pub fn reconcile(rec: &Recorder, stats: &SimStats) -> Result<(), Vec<String>> {
+    let mut errs = Vec::new();
+    let mut check = |what: &str, observed: u64, counted: u64| {
+        if observed != counted {
+            errs.push(format!("{what}: observer {observed} != SimStats {counted}"));
+        }
+    };
+    check("cycles", rec.cycles(), stats.cycles);
+    check("inserted", rec.event_count(EventKind::Insert), stats.inserted);
+    check("issued", rec.event_count(EventKind::Issue), stats.issued);
+    check("committed", rec.event_count(EventKind::Commit), stats.committed);
+    check("squashed", rec.event_count(EventKind::Squash), stats.squashed);
+    check(
+        "stall no-free-reg",
+        rec.stall_cycles(StallCause::NoFreeReg),
+        stats.insert_stall_no_reg,
+    );
+    check(
+        "stall dq-full",
+        rec.stall_cycles(StallCause::DqFull),
+        stats.insert_stall_dq_full,
+    );
+    check("no-free int cycles", rec.no_free_int_cycles(), stats.no_free_int_cycles);
+    check("no-free fp cycles", rec.no_free_fp_cycles(), stats.no_free_fp_cycles);
+    check("no-free any cycles", rec.no_free_any_cycles(), stats.no_free_any_cycles);
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Renders the human-readable summary: lifecycle totals, stall
+/// attribution, free-list pressure, latency and register-lifetime
+/// distributions, and the SimStats reconciliation verdict.
+pub fn summary(rec: &Recorder, stats: &SimStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== pipeline trace summary ==");
+    let _ = writeln!(
+        out,
+        "cycles {}  committed {}  commit IPC {:.4}  issue IPC {:.4}",
+        rec.cycles(),
+        rec.event_count(EventKind::Commit),
+        stats.commit_ipc(),
+        stats.issue_ipc()
+    );
+    let _ = writeln!(out, "\n-- lifecycle events --");
+    for kind in EventKind::ALL {
+        let _ = writeln!(out, "  {:<10} {:>12}", kind.label(), rec.event_count(kind));
+    }
+    let _ = writeln!(out, "\n-- stall attribution (cycles with the cause active) --");
+    for cause in StallCause::ALL {
+        let cycles = rec.stall_cycles(cause);
+        let _ = write!(
+            out,
+            "  {:<25} {:>10}  ({:5.1}% of cycles)",
+            cause.label(),
+            cycles,
+            pct(cycles, rec.cycles())
+        );
+        match rec.metrics().histogram(Recorder::burst_metric(cause)) {
+            Some(h) if h.count() > 0 => {
+                let _ = writeln!(out, "  bursts: {h}");
+            }
+            _ => {
+                let _ = writeln!(out);
+            }
+        }
+    }
+    let _ = writeln!(out, "\n-- register-file pressure --");
+    let _ = writeln!(
+        out,
+        "  int free list empty {:>10} cycles ({:5.1}%)",
+        rec.no_free_int_cycles(),
+        pct(rec.no_free_int_cycles(), rec.cycles())
+    );
+    let _ = writeln!(
+        out,
+        "  fp  free list empty {:>10} cycles ({:5.1}%)",
+        rec.no_free_fp_cycles(),
+        pct(rec.no_free_fp_cycles(), rec.cycles())
+    );
+    let _ = writeln!(
+        out,
+        "  any free list empty {:>10} cycles ({:5.1}%)",
+        rec.no_free_any_cycles(),
+        pct(rec.no_free_any_cycles(), rec.cycles())
+    );
+    let _ = writeln!(out, "\n-- latency / lifetime distributions (cycles) --");
+    for (name, h) in rec.metrics().histograms() {
+        if name.starts_with("latency.") || name.starts_with("reg.lifetime.") {
+            let _ = writeln!(out, "  {name:<28} {h}");
+        }
+    }
+    let _ = writeln!(out, "\n-- SimStats reconciliation --");
+    match reconcile(rec, stats) {
+        Ok(()) => {
+            let _ = writeln!(out, "  OK: all observer aggregates match SimStats exactly");
+        }
+        Err(errs) => {
+            for e in errs {
+                let _ = writeln!(out, "  MISMATCH {e}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders the windowed per-instruction cycle timeline, one line per
+/// retired instruction (plus any still in flight), with stall marks
+/// appended per cycle range.
+pub fn text_timeline(rec: &Recorder) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:<12} {:>12} {:>8} {:>8} {:>9} {:>8}  fate",
+        "seq", "op", "pc", "insert", "issue", "complete", "retire"
+    );
+    let fmt_opt = |c: Option<u64>| c.map_or("-".to_string(), |v| v.to_string());
+    for r in rec.records().cloned().chain(rec.in_flight().into_iter().cloned()) {
+        let in_flight = !r.squashed && r.retire == r.insert && r.issue.is_none();
+        let fate = if r.squashed {
+            "squash"
+        } else if in_flight {
+            "in-flight"
+        } else {
+            "commit"
+        };
+        let wp = if r.wrong_path { " wrong-path" } else { "" };
+        let _ = writeln!(
+            out,
+            "{:>8} {:<12} {:>#12x} {:>8} {:>8} {:>9} {:>8}  {fate}{wp}",
+            r.seq,
+            r.op.to_string(),
+            r.pc,
+            r.insert,
+            fmt_opt(r.issue),
+            fmt_opt(r.complete),
+            if in_flight { "-".to_string() } else { r.retire.to_string() },
+        );
+    }
+    let marks: Vec<_> = rec.stall_marks().collect();
+    if !marks.is_empty() {
+        let _ = writeln!(out, "\nstall marks (cycle: causes):");
+        let mut i = 0;
+        while i < marks.len() {
+            let cycle = marks[i].0;
+            let mut causes = Vec::new();
+            while i < marks.len() && marks[i].0 == cycle {
+                causes.push(marks[i].1.label());
+                i += 1;
+            }
+            let _ = writeln!(out, "  {cycle:>10}: {}", causes.join(", "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_core::obs::{Observer, TraceEvent};
+    use rf_isa::OpKind;
+
+    fn ev(kind: EventKind, cycle: u64, seq: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            seq,
+            kind,
+            op: OpKind::FpOp,
+            pc: 0x1000,
+            wrong_path: false,
+            dest: None,
+            freed: None,
+        }
+    }
+
+    fn small_recorder() -> Recorder {
+        let mut r = Recorder::unbounded();
+        r.event(ev(EventKind::Insert, 1, 0));
+        r.event(ev(EventKind::Issue, 2, 0));
+        r.event(ev(EventKind::Complete, 5, 0));
+        r.event(ev(EventKind::Commit, 6, 0));
+        r.event(ev(EventKind::Insert, 2, 1));
+        r.event(ev(EventKind::Squash, 4, 1));
+        r.stall(3, StallCause::FuBusy);
+        for c in 1..=6 {
+            r.cycle_end(c, false, false);
+        }
+        r.seal();
+        r
+    }
+
+    fn matching_stats() -> SimStats {
+        let mut s = SimStats::new(64);
+        s.cycles = 6;
+        s.inserted = 2;
+        s.issued = 1;
+        s.committed = 1;
+        s.squashed = 1;
+        s
+    }
+
+    #[test]
+    fn reconcile_accepts_matching_stats() {
+        let r = small_recorder();
+        reconcile(&r, &matching_stats()).expect("reconciles");
+    }
+
+    #[test]
+    fn reconcile_reports_each_mismatch() {
+        let r = small_recorder();
+        let mut s = matching_stats();
+        s.committed = 7;
+        s.insert_stall_dq_full = 3;
+        let errs = reconcile(&r, &s).unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("committed")));
+        assert!(errs.iter().any(|e| e.contains("dq-full")));
+    }
+
+    #[test]
+    fn summary_mentions_every_cause_and_verdict() {
+        let r = small_recorder();
+        let s = summary(&r, &matching_stats());
+        for cause in StallCause::ALL {
+            assert!(s.contains(cause.label()), "missing {}", cause.label());
+        }
+        assert!(s.contains("OK: all observer aggregates match"));
+        assert!(s.contains("latency / lifetime"));
+    }
+
+    #[test]
+    fn timeline_lists_fates_and_stalls() {
+        let r = small_recorder();
+        let t = text_timeline(&r);
+        assert!(t.contains("commit"));
+        assert!(t.contains("squash"));
+        assert!(t.contains("fu-busy"));
+        assert!(t.contains("0x1000"));
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file test for the Chrome trace-event JSON schema.
+//!
+//! The exporter's output is consumed by external tools (Perfetto,
+//! `chrome://tracing`), so its shape is a compatibility surface: this
+//! test pins the exact rendering of a small fixed scenario. If you
+//! change the exporter deliberately, regenerate the golden by running
+//! the test with `BLESS_GOLDEN=1` and commit the updated file.
+
+use rf_core::obs::{EventKind, Observer, StallCause, TraceEvent};
+use rf_isa::{OpKind, RegClass};
+use rf_obs::{chrome_trace, json, Recorder};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/chrome_small.json"
+);
+
+fn ev(kind: EventKind, cycle: u64, seq: u64, op: OpKind, pc: u64) -> TraceEvent {
+    TraceEvent { cycle, seq, kind, op, pc, wrong_path: false, dest: None, freed: None }
+}
+
+/// A fixed two-instruction scenario exercising every span type: queue
+/// wait, execute (two FU classes), await-commit, a squash, one stall of
+/// each insert-side cause, and an in-flight tail instruction.
+fn scenario() -> Recorder {
+    let mut r = Recorder::unbounded();
+    let mut load = ev(EventKind::Insert, 1, 0, OpKind::Load, 0x1000);
+    load.dest = Some((RegClass::Int, 40, 3));
+    r.event(load);
+    r.event(ev(EventKind::Issue, 2, 0, OpKind::Load, 0x1000));
+    r.event(ev(EventKind::Complete, 6, 0, OpKind::Load, 0x1000));
+    let mut commit = ev(EventKind::Commit, 8, 0, OpKind::Load, 0x1000);
+    commit.freed = Some((RegClass::Int, 3));
+    r.event(commit);
+
+    let mut fp = ev(EventKind::Insert, 2, 1, OpKind::FpOp, 0x1004);
+    fp.wrong_path = true;
+    fp.dest = Some((RegClass::Fp, 50, 7));
+    r.event(fp);
+    r.event(ev(EventKind::Issue, 4, 1, OpKind::FpOp, 0x1004));
+    let mut squash = ev(EventKind::Squash, 5, 1, OpKind::FpOp, 0x1004);
+    squash.wrong_path = true;
+    squash.freed = Some((RegClass::Fp, 50));
+    r.event(squash);
+
+    r.event(ev(EventKind::Insert, 7, 2, OpKind::IntAlu, 0x1008));
+
+    r.stall(3, StallCause::DqFull);
+    r.stall(4, StallCause::NoFreeReg);
+    r.stall(5, StallCause::FetchStarved);
+    r.stall(6, StallCause::FuBusy);
+    r.stall(6, StallCause::CacheMissBlocked);
+    r.stall(7, StallCause::CommitBlocked);
+    for c in 1..=8 {
+        r.cycle_end(c, c == 4, false);
+    }
+    r.seal();
+    r
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    let actual = chrome_trace(&scenario());
+    json::validate(&actual).expect("trace must be valid JSON");
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("bless golden");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file present (regenerate with BLESS_GOLDEN=1)");
+    assert_eq!(
+        actual, golden,
+        "Chrome trace schema drifted from tests/golden/chrome_small.json; \
+         if intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}

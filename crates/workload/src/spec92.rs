@@ -300,7 +300,7 @@ pub fn su2cor() -> BenchmarkProfile {
 pub fn tomcatv() -> BenchmarkProfile {
     profile(
         "tomcatv",
-        InstructionMix::new(0.325, 0.002, 0.29, 0.002, 0.235, 0.09, 0.033, 0.005),
+        InstructionMix::new(0.275, 0.002, 0.29, 0.002, 0.285, 0.09, 0.033, 0.005),
         BranchModel {
             biased_frac: 0.90,
             pattern_frac: 0.05,
@@ -389,11 +389,12 @@ mod tests {
             ("mdljsp2", 0.21),
             ("ora", 0.16),
             ("su2cor", 0.245),
-            // tomcatv's mix target is deliberately offset below Table 1's
-            // 27%: its sampled program instance overweights load slots, so
-            // the *generated* fraction lands on 0.27 (checked by the
+            // tomcatv's mix target is deliberately offset above Table 1's
+            // 27%: its small sampled program instance (10 loops) lands on
+            // fewer load slots than the mix asks for, so the *generated*
+            // fraction comes out near 0.27-0.28 (checked by the
             // calibration integration test).
-            ("tomcatv", 0.235),
+            ("tomcatv", 0.285),
         ];
         for (name, frac) in expect {
             let p = by_name(name).unwrap();

@@ -64,11 +64,52 @@ impl MachineOpts {
     }
 }
 
+/// Output format of the `trace` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome trace-event JSON (Perfetto / `chrome://tracing`).
+    Chrome,
+    /// Plain-text per-instruction cycle timeline.
+    Text,
+    /// Reconciled stall/latency summary.
+    Summary,
+}
+
+impl TraceFormat {
+    /// Parses a `--format` value.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "chrome" => Ok(TraceFormat::Chrome),
+            "text" => Ok(TraceFormat::Text),
+            "summary" => Ok(TraceFormat::Summary),
+            other => Err(format!(
+                "unknown trace format {other:?} (expected chrome, text, or summary)"
+            )),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// List the available benchmark profiles.
     List,
+    /// Simulate a benchmark with the pipeline observer attached and
+    /// export the recorded trace.
+    Trace {
+        /// Benchmark name.
+        bench: String,
+        /// Commit budget.
+        commits: u64,
+        /// Export format.
+        format: TraceFormat,
+        /// Retained-detail window in cycles (`None` = whole run).
+        window: Option<u64>,
+        /// Output path (`None` = stdout).
+        out: Option<String>,
+        /// Machine options.
+        machine: MachineOpts,
+    },
     /// Simulate a benchmark.
     Run {
         /// Benchmark name.
@@ -220,6 +261,25 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Run { bench, commits, machine })
         }
+        "trace" => {
+            let bench = take("--bench", &opts).ok_or("trace requires --bench")?;
+            let commits =
+                take("--commits", &opts).map_or(Ok(10_000), |v| parse_num("--commits", &v))?;
+            let format =
+                take("--format", &opts).map_or(Ok(TraceFormat::Summary), |v| TraceFormat::parse(&v))?;
+            let window =
+                take("--window", &opts).map(|v| parse_num("--window", &v)).transpose()?;
+            let out = take("--out", &opts);
+            let mut machine = MachineOpts::default();
+            for (o, v) in &opts {
+                if matches!(o.as_str(), "--bench" | "--commits" | "--format" | "--window" | "--out")
+                {
+                    continue;
+                }
+                parse_machine(o, v.as_deref(), &mut machine)?;
+            }
+            Ok(Command::Trace { bench, commits, format, window, out, machine })
+        }
         "record" => Ok(Command::Record {
             bench: take("--bench", &opts).ok_or("record requires --bench")?,
             out: take("--out", &opts).ok_or("record requires --out")?,
@@ -264,6 +324,8 @@ rfstudy — register-file design study simulator (HPCA'96 reproduction)
 USAGE:
   rfstudy list
   rfstudy run      --bench NAME [--commits N] [machine options]
+  rfstudy trace    --bench NAME [--commits N] [--format chrome|text|summary]
+                   [--window CYCLES] [--out FILE] [machine options]
   rfstudy record   --bench NAME --out FILE [--count N] [--seed N]
   rfstudy replay   --trace FILE [--commits N] [machine options]
   rfstudy dataflow --bench NAME [--window N] [--count N]
@@ -281,6 +343,15 @@ MACHINE OPTIONS:
   --predictor KIND      bimodal | gshare | combining
   --split-queues        split the dispatch queue (extension)
   --seed N              workload / simulation seed
+
+TRACE OPTIONS:
+  --format FMT          chrome (Perfetto-loadable trace-event JSON),
+                        text (per-instruction cycle timeline), or
+                        summary (stall attribution + latency percentiles,
+                        reconciled against the simulator statistics)
+  --window CYCLES       keep only the last CYCLES cycles of per-instruction
+                        detail (aggregates always cover the whole run)
+  --out FILE            write the export to FILE instead of stdout
 ";
 
 #[cfg(test)]
@@ -356,6 +427,56 @@ mod tests {
     fn parses_dump() {
         let cmd = parse(&argv("dump --trace x.rft --count 10")).unwrap();
         assert_eq!(cmd, Command::Dump { trace: "x.rft".into(), count: 10 });
+    }
+
+    #[test]
+    fn parses_trace_with_all_options() {
+        let cmd = parse(&argv(
+            "trace --bench tomcatv --commits 2000 --format chrome --window 500 \
+             --out /tmp/trace.json --regs 64 --exceptions imprecise",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Trace { bench, commits, format, window, out, machine } => {
+                assert_eq!(bench, "tomcatv");
+                assert_eq!(commits, 2000);
+                assert_eq!(format, TraceFormat::Chrome);
+                assert_eq!(window, Some(500));
+                assert_eq!(out.as_deref(), Some("/tmp/trace.json"));
+                assert_eq!(machine.regs, 64);
+                assert_eq!(machine.exceptions, ExceptionModel::Imprecise);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_defaults_to_summary_on_stdout() {
+        match parse(&argv("trace --bench ora")).unwrap() {
+            Command::Trace { commits, format, window, out, .. } => {
+                assert_eq!(commits, 10_000);
+                assert_eq!(format, TraceFormat::Summary);
+                assert_eq!(window, None);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_rejects_unknown_format_with_an_error() {
+        let err = parse(&argv("trace --bench ora --format xml")).unwrap_err();
+        assert!(err.contains("unknown trace format"), "{err}");
+        assert!(err.contains("chrome, text, or summary"), "{err}");
+        assert!(parse(&argv("trace --format chrome")).is_err(), "bench is required");
+        assert!(parse(&argv("trace --bench ora --window abc")).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_subcommand() {
+        for sub in ["list", "run", "trace", "record", "replay", "dataflow", "timing", "dump"] {
+            assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
+        }
     }
 
     #[test]

@@ -5,9 +5,10 @@
 
 mod cli;
 
-use cli::{Command, MachineOpts};
+use cli::{Command, MachineOpts, TraceFormat};
 use rf_core::dataflow::analyze;
 use rf_core::{LiveModel, Pipeline, SimStats};
+use rf_obs::Recorder;
 use rf_isa::RegClass;
 use rf_timing::{RegFileGeometry, TimingModel};
 use rf_workload::{spec92, trace_io, TraceGenerator, WrongPathGenerator};
@@ -57,6 +58,37 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             let mut trace = TraceGenerator::new(&profile, machine.seed);
             let stats = Pipeline::new(machine.to_config()).run(&mut trace, commits);
             print_stats(&bench, &stats);
+            Ok(())
+        }
+        Command::Trace { bench, commits, format, window, out, machine } => {
+            let profile =
+                spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+            let mut trace = TraceGenerator::new(&profile, machine.seed);
+            let recorder = match window {
+                Some(w) => Recorder::with_window(w),
+                None => Recorder::unbounded(),
+            };
+            let (stats, mut recorder) = Pipeline::with_observer(machine.to_config(), recorder)
+                .run_observed(&mut trace, commits);
+            recorder.seal();
+            let rendered = match format {
+                TraceFormat::Chrome => rf_obs::chrome_trace(&recorder),
+                TraceFormat::Text => rf_obs::text_timeline(&recorder),
+                TraceFormat::Summary => rf_obs::summary(&recorder, &stats),
+            };
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &rendered)
+                        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                    eprintln!(
+                        "traced {} commits of {bench} over {} cycles -> {path} ({} bytes)",
+                        stats.committed,
+                        stats.cycles,
+                        rendered.len()
+                    );
+                }
+                None => print!("{rendered}"),
+            }
             Ok(())
         }
         Command::Record { bench, out, count, seed } => {
