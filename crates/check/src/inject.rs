@@ -1,0 +1,252 @@
+//! Fault injection for validating the sanitizer itself.
+//!
+//! A checker that cannot fail is worthless: every invariant the
+//! [`Sanitizer`](crate::Sanitizer) watches must be demonstrably
+//! *trippable*. [`FaultInjector`] wraps an inner observer and corrupts
+//! the event stream in one precisely-targeted way — replaying a rename,
+//! aliasing two virtual registers onto one physical register, dropping a
+//! free, rewinding the commit sequence — so the test suite can prove
+//! each violation kind fires with the right register and sequence number
+//! attached (see `tests/fault_injection.rs`).
+//!
+//! The injector corrupts only what the *observer* sees; the pipeline
+//! underneath runs untouched.
+
+use rf_core::{EventKind, Observer, StallCause, TraceEvent};
+use rf_isa::RegClass;
+
+/// One way of corrupting the observer event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward a rename twice: the same physical register is allocated
+    /// again while live (double allocation).
+    ReplayRename,
+    /// Rewrite a rename's destination to a physical register that
+    /// another virtual register currently maps to (bijectivity break).
+    AliasRename,
+    /// Forward a kill-path free twice (double free).
+    DoubleFree,
+    /// Emit an extra kill-path free of register `u32::MAX` (out of
+    /// range).
+    OutOfRangeFree,
+    /// Strip the freed register from a squash event (squash leak).
+    DropSquashFree,
+    /// Strip the freed register from a precise-model commit (commit free
+    /// mismatch).
+    DropCommitFree,
+    /// Replay an already-committed instruction's commit event later
+    /// (commit order break).
+    RewindCommit,
+    /// Over-report the free-list size by one in the register-file state
+    /// snapshot (freelist conservation break).
+    SkewFreeCount,
+}
+
+impl Fault {
+    /// All faults, one per sanitizer checker.
+    pub const ALL: [Fault; 8] = [
+        Fault::ReplayRename,
+        Fault::AliasRename,
+        Fault::DoubleFree,
+        Fault::OutOfRangeFree,
+        Fault::DropSquashFree,
+        Fault::DropCommitFree,
+        Fault::RewindCommit,
+        Fault::SkewFreeCount,
+    ];
+}
+
+/// Renames to pass through before injecting rename-targeted faults, so
+/// the machine is past its warm-up transient.
+const WARMUP_RENAMES: u64 = 20;
+
+/// Commits to wait between recording and replaying a commit event for
+/// [`Fault::RewindCommit`].
+const REWIND_DISTANCE: u64 = 50;
+
+/// An observer adapter that forwards all hooks to `inner`, corrupting
+/// the stream once according to the configured [`Fault`].
+#[derive(Debug)]
+pub struct FaultInjector<O: Observer> {
+    /// The wrapped observer (typically a
+    /// [`Sanitizer`](crate::Sanitizer)).
+    pub inner: O,
+    fault: Fault,
+    injected: bool,
+    renames_seen: u64,
+    /// Most recent rename, per class: `(cycle, vreg, new)`.
+    last_rename: [Option<(u64, u8, u32)>; 2],
+    /// Saved commit event and commits forwarded since, for rewinding.
+    saved_commit: Option<TraceEvent>,
+    commits_since_save: u64,
+}
+
+impl<O: Observer> FaultInjector<O> {
+    /// Wraps `inner`, arming one injection of `fault`.
+    pub fn new(inner: O, fault: Fault) -> Self {
+        Self {
+            inner,
+            fault,
+            injected: false,
+            renames_seen: 0,
+            last_rename: [None; 2],
+            saved_commit: None,
+            commits_since_save: 0,
+        }
+    }
+
+    /// Whether the fault actually fired during the run. A test whose
+    /// injection never triggered proves nothing.
+    pub fn fired(&self) -> bool {
+        self.injected
+    }
+
+    /// Unwraps the inner observer.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Observer> Observer for FaultInjector<O> {
+    const ACTIVE: bool = true;
+
+    fn event(&mut self, mut ev: TraceEvent) {
+        match (self.fault, ev.kind) {
+            (Fault::DropSquashFree, EventKind::Squash)
+                if !self.injected && ev.freed.is_some() =>
+            {
+                ev.freed = None;
+                self.injected = true;
+            }
+            (Fault::DropCommitFree, EventKind::Commit)
+                if !self.injected && ev.freed.is_some() =>
+            {
+                ev.freed = None;
+                self.injected = true;
+            }
+            (Fault::RewindCommit, EventKind::Commit) => {
+                if let Some(saved) = self.saved_commit {
+                    self.commits_since_save += 1;
+                    if !self.injected && self.commits_since_save >= REWIND_DISTANCE {
+                        self.inner.event(ev);
+                        // Replay the old commit; its register was already
+                        // freed, so strip `freed` to isolate the ordering
+                        // violation.
+                        let mut replay = saved;
+                        replay.freed = None;
+                        replay.cycle = ev.cycle;
+                        self.inner.event(replay);
+                        self.injected = true;
+                        return;
+                    }
+                } else {
+                    self.saved_commit = Some(ev);
+                }
+            }
+            _ => {}
+        }
+        self.inner.event(ev);
+    }
+
+    fn stall(&mut self, cycle: u64, cause: StallCause) {
+        self.inner.stall(cycle, cause);
+    }
+
+    fn reg_free(&mut self, cycle: u64, class: RegClass, phys: u32) {
+        self.inner.reg_free(cycle, class, phys);
+        if self.injected {
+            return;
+        }
+        match self.fault {
+            Fault::DoubleFree => {
+                self.inner.reg_free(cycle, class, phys);
+                self.injected = true;
+            }
+            Fault::OutOfRangeFree => {
+                self.inner.reg_free(cycle, class, u32::MAX);
+                self.injected = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn arch_map(&mut self, class: RegClass, vreg: u8, phys: u32) {
+        self.inner.arch_map(class, vreg, phys);
+    }
+
+    fn rename(&mut self, cycle: u64, seq: u64, class: RegClass, vreg: u8, new: u32, prev: u32) {
+        self.renames_seen += 1;
+        let past_warmup = self.renames_seen > WARMUP_RENAMES;
+        match self.fault {
+            Fault::ReplayRename if past_warmup && !self.injected => {
+                self.inner.rename(cycle, seq, class, vreg, new, prev);
+                self.inner.rename(cycle, seq, class, vreg, new, prev);
+                self.injected = true;
+                return;
+            }
+            Fault::AliasRename if past_warmup && !self.injected => {
+                // Steal the physical register of the most recent rename of
+                // the same class *in the same cycle* (no squash can have
+                // intervened mid-cycle, so it is certainly still live and
+                // mapped to the other virtual register).
+                if let Some((c, v, stolen)) = self.last_rename[class.index()] {
+                    if c == cycle && v != vreg {
+                        self.inner.rename(cycle, seq, class, vreg, stolen, prev);
+                        self.injected = true;
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+        self.last_rename[class.index()] = Some((cycle, vreg, new));
+        self.inner.rename(cycle, seq, class, vreg, new, prev);
+    }
+
+    fn reg_file_state(&mut self, cycle: u64, class: RegClass, free: usize, live: usize, staged: usize) {
+        if self.fault == Fault::SkewFreeCount && !self.injected {
+            self.injected = true;
+            self.inner.reg_file_state(cycle, class, free + 1, live, staged);
+            return;
+        }
+        self.inner.reg_file_state(cycle, class, free, live, staged);
+    }
+
+    fn cycle_end(&mut self, cycle: u64, int_free_empty: bool, fp_free_empty: bool) {
+        self.inner.cycle_end(cycle, int_free_empty, fp_free_empty);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_list_is_complete_and_unique() {
+        let mut all = Fault::ALL.to_vec();
+        all.dedup();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn injector_forwards_when_unarmed() {
+        // A fault that never matches leaves the stream untouched.
+        #[derive(Default)]
+        struct Counter {
+            events: u64,
+            renames: u64,
+        }
+        impl Observer for Counter {
+            fn event(&mut self, _ev: TraceEvent) {
+                self.events += 1;
+            }
+            fn rename(&mut self, _c: u64, _s: u64, _cl: RegClass, _v: u8, _n: u32, _p: u32) {
+                self.renames += 1;
+            }
+        }
+        let mut inj = FaultInjector::new(Counter::default(), Fault::DropSquashFree);
+        inj.rename(0, 0, RegClass::Int, 3, 33, 3);
+        assert_eq!(inj.inner.renames, 1);
+        assert!(!inj.fired());
+    }
+}

@@ -1,0 +1,60 @@
+//! `rf-check`: a static dataflow oracle and a dynamic invariant
+//! sanitizer for the `rfstudy` register-file simulator.
+//!
+//! The simulator's headline numbers — live-register distributions,
+//! register-scarcity IPC curves — are only as trustworthy as its rename
+//! and freeing machinery. This crate checks that machinery two
+//! independent ways:
+//!
+//! * [`oracle`] analyses a committed instruction stream *statically*:
+//!   def-use chains, live ranges, a schedule-independent lower bound on
+//!   physical-register demand, and an ideal-schedule decomposition into
+//!   the paper's liveness categories.
+//! * [`Sanitizer`] rides the zero-cost [`Observer`](rf_core::Observer)
+//!   hooks *dynamically*, replaying every rename, free, commit and
+//!   squash against its own model of the register files and flagging any
+//!   divergence (double alloc/free, freelist conservation, rename-map
+//!   bijectivity, commit order, squash completeness).
+//!
+//! [`crosscheck`] ties the two together: one sanitized simulation per
+//! configuration, reconciled against the static analysis of the same
+//! trace prefix, surfaced as the `rfstudy check` subcommand and as
+//! sanitized probe runs in the experiment suite. [`inject`] proves every
+//! sanitizer checker can actually fail.
+//!
+//! Nothing here perturbs measurement: the sanitizer only runs when
+//! explicitly requested ([`sanitize_enabled`]), and an unobserved
+//! pipeline compiles the hooks away entirely.
+
+pub mod crosscheck;
+pub mod inject;
+pub mod oracle;
+pub mod sanitizer;
+
+pub use crosscheck::{cross_validate, default_matrix, suite_probe, CheckParams, CheckReport, SuiteSanitizer};
+pub use inject::{Fault, FaultInjector};
+pub use oracle::{analyze, ClassOracle, TraceOracle};
+pub use sanitizer::{Sanitizer, Violation, ViolationKind};
+
+/// Whether sanitized simulation was requested, either at compile time
+/// (the `sanitize` cargo feature) or at run time (`RF_SANITIZE` set to
+/// anything but `0` or the empty string).
+pub fn sanitize_enabled() -> bool {
+    if cfg!(feature = "sanitize") {
+        return true;
+    }
+    match std::env::var("RF_SANITIZE") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sanitize_feature_forces_enabled() {
+        // With the feature off, the env var governs; either way the call
+        // must not panic.
+        let _ = super::sanitize_enabled();
+    }
+}

@@ -187,6 +187,35 @@ pub trait Observer {
         let _ = (cycle, class, phys);
     }
 
+    /// One initial architectural mapping, emitted once per virtual
+    /// register at pipeline construction: `vreg` of `class` maps to
+    /// `phys` before the first instruction inserts.
+    #[inline]
+    fn arch_map(&mut self, class: RegClass, vreg: u8, phys: u32) {
+        let _ = (class, vreg, phys);
+    }
+
+    /// One rename performed at insert: instruction `seq` remapped `vreg`
+    /// of `class` from `prev` to the freshly allocated `new`. Fires just
+    /// before the matching [`EventKind::Insert`] event; squashes undo the
+    /// rename (the squash event's `freed` register is `new`, and the
+    /// mapping reverts to `prev`).
+    #[inline]
+    fn rename(&mut self, cycle: u64, seq: u64, class: RegClass, vreg: u8, new: u32, prev: u32) {
+        let _ = (cycle, seq, class, vreg, new, prev);
+    }
+
+    /// Per-class register-file occupancy at the accounting point of
+    /// `cycle`, *before* staged frees return to the free list: `free`
+    /// registers on the free list, `live` allocated (staged frees still
+    /// count as live, matching [`SimStats`](crate::SimStats) histograms),
+    /// of which `staged` are staged for reuse next cycle. Conservation —
+    /// `free + live == total physical registers` — holds at every call.
+    #[inline]
+    fn reg_file_state(&mut self, cycle: u64, class: RegClass, free: usize, live: usize, staged: usize) {
+        let _ = (cycle, class, free, live, staged);
+    }
+
     /// End of cycle `cycle`, with the per-class free-list emptiness that
     /// the accounting phase observed (reconciles with the
     /// `no_free_*_cycles` counters).
@@ -236,6 +265,9 @@ mod tests {
         o.stall(1, StallCause::DqFull);
         o.cycle_end(1, false, false);
         o.reg_free(1, RegClass::Int, 3);
+        o.arch_map(RegClass::Int, 0, 0);
+        o.rename(1, 0, RegClass::Int, 4, 33, 4);
+        o.reg_file_state(1, RegClass::Fp, 1, 31, 0);
     }
 
     #[test]

@@ -87,17 +87,20 @@ impl<O: Observer> Pipeline<O> {
     /// As [`Pipeline::new`], but with `obs` attached to every lifecycle
     /// and stall hook. Retrieve it after the run with
     /// [`Pipeline::run_observed`].
-    pub fn with_observer(config: MachineConfig, obs: O) -> Self {
+    pub fn with_observer(config: MachineConfig, mut obs: O) -> Self {
         let limits = config.limits();
         let cache = config.cache_geometry().build(config.cache_org());
         let mut regs =
             [PhysRegFile::new(config.phys_regs()), PhysRegFile::new(config.phys_regs())];
         let mut map = [[0u32; 31]; 2];
         for class in RegClass::ALL {
-            for slot in map[class.index()].iter_mut() {
+            for (vreg, slot) in map[class.index()].iter_mut().enumerate() {
                 *slot = regs[class.index()]
                     .alloc_architectural()
                     .expect("32+ registers guarantee initial mappings fit");
+                if O::ACTIVE {
+                    obs.arch_map(class, vreg as u8, *slot);
+                }
             }
         }
         let dividers = DividerPool::new(limits[IssueClass::FpDivide]);
@@ -888,6 +891,9 @@ impl<O: Observer> Pipeline<O> {
         self.dq_counts[Self::queue_of(self.config.has_split_queues(), inst.kind())] += 1;
         self.stats.inserted += 1;
         if O::ACTIVE {
+            if let Some((class, new, vreg, prev)) = dest {
+                self.obs.rename(self.now, seq, class, vreg, new, prev);
+            }
             self.obs.event(TraceEvent {
                 cycle: self.now,
                 seq,
@@ -918,6 +924,15 @@ impl<O: Observer> Pipeline<O> {
             let file = &self.regs[class.index()];
             let live = file.live_count();
             let live_imp = file.live_count_imprecise();
+            if O::ACTIVE {
+                self.obs.reg_file_state(
+                    self.now,
+                    class,
+                    file.free_count(),
+                    live,
+                    file.staged_count(),
+                );
+            }
             self.stats.live_hist[class.index()][live] += 1;
             self.stats.live_hist_imprecise[class.index()][live_imp] += 1;
             let counts = file.category_counts();

@@ -156,13 +156,25 @@ impl PhysRegFile {
         self.cat_counts
     }
 
+    /// Registers staged for freeing this cycle (reusable after
+    /// [`PhysRegFile::end_cycle`]; still counted live).
+    #[inline]
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
     /// Allocates a register (writer entering the dispatch queue), or
     /// `None` if the free list is empty.
     #[inline]
     pub fn alloc(&mut self) -> Option<u32> {
         let p = self.free.pop()?;
+        debug_assert!(
+            (p as usize) < self.state.len(),
+            "free list held out-of-range register {p} (file size {})",
+            self.state.len()
+        );
         let s = &mut self.state[p as usize];
-        debug_assert!(!s.allocated);
+        debug_assert!(!s.allocated, "double allocation of register {p}");
         *s = RegState {
             allocated: true,
             ready: false,
@@ -212,8 +224,18 @@ impl PhysRegFile {
 
     /// Stages a register for freeing; it returns to the free list at
     /// [`PhysRegFile::end_cycle`].
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics on an out-of-range index or a register
+    /// that is not currently allocated (a double free).
     #[inline]
     pub fn stage_free(&mut self, p: u32) {
+        debug_assert!(
+            (p as usize) < self.state.len(),
+            "stage_free of out-of-range register {p} (file size {})",
+            self.state.len()
+        );
         let s = &mut self.state[p as usize];
         debug_assert!(s.allocated, "double free of register {p}");
         self.cat_counts[s.category.index()] -= 1;
@@ -280,6 +302,35 @@ mod tests {
         let p = rf.alloc_architectural().unwrap();
         assert!(rf.reg(p).ready);
         assert_eq!(rf.reg(p).category, Category::WaitImprecise);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut rf = PhysRegFile::new(33);
+        let p = rf.alloc().unwrap();
+        rf.stage_free(p);
+        rf.stage_free(p);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_free_panics_in_debug() {
+        let mut rf = PhysRegFile::new(33);
+        rf.stage_free(1_000);
+    }
+
+    #[test]
+    fn staged_count_tracks_pending_frees() {
+        let mut rf = PhysRegFile::new(33);
+        let p = rf.alloc().unwrap();
+        assert_eq!(rf.staged_count(), 0);
+        rf.stage_free(p);
+        assert_eq!(rf.staged_count(), 1);
+        rf.end_cycle();
+        assert_eq!(rf.staged_count(), 0);
     }
 
     #[test]

@@ -140,6 +140,30 @@ fn progress_line(mode: LogMode, done: usize, entry: &Entry) -> Option<String> {
     }
 }
 
+/// Aggregate result of the suite's sanitized probe runs (see
+/// `rf-check`): a handful of invariant-checked simulations re-proving
+/// the rename/freeing protocol on the exact binary being measured.
+#[derive(Debug, Clone, Copy)]
+pub struct SanitizerStatus {
+    /// Sanitized probe runs executed.
+    pub probes: u64,
+    /// Observer events checked across probes.
+    pub events: u64,
+    /// Invariant violations detected (0 on a healthy build).
+    pub violations: u64,
+}
+
+impl SanitizerStatus {
+    /// `"clean"` or `"VIOLATED"`, as recorded in the JSON report.
+    pub fn status(&self) -> &'static str {
+        if self.violations == 0 {
+            "clean"
+        } else {
+            "VIOLATED"
+        }
+    }
+}
+
 /// Times the harnesses of one suite invocation and renders the JSON
 /// benchmark report.
 #[derive(Debug)]
@@ -148,6 +172,7 @@ pub struct SuiteBench {
     entries: Vec<Entry>,
     started: Instant,
     speedup: Option<f64>,
+    sanitizer: Option<SanitizerStatus>,
     log: LogMode,
 }
 
@@ -160,8 +185,14 @@ impl SuiteBench {
             entries: Vec::new(),
             started: Instant::now(),
             speedup: None,
+            sanitizer: None,
             log: LogMode::from_env(),
         }
+    }
+
+    /// Records the sanitized-probe outcome for the report.
+    pub fn set_sanitizer(&mut self, status: SanitizerStatus) {
+        self.sanitizer = Some(status);
     }
 
     /// Runs one harness, recording its wall-clock time, the number of
@@ -256,6 +287,22 @@ impl SuiteBench {
             }
             None => {
                 let _ = writeln!(out, "  \"speedup_vs_1_worker\": null,");
+            }
+        }
+        match &self.sanitizer {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "  \"sanitizer\": {{\"status\": \"{}\", \"probes\": {}, \
+                     \"events\": {}, \"violations\": {}}},",
+                    s.status(),
+                    s.probes,
+                    s.events,
+                    s.violations
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"sanitizer\": null,");
             }
         }
         out.push_str("  \"harnesses\": [\n");
@@ -373,6 +420,7 @@ mod tests {
             "\"cache_hits\"",
             "\"cache_misses\"",
             "\"speedup_vs_1_worker\": null",
+            "\"sanitizer\": null",
             "\"harnesses\"",
             "\"name\": \"noop\"",
             "\"stall_no_reg\"",
@@ -386,6 +434,21 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         rf_obs::json::validate(&json).expect("benchmark report must be valid JSON");
+    }
+
+    #[test]
+    fn sanitizer_status_renders_clean_and_violated() {
+        let clean = SanitizerStatus { probes: 8, events: 1_000, violations: 0 };
+        assert_eq!(clean.status(), "clean");
+        let bad = SanitizerStatus { probes: 8, events: 1_000, violations: 3 };
+        assert_eq!(bad.status(), "VIOLATED");
+
+        let mut bench = SuiteBench::start(500);
+        let _ = bench.time("noop", String::new);
+        bench.set_sanitizer(clean);
+        let json = bench.to_json();
+        assert!(json.contains("\"sanitizer\": {\"status\": \"clean\", \"probes\": 8"), "{json}");
+        rf_obs::json::validate(&json).expect("report with sanitizer must be valid JSON");
     }
 
     #[test]

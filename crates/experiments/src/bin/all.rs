@@ -7,7 +7,7 @@
 //! cache; RF_LOG=text|json emits a structured progress line on stderr as
 //! each harness finishes.
 
-use rf_experiments::bench::SuiteBench;
+use rf_experiments::bench::{SanitizerStatus, SuiteBench};
 use rf_experiments::runner::Scale;
 use std::fs;
 
@@ -56,6 +56,16 @@ fn main() -> std::io::Result<()> {
     }
     let speedup = bench.measure_speedup(scale.commits.min(10_000));
     println!("parallel speedup vs 1 worker: {speedup:.2}x");
+    // Sanitized probes: invariant-checked simulations over a small corner
+    // of the configuration space, so every suite report certifies the
+    // rename/freeing protocol of the binary that produced it.
+    let probe = rf_check::suite_probe(scale.commits.min(2_000));
+    bench.set_sanitizer(SanitizerStatus {
+        probes: probe.probes,
+        events: probe.events,
+        violations: probe.violations,
+    });
+    println!("sanitizer: {} ({} probes, {} events)", probe.status(), probe.probes, probe.events);
     let json = bench.to_json();
     fs::write("results/BENCH_suite.json", &json)?;
     println!("== benchmark -> results/BENCH_suite.json\n{json}");

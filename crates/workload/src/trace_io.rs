@@ -98,12 +98,26 @@ pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
 }
 
 /// Reads an unsigned LEB128 varint.
+///
+/// A stream that ends in the middle of a varint — after a continuation
+/// byte promised more — is corrupt, not merely short, so the error is
+/// reported as [`io::ErrorKind::InvalidData`] rather than a bare
+/// `UnexpectedEof` (which callers like [`read_trace`] treat as a clean
+/// end-of-stream only *between* records).
 pub(crate) fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
         let mut byte = [0u8; 1];
-        r.read_exact(&mut byte)?;
+        if let Err(e) = r.read_exact(&mut byte) {
+            if e.kind() == io::ErrorKind::UnexpectedEof && shift > 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated varint: stream ended after a continuation byte",
+                ));
+            }
+            return Err(e);
+        }
         if shift >= 63 && byte[0] > 1 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "varint overflow"));
         }
@@ -141,17 +155,27 @@ fn write_record<W: Write>(w: &mut W, inst: &Instruction) -> io::Result<()> {
     Ok(())
 }
 
+/// Maps an end-of-stream in the middle of a record to `InvalidData` with
+/// context; a record, once started, must be complete.
+fn corrupt_on_eof(e: io::Error, what: &str) -> io::Error {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        io::Error::new(io::ErrorKind::InvalidData, format!("truncated record: missing {what}"))
+    } else {
+        e
+    }
+}
+
 fn read_record<R: Read>(r: &mut R) -> io::Result<Option<Instruction>> {
     let mut head = [0u8; 2];
     match r.read_exact(&mut head[..1]) {
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         other => other?,
     }
-    r.read_exact(&mut head[1..])?;
+    r.read_exact(&mut head[1..]).map_err(|e| corrupt_on_eof(e, "flags byte"))?;
     let kind = tag_kind(head[0])?;
     let flags = head[1];
     let mut regs = [0u8; 3];
-    r.read_exact(&mut regs)?;
+    r.read_exact(&mut regs).map_err(|e| corrupt_on_eof(e, "register bytes"))?;
     let dest = byte_reg(regs[0])?;
     let src0 = byte_reg(regs[1])?;
     let src1 = byte_reg(regs[2])?;
@@ -282,6 +306,29 @@ mod tests {
         write_trace(&mut buf, original).unwrap();
         buf.truncate(buf.len() - 2);
         assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_varint_is_invalid_data_with_context() {
+        // A conditional branch with the has-pc flag, whose pc varint ends
+        // on a continuation byte: corrupt data, not a clean EOF.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&[7, 2, 0xFF, 0xFF, 0xFF, 0x80]);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated varint"), "{err}");
+    }
+
+    #[test]
+    fn mid_record_eof_is_invalid_data_with_context() {
+        // A record that ends right after its tag byte.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(0);
+        let err = read_trace(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated record"), "{err}");
     }
 
     #[test]

@@ -139,6 +139,24 @@ pub enum Command {
         /// Machine options.
         machine: MachineOpts,
     },
+    /// Cross-validate the simulator against the static dataflow oracle
+    /// with the invariant sanitizer attached.
+    Check {
+        /// Restrict to one benchmark (`None` = all nine).
+        bench: Option<String>,
+        /// Restrict to one issue width (`None` = 4 and 8).
+        width: Option<usize>,
+        /// Restrict to one exception model (`None` = precise and
+        /// imprecise).
+        exceptions: Option<ExceptionModel>,
+        /// Restrict to one register-file size (`None` = 2048 and 64).
+        regs: Option<usize>,
+        /// Commit budget per configuration (`None` = `RF_COMMITS` env or
+        /// 10000).
+        commits: Option<u64>,
+        /// Workload seed.
+        seed: u64,
+    },
     /// Dataflow ILP-limit analysis.
     Dataflow {
         /// Benchmark name.
@@ -299,6 +317,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Replay { trace, commits, machine })
         }
+        "check" => Ok(Command::Check {
+            bench: take("--bench", &opts),
+            width: take("--width", &opts).map(|v| parse_num("--width", &v)).transpose()?,
+            exceptions: take("--exceptions", &opts)
+                .map(|v| match v.as_str() {
+                    "precise" => Ok(ExceptionModel::Precise),
+                    "imprecise" => Ok(ExceptionModel::Imprecise),
+                    "alpha-hybrid" => Ok(ExceptionModel::AlphaHybrid),
+                    other => Err(format!("unknown exception model {other:?}")),
+                })
+                .transpose()?,
+            regs: take("--regs", &opts).map(|v| parse_num("--regs", &v)).transpose()?,
+            commits: take("--commits", &opts).map(|v| parse_num("--commits", &v)).transpose()?,
+            seed: take("--seed", &opts).map_or(Ok(12), |v| parse_num("--seed", &v))?,
+        }),
         "dataflow" => Ok(Command::Dataflow {
             bench: take("--bench", &opts).ok_or("dataflow requires --bench")?,
             window: take("--window", &opts)
@@ -328,6 +361,8 @@ USAGE:
                    [--window CYCLES] [--out FILE] [machine options]
   rfstudy record   --bench NAME --out FILE [--count N] [--seed N]
   rfstudy replay   --trace FILE [--commits N] [machine options]
+  rfstudy check    [--bench NAME] [--width N] [--exceptions MODEL]
+                   [--regs N] [--commits N] [--seed N]
   rfstudy dataflow --bench NAME [--window N] [--count N]
   rfstudy timing   [--width N]
   rfstudy dump     --trace FILE [--count N]
@@ -352,6 +387,12 @@ TRACE OPTIONS:
   --window CYCLES       keep only the last CYCLES cycles of per-instruction
                         detail (aggregates always cover the whole run)
   --out FILE            write the export to FILE instead of stdout
+
+CHECK OPTIONS:
+  without options, checks all nine benchmarks at widths 4 and 8, precise
+  and imprecise exceptions, 2048 and 64 registers; each option pins one
+  dimension. --commits defaults to the RF_COMMITS environment variable,
+  or 10000. Exits non-zero if any invariant or static bound is violated.
 ";
 
 #[cfg(test)]
@@ -424,6 +465,38 @@ mod tests {
     }
 
     #[test]
+    fn parses_check_with_and_without_options() {
+        match parse(&argv("check")).unwrap() {
+            Command::Check { bench, width, exceptions, regs, commits, seed } => {
+                assert_eq!(bench, None);
+                assert_eq!(width, None);
+                assert_eq!(exceptions, None);
+                assert_eq!(regs, None);
+                assert_eq!(commits, None);
+                assert_eq!(seed, 12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "check --bench compress --width 8 --exceptions imprecise --regs 64 \
+             --commits 2000 --seed 7",
+        ))
+        .unwrap()
+        {
+            Command::Check { bench, width, exceptions, regs, commits, seed } => {
+                assert_eq!(bench.as_deref(), Some("compress"));
+                assert_eq!(width, Some(8));
+                assert_eq!(exceptions, Some(ExceptionModel::Imprecise));
+                assert_eq!(regs, Some(64));
+                assert_eq!(commits, Some(2000));
+                assert_eq!(seed, 7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("check --exceptions bogus")).is_err());
+    }
+
+    #[test]
     fn parses_dump() {
         let cmd = parse(&argv("dump --trace x.rft --count 10")).unwrap();
         assert_eq!(cmd, Command::Dump { trace: "x.rft".into(), count: 10 });
@@ -474,7 +547,8 @@ mod tests {
 
     #[test]
     fn usage_lists_every_subcommand() {
-        for sub in ["list", "run", "trace", "record", "replay", "dataflow", "timing", "dump"] {
+        for sub in ["list", "run", "trace", "record", "replay", "check", "dataflow", "timing", "dump"]
+        {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }
     }

@@ -1,13 +1,14 @@
 //! The `rfstudy` command-line simulator.
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
-//! `replay`, `dump`, `dataflow`, `timing`.
+//! `replay`, `check`, `dump`, `dataflow`, `timing`.
 
 mod cli;
 
 use cli::{Command, MachineOpts, TraceFormat};
+use rf_check::{CheckParams, Sanitizer};
 use rf_core::dataflow::analyze;
-use rf_core::{LiveModel, Pipeline, SimStats};
+use rf_core::{ExceptionModel, LiveModel, Pipeline, SimStats};
 use rf_obs::Recorder;
 use rf_isa::RegClass;
 use rf_timing::{RegFileGeometry, TimingModel};
@@ -56,8 +57,22 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             let profile =
                 spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
             let mut trace = TraceGenerator::new(&profile, machine.seed);
-            let stats = Pipeline::new(machine.to_config()).run(&mut trace, commits);
-            print_stats(&bench, &stats);
+            if rf_check::sanitize_enabled() {
+                let sanitizer = Sanitizer::new(machine.regs, machine.exceptions);
+                let (stats, sanitizer) = Pipeline::with_observer(machine.to_config(), sanitizer)
+                    .run_observed(&mut trace, commits);
+                print_stats(&bench, &stats);
+                println!("{}", sanitizer.report());
+                if !sanitizer.is_clean() {
+                    return Err(format!(
+                        "sanitizer detected {} invariant violation(s)",
+                        sanitizer.total_violations()
+                    ));
+                }
+            } else {
+                let stats = Pipeline::new(machine.to_config()).run(&mut trace, commits);
+                print_stats(&bench, &stats);
+            }
             Ok(())
         }
         Command::Trace { bench, commits, format, window, out, machine } => {
@@ -109,8 +124,10 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                 trace_io::read_trace(&mut file).map_err(|e| format!("bad trace: {e}"))?;
             let n = insts.len() as u64;
             let target = if commits == 0 { n } else { commits.min(n) };
-            run_replay(&trace, insts, target, &machine);
-            Ok(())
+            run_replay(&trace, insts, target, &machine)
+        }
+        Command::Check { bench, width, exceptions, regs, commits, seed } => {
+            run_check(bench, width, exceptions, regs, commits, seed)
         }
         Command::Dataflow { bench, window, count } => {
             let profile =
@@ -153,13 +170,95 @@ fn dispatch(cmd: Command) -> Result<(), String> {
     }
 }
 
-fn run_replay(name: &str, insts: Vec<rf_isa::Instruction>, commits: u64, machine: &MachineOpts) {
+fn run_replay(
+    name: &str,
+    insts: Vec<rf_isa::Instruction>,
+    commits: u64,
+    machine: &MachineOpts,
+) -> Result<(), String> {
     // Wrong-path instructions come from a generic profile (the trace file
     // does not know which benchmark it came from).
     let mut wp = WrongPathGenerator::new(&spec92::compress(), machine.seed);
     let mut trace = insts.into_iter();
-    let stats = Pipeline::new(machine.to_config()).run_with(&mut trace, &mut wp, commits);
-    print_stats(name, &stats);
+    if rf_check::sanitize_enabled() {
+        let sanitizer = Sanitizer::new(machine.regs, machine.exceptions);
+        let (stats, sanitizer) = Pipeline::with_observer(machine.to_config(), sanitizer)
+            .run_with_observed(&mut trace, &mut wp, commits);
+        print_stats(name, &stats);
+        println!("{}", sanitizer.report());
+        if !sanitizer.is_clean() {
+            return Err(format!(
+                "sanitizer detected {} invariant violation(s)",
+                sanitizer.total_violations()
+            ));
+        }
+    } else {
+        let stats = Pipeline::new(machine.to_config()).run_with(&mut trace, &mut wp, commits);
+        print_stats(name, &stats);
+    }
+    Ok(())
+}
+
+/// The `check` subcommand: cross-validates the simulator against the
+/// static oracle over the requested configuration matrix (the full
+/// default matrix when no dimension is pinned).
+fn run_check(
+    bench: Option<String>,
+    width: Option<usize>,
+    exceptions: Option<ExceptionModel>,
+    regs: Option<usize>,
+    commits: Option<u64>,
+    seed: u64,
+) -> Result<(), String> {
+    let commits = commits
+        .or_else(|| std::env::var("RF_COMMITS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(10_000);
+    let benches: Vec<String> = match bench {
+        Some(b) => {
+            spec92::by_name(&b).ok_or_else(|| format!("unknown benchmark {b:?}"))?;
+            vec![b]
+        }
+        None => spec92::all().into_iter().map(|p| p.name).collect(),
+    };
+    let widths = width.map_or_else(|| vec![4, 8], |w| vec![w]);
+    let models = exceptions
+        .map_or_else(|| vec![ExceptionModel::Precise, ExceptionModel::Imprecise], |m| vec![m]);
+    let reg_sizes = regs.map_or_else(|| vec![2048, 64], |r| vec![r]);
+
+    let mut failures = 0u64;
+    let mut runs = 0u64;
+    for b in &benches {
+        for &w in &widths {
+            for &m in &models {
+                for &r in &reg_sizes {
+                    let params = CheckParams {
+                        bench: b.clone(),
+                        width: w,
+                        exceptions: m,
+                        regs: r,
+                        commits,
+                        seed,
+                    };
+                    let report = rf_check::cross_validate(&params)?;
+                    runs += 1;
+                    if report.passed() {
+                        // One summary line per clean configuration.
+                        print!("{}", report.render().lines().next().unwrap_or(""));
+                        println!();
+                    } else {
+                        failures += 1;
+                        print!("{}", report.render());
+                    }
+                }
+            }
+        }
+    }
+    println!("check: {runs} configurations, {failures} failed");
+    if failures > 0 {
+        Err(format!("{failures} configuration(s) failed cross-validation"))
+    } else {
+        Ok(())
+    }
 }
 
 fn print_stats(name: &str, stats: &SimStats) {
