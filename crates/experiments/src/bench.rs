@@ -12,9 +12,13 @@
 //! structured progress line on stderr as it finishes.
 
 use crate::runner::{
-    instructions_committed, simulations_run, stall_telemetry, RunCache, RunSpec, SimPool,
+    instructions_committed, phase_telemetry, simulations_run, stall_telemetry, RunCache,
+    RunSpec, SimPool,
 };
 use rf_core::{NullObserver, Observer as _, Pipeline, StallCause};
+use rf_obs::ledger::{
+    AllocRecord, HarnessRecord, LedgerRecord, PhaseRecord, ProbeRecord,
+};
 use rf_obs::Recorder;
 use rf_workload::{spec92, TraceGenerator};
 use std::fmt::Write as _;
@@ -39,8 +43,22 @@ pub struct Entry {
     pub stall_dq_full: u64,
     /// Cycles with an empty free list across those simulations.
     pub no_free_cycles: u64,
+    /// CPU-seconds constructing trace generators during the harness.
+    pub phase_generate: f64,
+    /// CPU-seconds inside `Pipeline::run` during the harness (can exceed
+    /// `seconds` under parallel workers).
+    pub phase_simulate: f64,
     /// The traced probe attached to this harness, if any.
     pub probe: Option<ProbeSummary>,
+}
+
+impl Entry {
+    /// Wall seconds not covered by the generate/simulate phases:
+    /// rendering and result folding. Clamped at zero because the
+    /// simulate phase is CPU time summed across workers.
+    pub fn phase_aggregate(&self) -> f64 {
+        (self.seconds - self.phase_generate - self.phase_simulate).max(0.0)
+    }
 }
 
 /// Stall attribution and latency percentiles from one small traced run.
@@ -203,9 +221,11 @@ impl SuiteBench {
         let sims0 = simulations_run();
         let committed0 = instructions_committed();
         let (cycles0, no_reg0, dq_full0, no_free0) = stall_telemetry();
+        let (gen0, sim0) = phase_telemetry();
         let start = Instant::now();
         let report = harness();
         let (cycles1, no_reg1, dq_full1, no_free1) = stall_telemetry();
+        let (gen1, sim1) = phase_telemetry();
         self.entries.push(Entry {
             name: name.to_owned(),
             seconds: start.elapsed().as_secs_f64(),
@@ -215,6 +235,8 @@ impl SuiteBench {
             stall_no_reg: no_reg1 - no_reg0,
             stall_dq_full: dq_full1 - dq_full0,
             no_free_cycles: no_free1 - no_free0,
+            phase_generate: (gen1 - gen0) as f64 / 1e9,
+            phase_simulate: (sim1 - sim0) as f64 / 1e9,
             probe: None,
         });
         if let Some(line) = progress_line(self.log, self.entries.len(), self.entries.last().unwrap())
@@ -351,6 +373,98 @@ impl SuiteBench {
         out.push_str("  ]\n}\n");
         out
     }
+
+    /// Builds the run-history ledger record for this suite run (see
+    /// `rf_obs::ledger`): config knobs, totals, per-harness breakdowns
+    /// with phase timers and probes, the extracted figure headlines, and
+    /// the allocation profile when the counting allocator is installed
+    /// (`profile-alloc` feature).
+    pub fn to_ledger_record(&self, headlines: Vec<(String, f64)>) -> LedgerRecord {
+        let cache = RunCache::global();
+        let harnesses: Vec<HarnessRecord> = self
+            .entries
+            .iter()
+            .map(|e| HarnessRecord {
+                name: e.name.clone(),
+                seconds: e.seconds,
+                sims: e.sims,
+                committed: e.committed,
+                cycles: e.cycles,
+                stall_no_reg: e.stall_no_reg,
+                stall_dq_full: e.stall_dq_full,
+                no_free_cycles: e.no_free_cycles,
+                phase: PhaseRecord {
+                    generate: e.phase_generate,
+                    simulate: e.phase_simulate,
+                    aggregate: e.phase_aggregate(),
+                },
+                probe: e.probe.as_ref().map(|p| ProbeRecord {
+                    bench: p.bench.clone(),
+                    cycles: p.cycles,
+                    insert_to_commit: p.insert_to_commit,
+                    issue_to_commit: p.issue_to_commit,
+                }),
+            })
+            .collect();
+        let alloc = if rf_obs::alloc::is_active() {
+            let snap = rf_obs::alloc::snapshot();
+            Some(AllocRecord {
+                allocations: snap.allocations,
+                deallocations: snap.deallocations,
+                allocated_bytes: snap.allocated_bytes,
+            })
+        } else {
+            None
+        };
+        LedgerRecord {
+            timestamp_unix: rf_obs::ledger::unix_timestamp(),
+            git_rev: rf_obs::ledger::git_rev(),
+            commits: self.commits,
+            jobs: SimPool::from_env().jobs() as u64,
+            cache: cache.is_enabled(),
+            sanitize: self.sanitizer.is_some(),
+            total_seconds: self.started.elapsed().as_secs_f64(),
+            sims: self.entries.iter().map(|e| e.sims).sum(),
+            committed: self.entries.iter().map(|e| e.committed).sum(),
+            cycles: self.entries.iter().map(|e| e.cycles).sum(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            harnesses,
+            headlines,
+            alloc,
+        }
+    }
+
+    /// Renders the final suite-summary log line for the active `RF_LOG`
+    /// mode (`None` when logging is off): totals, cache hit rate, and
+    /// wall time, so log scrapers don't have to re-sum harness lines.
+    pub fn suite_summary_line(&self) -> Option<String> {
+        let total = self.started.elapsed().as_secs_f64();
+        let sims: u64 = self.entries.iter().map(|e| e.sims).sum();
+        let committed: u64 = self.entries.iter().map(|e| e.committed).sum();
+        let cache = RunCache::global();
+        let lookups = cache.hits() + cache.misses();
+        let hit_rate = rate(cache.hits() as f64, lookups as f64);
+        match self.log {
+            LogMode::Off => None,
+            LogMode::Text => Some(format!(
+                "[rfstudy] suite harnesses={} seconds={total:.3} sims={sims} \
+                 committed={committed} cache_hit_rate={hit_rate:.3} jobs={}",
+                self.entries.len(),
+                SimPool::from_env().jobs(),
+            )),
+            LogMode::Json => Some(format!(
+                "{{\"event\":\"suite\",\"harnesses\":{},\"seconds\":{total:.3},\
+                 \"simulations\":{sims},\"instructions_committed\":{committed},\
+                 \"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{hit_rate:.3},\
+                 \"jobs\":{}}}",
+                self.entries.len(),
+                cache.hits(),
+                cache.misses(),
+                SimPool::from_env().jobs(),
+            )),
+        }
+    }
 }
 
 fn rate(amount: f64, seconds: f64) -> f64 {
@@ -462,6 +576,8 @@ mod tests {
             stall_no_reg: 5,
             stall_dq_full: 7,
             no_free_cycles: 11,
+            phase_generate: 0.05,
+            phase_simulate: 1.0,
             probe: None,
         };
         assert_eq!(progress_line(LogMode::Off, 1, &entry), None);
@@ -470,5 +586,71 @@ mod tests {
         let json = progress_line(LogMode::Json, 3, &entry).unwrap();
         rf_obs::json::validate(&json).expect("json progress line must parse");
         assert!(json.contains("\"name\":\"fig3\"") && json.contains("\"n\":3"), "{json}");
+    }
+
+    #[test]
+    fn entry_phase_aggregate_is_clamped_residual() {
+        let mut entry = Entry {
+            name: "x".into(),
+            seconds: 2.0,
+            sims: 1,
+            committed: 1,
+            cycles: 1,
+            stall_no_reg: 0,
+            stall_dq_full: 0,
+            no_free_cycles: 0,
+            phase_generate: 0.25,
+            phase_simulate: 1.25,
+            probe: None,
+        };
+        assert!((entry.phase_aggregate() - 0.5).abs() < 1e-12);
+        // Parallel workers: summed CPU time exceeds wall time.
+        entry.phase_simulate = 7.0;
+        assert_eq!(entry.phase_aggregate(), 0.0);
+    }
+
+    #[test]
+    fn ledger_record_carries_phases_probes_and_headlines() {
+        let mut bench = SuiteBench::start(1_000);
+        let _ = bench.time("tiny", || {
+            let spec = RunSpec::baseline("ora", 4).commits(1_000);
+            format!("{}", simulate(&spec).committed)
+        });
+        bench.attach_probe("ora", 1_000);
+        let record =
+            bench.to_ledger_record(vec![("fig3.commit_ipc.4way_dq32".to_owned(), 2.68)]);
+        assert_eq!(record.commits, 1_000);
+        assert_eq!(record.harnesses.len(), 1);
+        let h = &record.harnesses[0];
+        assert_eq!(h.name, "tiny");
+        assert_eq!(h.sims, 1);
+        assert!(h.phase.simulate > 0.0, "simulate phase timed");
+        assert!(h.phase.generate >= 0.0);
+        let probe = h.probe.as_ref().expect("probe recorded");
+        assert_eq!(probe.bench, "ora");
+        assert!(probe.cycles > 0);
+        assert_eq!(record.headlines.len(), 1);
+        assert!(!record.git_rev.is_empty());
+        // The record renders as one valid ledger line.
+        let line = record.to_line();
+        rf_obs::json::validate(&line).expect("ledger line must be valid JSON");
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn suite_summary_line_follows_log_mode() {
+        let mut bench = SuiteBench::start(500);
+        let _ = bench.time("noop", String::new);
+        // The constructor read RF_LOG from the environment; exercise all
+        // modes explicitly instead of mutating the process env.
+        bench.log = LogMode::Off;
+        assert_eq!(bench.suite_summary_line(), None);
+        bench.log = LogMode::Text;
+        let text = bench.suite_summary_line().unwrap();
+        assert!(text.contains("suite harnesses=1") && text.contains("cache_hit_rate="), "{text}");
+        bench.log = LogMode::Json;
+        let json = bench.suite_summary_line().unwrap();
+        rf_obs::json::validate(&json).expect("json suite summary must parse");
+        assert!(json.contains("\"event\":\"suite\"") && json.contains("\"harnesses\":1"), "{json}");
     }
 }

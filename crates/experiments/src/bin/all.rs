@@ -1,15 +1,25 @@
 //! Runs every table/figure harness and writes reports under `results/`,
 //! plus a `results/BENCH_suite.json` timing report for the whole suite.
 //!
+//! Every invocation also appends one schema-versioned record to the
+//! run-history ledger `results/history/suite.jsonl` (and copies it to
+//! `BENCH_history.jsonl` at the repo root): config knobs, per-harness
+//! timings with phase breakdowns, traced-probe percentiles, and the
+//! headline numbers extracted from each figure report. `rfstudy report`
+//! reads that ledger.
+//!
 //! Pass a commit budget as the first argument or set RF_COMMITS
 //! (default 200000). RF_JOBS sets the number of parallel simulation
 //! workers (default: all cores); RF_CACHE=0 disables the shared run
 //! cache; RF_LOG=text|json emits a structured progress line on stderr as
-//! each harness finishes.
+//! each harness finishes plus a final suite-summary record.
 
 use rf_experiments::bench::{SanitizerStatus, SuiteBench};
 use rf_experiments::runner::Scale;
+use rf_obs::fidelity;
+use rf_obs::ledger;
 use std::fs;
+use std::path::Path;
 
 /// Commit budget of the per-harness traced probes (small: each probe is
 /// one extra observed simulation whose stall attribution and latency
@@ -43,9 +53,15 @@ fn main() -> std::io::Result<()> {
         ("dataflow", rf_experiments::dataflow::run, "mdljsp2"),
     ];
     let mut bench = SuiteBench::start(scale.commits);
+    let mut headlines: Vec<(String, f64)> = Vec::new();
     for (name, run, probe_bench) in experiments {
         let report = bench.time(name, || run(&scale));
         bench.attach_probe(probe_bench, PROBE_COMMITS.min(scale.commits));
+        headlines.extend(
+            fidelity::extract_headlines(name, &report)
+                .into_iter()
+                .map(|h| (h.id.to_owned(), h.value)),
+        );
         let path = format!("results/{name}.txt");
         fs::write(&path, &report)?;
         let timed = bench.entries().last().expect("just recorded");
@@ -69,5 +85,19 @@ fn main() -> std::io::Result<()> {
     let json = bench.to_json();
     fs::write("results/BENCH_suite.json", &json)?;
     println!("== benchmark -> results/BENCH_suite.json\n{json}");
+    // Append this run to the history ledger and mirror the record at the
+    // repo root, so the perf/fidelity trajectory survives the overwrite
+    // of BENCH_suite.json.
+    let line = bench.to_ledger_record(headlines).to_line();
+    ledger::append_line(Path::new(ledger::LEDGER_PATH), &line)?;
+    ledger::write_latest(Path::new(ledger::LATEST_PATH), &line)?;
+    println!(
+        "== ledger record appended -> {} (latest copied to {})",
+        ledger::LEDGER_PATH,
+        ledger::LATEST_PATH
+    );
+    if let Some(summary) = bench.suite_summary_line() {
+        eprintln!("{summary}");
+    }
     Ok(())
 }

@@ -221,6 +221,10 @@ static SIM_STALL_DQ_FULL: AtomicU64 = AtomicU64::new(0);
 /// Cycles with an empty free list (either class), summed over executed
 /// simulations.
 static SIM_NO_FREE_CYCLES: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds spent constructing trace generators, summed over workers.
+static PHASE_GEN_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds spent inside `Pipeline::run`, summed over workers.
+static PHASE_SIM_NANOS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of simulations actually executed so far in this process
 /// (run-cache hits do not count).
@@ -250,6 +254,19 @@ pub fn stall_telemetry() -> (u64, u64, u64, u64) {
     )
 }
 
+/// Phase CPU time accumulated by every executed simulation, in
+/// nanoseconds: `(generator construction, pipeline simulation)`.
+///
+/// Workers accumulate concurrently, so these are CPU-seconds: under
+/// `RF_JOBS` parallelism the simulate phase can legitimately exceed the
+/// harness's wall time. Trace *generation* is lazy (it interleaves with
+/// simulation inside `Pipeline::run`), so the generate phase covers
+/// generator construction only; the interleaved generation cost is part
+/// of the simulate phase by construction.
+pub fn phase_telemetry() -> (u64, u64) {
+    (PHASE_GEN_NANOS.load(Ordering::Relaxed), PHASE_SIM_NANOS.load(Ordering::Relaxed))
+}
+
 /// Runs one simulation point (always executes; no caching).
 ///
 /// # Panics
@@ -258,8 +275,12 @@ pub fn stall_telemetry() -> (u64, u64, u64, u64) {
 pub fn simulate(spec: &RunSpec) -> SimStats {
     let profile = spec92::by_name(&spec.benchmark)
         .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.benchmark));
+    let gen_start = std::time::Instant::now();
     let mut trace = TraceGenerator::new(&profile, spec.seed);
+    PHASE_GEN_NANOS.fetch_add(gen_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let sim_start = std::time::Instant::now();
     let stats = Pipeline::new(spec.machine_config()).run(&mut trace, spec.commits);
+    PHASE_SIM_NANOS.fetch_add(sim_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     SIM_RUNS.fetch_add(1, Ordering::Relaxed);
     SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);

@@ -1,0 +1,108 @@
+//! End-to-end tests of the run-history ledger through the real suite
+//! binary: two sequential cache-disabled runs of `all` must append
+//! records whose deterministic metric payloads are byte-identical, and
+//! every record must carry the schema-versioned structure `rfstudy
+//! report` consumes.
+//!
+//! The suite runs at a tiny commit budget in a private temp directory,
+//! so these tests exercise the whole write path (harness timing, phase
+//! timers, probe attachment, headline extraction, atomic append,
+//! latest-copy mirror) without the cost of a real suite run.
+
+use rf_obs::json::Value;
+use rf_obs::ledger::{self, metric_payload};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Commit budget for the miniature suite runs. Small enough to keep the
+/// test fast, large enough that every harness commits real work.
+const COMMITS: &str = "300";
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rf-ledger-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs the suite binary once in `dir` with a sequential worker pool,
+/// no run cache, and a pinned git revision, then returns the parsed
+/// records of the ledger it wrote.
+fn run_suite(dir: &Path) -> Vec<Value> {
+    let status = Command::new(env!("CARGO_BIN_EXE_all"))
+        .arg(COMMITS)
+        .current_dir(dir)
+        .env("RF_JOBS", "1")
+        .env("RF_CACHE", "0")
+        .env("RF_GIT_REV", "e2e-test-rev")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .expect("suite binary runs");
+    assert!(status.success(), "suite binary exited with {status}");
+    ledger::read_ledger(&dir.join(ledger::LEDGER_PATH)).expect("ledger parses")
+}
+
+#[test]
+fn suite_runs_append_deterministic_schema_versioned_records() {
+    // First invocation in a fresh directory: one record.
+    let dir_a = workdir("a");
+    let first = run_suite(&dir_a);
+    assert_eq!(first.len(), 1, "one invocation appends one record");
+
+    // Second invocation in the same directory: the ledger accumulates,
+    // and the repo-root latest copy holds exactly the newest record.
+    let second = run_suite(&dir_a);
+    assert_eq!(second.len(), 2, "appends accumulate across invocations");
+    let latest = ledger::read_ledger(&dir_a.join(ledger::LATEST_PATH)).unwrap();
+    assert_eq!(latest.len(), 1);
+    assert_eq!(
+        latest[0].to_string(),
+        second[1].to_string(),
+        "BENCH_history.jsonl mirrors the newest ledger record"
+    );
+
+    // A run in a different directory reproduces the same deterministic
+    // payload: strip volatile members (timestamps, seconds, alloc) and
+    // the renderings must be byte-identical. This is the determinism
+    // guarantee the ledger's cross-run comparisons rest on.
+    let dir_b = workdir("b");
+    let other = run_suite(&dir_b);
+    let payloads: Vec<String> = [&second[0], &second[1], &other[0]]
+        .iter()
+        .map(|r| metric_payload(r).to_string())
+        .collect();
+    assert_eq!(payloads[0], payloads[1], "same-dir reruns agree");
+    assert_eq!(payloads[0], payloads[2], "fresh-dir reruns agree");
+
+    // Schema and content sanity on the record the report layer will read.
+    let rec = &second[1];
+    assert_eq!(rec.get_f64("schema"), Some(ledger::SCHEMA_VERSION as f64));
+    assert_eq!(rec.get_str("git_rev"), Some("e2e-test-rev"));
+    let config = rec.get("config").unwrap();
+    assert_eq!(config.get_f64("commits"), Some(300.0));
+    assert_eq!(config.get_f64("jobs"), Some(1.0));
+    assert_eq!(config.get("cache"), Some(&Value::Bool(false)));
+    let harnesses = rec.get("harnesses").unwrap().as_array().unwrap();
+    assert_eq!(harnesses.len(), 12, "all twelve harnesses recorded");
+    for h in harnesses {
+        assert!(h.get_f64("sims").unwrap() > 0.0, "{:?} ran simulations", h.get_str("name"));
+        let phase = h.get("phase_seconds").unwrap();
+        for key in ["generate", "simulate", "aggregate"] {
+            assert!(phase.get_f64(key).unwrap() >= 0.0);
+        }
+        assert!(h.get("probe").unwrap().get_str("bench").is_some(), "probe attached");
+    }
+    // Headline extraction found the fidelity targets even at this tiny
+    // scale (values differ from the 200k anchors; presence is the test).
+    let headlines = rec.get("headlines").unwrap().as_object().unwrap();
+    assert!(
+        headlines.len() >= 20,
+        "expected >=20 extracted headlines, got {}: {:?}",
+        headlines.len(),
+        headlines.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -1,0 +1,477 @@
+//! The append-only run-history ledger.
+//!
+//! Every experiment-suite invocation (`--bin all`) appends exactly one
+//! JSON record — one line — to `results/history/suite.jsonl`, so the
+//! repo accumulates a perf-and-fidelity trajectory instead of
+//! overwriting `BENCH_suite.json` in place. This module owns the record
+//! schema ([`LedgerRecord`] and [`SCHEMA_VERSION`]), the atomic append
+//! ([`append_line`]: `O_APPEND` plus a single `write(2)` of the whole
+//! line, so concurrent `RF_JOBS` suites interleave records, never
+//! bytes), and the read side used by `rfstudy report`.
+//!
+//! Records are written by hand through [`json::Value`](crate::json) (no
+//! serde in this offline build) and read back with the same parser, so
+//! the golden-file schema test closes the loop on both directions.
+
+use crate::json::Value;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Version of the record layout; bump on breaking schema changes so
+/// `rfstudy report` can refuse records it does not understand.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default ledger location, relative to the repo root.
+pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
+
+/// Repo-root copy of the latest ledger record (satellite visibility:
+/// the newest trajectory point without digging into `results/`).
+pub const LATEST_PATH: &str = "BENCH_history.jsonl";
+
+/// Traced-probe percentiles for one harness (from the PR 2 observer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeRecord {
+    /// Benchmark the probe traced.
+    pub bench: String,
+    /// Cycles the traced simulation ran.
+    pub cycles: u64,
+    /// Insert→commit latency `(p50, p90, p99)`.
+    pub insert_to_commit: (u64, u64, u64),
+    /// Issue→commit latency `(p50, p90, p99)`.
+    pub issue_to_commit: (u64, u64, u64),
+}
+
+/// Self-profiling phase timers for one harness, in seconds.
+///
+/// `generate` is trace-generator *construction* (generation itself is
+/// lazy and interleaves with simulation); `simulate` is CPU time inside
+/// `Pipeline::run` summed over workers (it can exceed wall time under
+/// `RF_JOBS` parallelism); `aggregate` is the harness wall time not
+/// covered by the other two — report rendering and result folding.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseRecord {
+    /// Seconds constructing trace generators.
+    pub generate: f64,
+    /// CPU-seconds inside the pipeline simulator.
+    pub simulate: f64,
+    /// Residual harness wall seconds (rendering, folding).
+    pub aggregate: f64,
+}
+
+/// Per-harness measurements for one suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessRecord {
+    /// Harness name (`table1`, `fig3`, …).
+    pub name: String,
+    /// Wall seconds for the harness.
+    pub seconds: f64,
+    /// Simulations executed (cache hits excluded).
+    pub sims: u64,
+    /// Instructions committed by those simulations.
+    pub committed: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Insert stalls: no free register.
+    pub stall_no_reg: u64,
+    /// Insert stalls: dispatch queue full.
+    pub stall_dq_full: u64,
+    /// Cycles with an empty free list.
+    pub no_free_cycles: u64,
+    /// Phase timer breakdown.
+    pub phase: PhaseRecord,
+    /// Traced-probe percentiles, when the harness attached one.
+    pub probe: Option<ProbeRecord>,
+}
+
+/// Allocation counters for the whole run (only present when the suite
+/// was built with the `profile-alloc` feature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocRecord {
+    /// Allocations (including reallocations).
+    pub allocations: u64,
+    /// Deallocations.
+    pub deallocations: u64,
+    /// Bytes requested.
+    pub allocated_bytes: u64,
+}
+
+/// One suite run: the unit the ledger appends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Seconds since the Unix epoch when the run finished.
+    pub timestamp_unix: u64,
+    /// Git revision of the working tree (short hash, or `unknown`).
+    pub git_rev: String,
+    /// Committed instructions per simulation (`RF_COMMITS`).
+    pub commits: u64,
+    /// Worker threads (`RF_JOBS`).
+    pub jobs: u64,
+    /// Whether the run cache was enabled.
+    pub cache: bool,
+    /// Whether the invariant sanitizer was attached.
+    pub sanitize: bool,
+    /// Suite wall-clock seconds.
+    pub total_seconds: f64,
+    /// Total simulations executed.
+    pub sims: u64,
+    /// Total instructions committed.
+    pub committed: u64,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Run-cache hits across the suite.
+    pub cache_hits: u64,
+    /// Run-cache misses across the suite.
+    pub cache_misses: u64,
+    /// Per-harness breakdown, in suite order.
+    pub harnesses: Vec<HarnessRecord>,
+    /// Headline numbers extracted from the figure harnesses
+    /// (`fidelity::Target` id → measured value, extraction order).
+    pub headlines: Vec<(String, f64)>,
+    /// Allocation profile, when the counting allocator is installed.
+    pub alloc: Option<AllocRecord>,
+}
+
+/// Rounds to microsecond precision so seconds fields stay compact.
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+fn num(x: f64) -> Value {
+    Value::Number(x)
+}
+
+fn int(x: u64) -> Value {
+    Value::Number(x as f64)
+}
+
+impl LedgerRecord {
+    /// Builds the JSON tree for this record (schema [`SCHEMA_VERSION`]).
+    pub fn to_value(&self) -> Value {
+        let mut root = vec![
+            ("schema".to_owned(), int(SCHEMA_VERSION)),
+            ("timestamp_unix".to_owned(), int(self.timestamp_unix)),
+            ("git_rev".to_owned(), Value::String(self.git_rev.clone())),
+            (
+                "config".to_owned(),
+                Value::Object(vec![
+                    ("commits".to_owned(), int(self.commits)),
+                    ("jobs".to_owned(), int(self.jobs)),
+                    ("cache".to_owned(), Value::Bool(self.cache)),
+                    ("sanitize".to_owned(), Value::Bool(self.sanitize)),
+                ]),
+            ),
+            (
+                "totals".to_owned(),
+                Value::Object(vec![
+                    ("seconds".to_owned(), num(round6(self.total_seconds))),
+                    ("sims".to_owned(), int(self.sims)),
+                    ("committed".to_owned(), int(self.committed)),
+                    ("cycles".to_owned(), int(self.cycles)),
+                    ("cache_hits".to_owned(), int(self.cache_hits)),
+                    ("cache_misses".to_owned(), int(self.cache_misses)),
+                ]),
+            ),
+            (
+                "harnesses".to_owned(),
+                Value::Array(self.harnesses.iter().map(harness_value).collect()),
+            ),
+            (
+                "headlines".to_owned(),
+                Value::Object(
+                    self.headlines.iter().map(|(id, v)| (id.clone(), num(*v))).collect(),
+                ),
+            ),
+        ];
+        root.push((
+            "alloc".to_owned(),
+            match &self.alloc {
+                Some(a) => Value::Object(vec![
+                    ("allocations".to_owned(), int(a.allocations)),
+                    ("deallocations".to_owned(), int(a.deallocations)),
+                    ("allocated_bytes".to_owned(), int(a.allocated_bytes)),
+                ]),
+                None => Value::Null,
+            },
+        ));
+        Value::Object(root)
+    }
+
+    /// Renders the record as its single ledger line (no newline).
+    pub fn to_line(&self) -> String {
+        self.to_value().to_string()
+    }
+}
+
+fn harness_value(h: &HarnessRecord) -> Value {
+    let mut members = vec![
+        ("name".to_owned(), Value::String(h.name.clone())),
+        ("seconds".to_owned(), num(round6(h.seconds))),
+        ("sims".to_owned(), int(h.sims)),
+        ("committed".to_owned(), int(h.committed)),
+        ("cycles".to_owned(), int(h.cycles)),
+        ("stall_no_reg".to_owned(), int(h.stall_no_reg)),
+        ("stall_dq_full".to_owned(), int(h.stall_dq_full)),
+        ("no_free_cycles".to_owned(), int(h.no_free_cycles)),
+        (
+            "phase_seconds".to_owned(),
+            Value::Object(vec![
+                ("generate".to_owned(), num(round6(h.phase.generate))),
+                ("simulate".to_owned(), num(round6(h.phase.simulate))),
+                ("aggregate".to_owned(), num(round6(h.phase.aggregate))),
+            ]),
+        ),
+    ];
+    members.push((
+        "probe".to_owned(),
+        match &h.probe {
+            Some(p) => Value::Object(vec![
+                ("bench".to_owned(), Value::String(p.bench.clone())),
+                ("cycles".to_owned(), int(p.cycles)),
+                (
+                    "insert_to_commit".to_owned(),
+                    Value::Array(vec![
+                        int(p.insert_to_commit.0),
+                        int(p.insert_to_commit.1),
+                        int(p.insert_to_commit.2),
+                    ]),
+                ),
+                (
+                    "issue_to_commit".to_owned(),
+                    Value::Array(vec![
+                        int(p.issue_to_commit.0),
+                        int(p.issue_to_commit.1),
+                        int(p.issue_to_commit.2),
+                    ]),
+                ),
+            ]),
+            None => Value::Null,
+        },
+    ));
+    Value::Object(members)
+}
+
+/// Appends one record line atomically: parent directories are created,
+/// the file is opened `O_APPEND`, and the line plus newline goes out in
+/// a single `write`, so records from concurrent suite invocations never
+/// interleave mid-line.
+pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut payload = String::with_capacity(line.len() + 1);
+    payload.push_str(line);
+    payload.push('\n');
+    let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(payload.as_bytes())
+}
+
+/// Overwrites `path` with just this record line (the repo-root
+/// "latest" pointer, [`LATEST_PATH`]).
+pub fn write_latest(path: &Path, line: &str) -> io::Result<()> {
+    fs::write(path, format!("{line}\n"))
+}
+
+/// Reads and parses every record in a ledger file, in append order.
+/// Blank lines are skipped; a malformed line is an error naming its
+/// line number.
+pub fn read_ledger(path: &Path) -> Result<Vec<Value>, String> {
+    let text = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read ledger {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = crate::json::parse(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records.push(value);
+    }
+    Ok(records)
+}
+
+/// The working tree's git revision: `RF_GIT_REV` if set, else
+/// `git rev-parse --short=12 HEAD`, else `"unknown"`.
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("RF_GIT_REV") {
+        if !rev.trim().is_empty() {
+            return rev.trim().to_owned();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_timestamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Whether a record key carries volatile (timing/host-dependent) data
+/// that legitimately differs between byte-identical simulation runs.
+fn is_volatile_key(key: &str) -> bool {
+    key == "timestamp_unix"
+        || key == "alloc"
+        || key.contains("seconds")
+        || key.ends_with("per_second")
+}
+
+/// Strips volatile members (timestamps, wall seconds, allocator
+/// counters) from a parsed record, leaving only the deterministic
+/// metric payload. Two `RF_JOBS=1 RF_CACHE=0` suite runs of the same
+/// build must produce identical payloads — the determinism test renders
+/// both with [`Value::to_string`] and compares.
+pub fn metric_payload(record: &Value) -> Value {
+    match record {
+        Value::Object(members) => Value::Object(
+            members
+                .iter()
+                .filter(|(k, _)| !is_volatile_key(k))
+                .map(|(k, v)| (k.clone(), metric_payload(v)))
+                .collect(),
+        ),
+        Value::Array(items) => Value::Array(items.iter().map(metric_payload).collect()),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> LedgerRecord {
+        LedgerRecord {
+            timestamp_unix: 1_700_000_000,
+            git_rev: "abc123def456".to_owned(),
+            commits: 2_000,
+            jobs: 2,
+            cache: true,
+            sanitize: false,
+            total_seconds: 1.25,
+            sims: 100,
+            committed: 200_000,
+            cycles: 90_000,
+            cache_hits: 40,
+            cache_misses: 100,
+            harnesses: vec![HarnessRecord {
+                name: "fig3".to_owned(),
+                seconds: 0.5,
+                sims: 50,
+                committed: 100_000,
+                cycles: 45_000,
+                stall_no_reg: 10,
+                stall_dq_full: 20,
+                no_free_cycles: 5,
+                phase: PhaseRecord { generate: 0.01, simulate: 0.4, aggregate: 0.09 },
+                probe: Some(ProbeRecord {
+                    bench: "gcc1".to_owned(),
+                    cycles: 2_000,
+                    insert_to_commit: (10, 20, 30),
+                    issue_to_commit: (5, 9, 14),
+                }),
+            }],
+            headlines: vec![("fig3.commit_ipc.4way_dq32".to_owned(), 2.68)],
+            alloc: None,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rf-obs-ledger-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn record_line_is_valid_single_line_json() {
+        let line = sample().to_line();
+        assert!(!line.contains('\n'));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get_f64("schema"), Some(SCHEMA_VERSION as f64));
+        assert_eq!(v.get_str("git_rev"), Some("abc123def456"));
+        assert_eq!(v.get("config").unwrap().get_f64("commits"), Some(2_000.0));
+        assert_eq!(v.get("totals").unwrap().get_f64("sims"), Some(100.0));
+        let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
+        assert_eq!(h.get_str("name"), Some("fig3"));
+        assert_eq!(h.get("phase_seconds").unwrap().get_f64("simulate"), Some(0.4));
+        assert_eq!(h.get("probe").unwrap().get_str("bench"), Some("gcc1"));
+        assert_eq!(
+            v.get("headlines").unwrap().get_f64("fig3.commit_ipc.4way_dq32"),
+            Some(2.68)
+        );
+        assert_eq!(v.get("alloc"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn append_accumulates_and_latest_overwrites() {
+        let ledger = tmp("append/suite.jsonl");
+        let _ = fs::remove_dir_all(ledger.parent().unwrap());
+        append_line(&ledger, &sample().to_line()).unwrap();
+        append_line(&ledger, &sample().to_line()).unwrap();
+        let records = read_ledger(&ledger).unwrap();
+        assert_eq!(records.len(), 2, "appends accumulate");
+
+        let latest = tmp("latest.jsonl");
+        write_latest(&latest, &sample().to_line()).unwrap();
+        write_latest(&latest, &sample().to_line()).unwrap();
+        assert_eq!(read_ledger(&latest).unwrap().len(), 1, "latest is a copy, not a log");
+        let _ = fs::remove_dir_all(ledger.parent().unwrap());
+        let _ = fs::remove_file(&latest);
+    }
+
+    #[test]
+    fn read_ledger_reports_malformed_lines() {
+        let path = tmp("bad.jsonl");
+        fs::write(&path, "{\"schema\":1}\nnot json\n").unwrap();
+        let err = read_ledger(&path).unwrap_err();
+        assert!(err.contains(":2:"), "names the offending line: {err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn metric_payload_drops_volatile_keys_only() {
+        let mut rec = sample();
+        let a = rec.to_value();
+        rec.timestamp_unix += 999;
+        rec.total_seconds *= 3.0;
+        rec.harnesses[0].seconds = 42.0;
+        rec.harnesses[0].phase.simulate = 9.0;
+        rec.alloc = Some(AllocRecord {
+            allocations: 1,
+            deallocations: 2,
+            allocated_bytes: 3,
+        });
+        let b = rec.to_value();
+        assert_ne!(a.to_string(), b.to_string());
+        assert_eq!(
+            metric_payload(&a).to_string(),
+            metric_payload(&b).to_string(),
+            "volatile-only differences vanish"
+        );
+        // Non-volatile changes survive the filter.
+        rec.sims += 1;
+        assert_ne!(metric_payload(&a).to_string(), metric_payload(&rec.to_value()).to_string());
+        // The payload still carries the deterministic metrics.
+        let p = metric_payload(&a);
+        assert_eq!(p.get("totals").unwrap().get_f64("cycles"), Some(90_000.0));
+        assert!(p.get("totals").unwrap().get("seconds").is_none());
+    }
+
+    #[test]
+    fn git_rev_prefers_env_override() {
+        // Avoid mutating the process env (other tests run concurrently):
+        // exercise the fallback chain only where it is deterministic.
+        let rev = git_rev();
+        assert!(!rev.is_empty());
+    }
+}

@@ -19,18 +19,36 @@
 //! - [`report::summary`] and [`report::text_timeline`] are the text
 //!   renderings used by `rfstudy trace`.
 //! - [`json::validate`] is the dependency-free JSON recogniser the tests
-//!   and CI smoke step use to prove the exporter's output parses.
+//!   and CI smoke step use to prove the exporter's output parses;
+//!   [`json::parse`] builds a [`json::Value`] tree for readers.
+//!
+//! Longitudinal observability (the cross-run layer):
+//!
+//! - [`ledger`] owns the append-only run-history record schema
+//!   (`results/history/suite.jsonl`) and its atomic JSONL append.
+//! - [`fidelity`] pins the paper's headline numbers (Table 1, Figures
+//!   3–10) and scores each run's extracted headlines against them.
+//! - [`trend`] compares the latest ledger record against a baseline with
+//!   MAD-based noise thresholds and renders text / markdown / Prometheus
+//!   reports — the engine behind `rfstudy report [--check]`.
+//! - [`alloc`] is an optional counting global allocator for suite
+//!   self-profiling (installed behind `rf-experiments`'s `profile-alloc`
+//!   feature).
 //!
 //! A traced run is driven through `Pipeline::with_observer` +
 //! `run_observed`; because the observer only receives copies of pipeline
 //! state, a traced run's `SimStats` are byte-identical to an untraced
 //! run's (asserted by this crate's determinism tests).
 
+pub mod alloc;
 pub mod chrome;
+pub mod fidelity;
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod trend;
 
 pub use chrome::chrome_trace;
 pub use metrics::{Histogram, MetricsRegistry};

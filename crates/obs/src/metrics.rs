@@ -75,6 +75,21 @@ impl Histogram {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.counts.iter().map(|(&v, &c)| (v, c))
     }
+
+    /// Folds `other`'s samples into `self`.
+    ///
+    /// Because samples are stored exactly (value → count), the merged
+    /// histogram is indistinguishable from one that recorded both sample
+    /// streams directly — percentiles over the merged distribution are
+    /// exact, which is what cross-run aggregation of ledger records
+    /// relies on.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&value, &count) in &other.counts {
+            *self.counts.entry(value).or_insert(0) += count;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -176,6 +191,80 @@ mod tests {
         assert_eq!(m.histogram("latency").unwrap().count(), 2);
         assert_eq!(m.counters().count(), 1);
         assert_eq!(m.histograms().count(), 1);
+    }
+
+    #[test]
+    fn merge_of_empty_histograms_is_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.percentile(50.0), 0);
+
+        // Empty into non-empty leaves the receiver unchanged.
+        let mut b = Histogram::new();
+        b.record(7);
+        let before = b.clone();
+        b.merge(&Histogram::new());
+        assert_eq!(b, before);
+
+        // Non-empty into empty equals the source.
+        let mut c = Histogram::new();
+        c.merge(&before);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_has_exact_quantiles() {
+        let mut low = Histogram::new();
+        for v in 1..=50u64 {
+            low.record(v);
+        }
+        let mut high = Histogram::new();
+        for v in 51..=100u64 {
+            high.record(v);
+        }
+        low.merge(&high);
+        // Identical to recording 1..=100 directly.
+        let mut direct = Histogram::new();
+        for v in 1..=100u64 {
+            direct.record(v);
+        }
+        assert_eq!(low, direct);
+        assert_eq!(low.percentile(50.0), 50);
+        assert_eq!(low.percentile(99.0), 99);
+        assert_eq!(low.count(), 100);
+        assert!((low.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_overlapping_values_sums_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut direct = Histogram::new();
+        for v in [3u64, 3, 5, 9] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [3u64, 5, 5, 7] {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, direct);
+        assert_eq!(a.count(), 8);
+        assert_eq!(a.percentile(50.0), 5);
+        assert_eq!(a.max(), 9);
+        // Merging is order-independent on the stored distribution.
+        let mut swapped = Histogram::new();
+        for v in [3u64, 5, 5, 7] {
+            swapped.record(v);
+        }
+        let mut a2 = Histogram::new();
+        for v in [3u64, 3, 5, 9] {
+            a2.record(v);
+        }
+        swapped.merge(&a2);
+        assert_eq!(swapped, a);
     }
 
     #[test]

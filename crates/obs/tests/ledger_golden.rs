@@ -1,0 +1,162 @@
+//! Golden-file test for the run-history ledger schema.
+//!
+//! The rendered form of a ledger record is an interface: `rfstudy
+//! report` parses it, CI tooling greps it, and schema changes must bump
+//! [`rf_obs::ledger::SCHEMA_VERSION`]. This test pins the exact byte
+//! rendering of a fully-populated record (every optional present) and a
+//! minimal one (every optional absent) against
+//! `tests/golden/ledger_record.jsonl`. If it fails because of an
+//! intentional schema change, bump the schema version, update the
+//! golden file to the `=== got ===` output, and teach
+//! `rf_obs::trend::analyze` about the new layout.
+
+use rf_obs::json::{self, Value};
+use rf_obs::ledger::{
+    AllocRecord, HarnessRecord, LedgerRecord, PhaseRecord, ProbeRecord, SCHEMA_VERSION,
+};
+
+const GOLDEN: &str = include_str!("golden/ledger_record.jsonl");
+
+/// A record with every optional field populated.
+fn full_record() -> LedgerRecord {
+    LedgerRecord {
+        timestamp_unix: 1_754_000_000,
+        git_rev: "0123456789ab".to_owned(),
+        commits: 200_000,
+        jobs: 8,
+        cache: true,
+        sanitize: true,
+        total_seconds: 123.456789,
+        sims: 1_234,
+        committed: 246_800_000,
+        cycles: 98_765_432,
+        cache_hits: 321,
+        cache_misses: 913,
+        harnesses: vec![
+            HarnessRecord {
+                name: "table1".to_owned(),
+                seconds: 10.5,
+                sims: 18,
+                committed: 3_600_000,
+                cycles: 1_500_000,
+                stall_no_reg: 0,
+                stall_dq_full: 42_000,
+                no_free_cycles: 0,
+                phase: PhaseRecord { generate: 0.002, simulate: 10.25, aggregate: 0.248 },
+                probe: Some(ProbeRecord {
+                    bench: "compress".to_owned(),
+                    cycles: 2_048,
+                    insert_to_commit: (9, 21, 55),
+                    issue_to_commit: (4, 11, 30),
+                }),
+            },
+            HarnessRecord {
+                name: "fig10".to_owned(),
+                seconds: 0.75,
+                sims: 64,
+                committed: 12_800_000,
+                cycles: 4_300_000,
+                stall_no_reg: 77,
+                stall_dq_full: 0,
+                no_free_cycles: 13,
+                phase: PhaseRecord { generate: 0.001, simulate: 0.6, aggregate: 0.149 },
+                probe: None,
+            },
+        ],
+        headlines: vec![
+            ("table1.commit_ipc_mean.4way".to_owned(), 2.6833),
+            ("fig10.bips_ratio_precise".to_owned(), 1.055),
+        ],
+        alloc: Some(AllocRecord {
+            allocations: 1_000_000,
+            deallocations: 999_999,
+            allocated_bytes: 64_000_000,
+        }),
+    }
+}
+
+/// A record with every optional field absent.
+fn minimal_record() -> LedgerRecord {
+    LedgerRecord {
+        timestamp_unix: 0,
+        git_rev: "unknown".to_owned(),
+        commits: 2_000,
+        jobs: 1,
+        cache: false,
+        sanitize: false,
+        total_seconds: 0.0,
+        sims: 0,
+        committed: 0,
+        cycles: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        harnesses: Vec::new(),
+        headlines: Vec::new(),
+        alloc: None,
+    }
+}
+
+#[test]
+fn record_rendering_matches_golden_file() {
+    let got = format!("{}\n{}\n", full_record().to_line(), minimal_record().to_line());
+    assert_eq!(
+        got, GOLDEN,
+        "ledger rendering drifted from the golden file; if the schema \
+         change is intentional, bump SCHEMA_VERSION and regenerate\n\
+         === got ===\n{got}=== golden ===\n{GOLDEN}"
+    );
+}
+
+#[test]
+fn golden_lines_parse_back_to_schema_one() {
+    for (i, line) in GOLDEN.lines().enumerate() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("golden line {}: {e}", i + 1));
+        assert_eq!(v.get_f64("schema"), Some(SCHEMA_VERSION as f64));
+        // Every top-level member the report layer relies on is present.
+        for key in ["timestamp_unix", "git_rev", "config", "totals", "harnesses", "headlines"] {
+            assert!(v.get(key).is_some(), "line {} missing {key}", i + 1);
+        }
+        let config = v.get("config").unwrap();
+        for key in ["commits", "jobs", "cache", "sanitize"] {
+            assert!(config.get(key).is_some(), "config missing {key}");
+        }
+        let totals = v.get("totals").unwrap();
+        for key in ["seconds", "sims", "committed", "cycles", "cache_hits", "cache_misses"] {
+            assert!(totals.get(key).is_some(), "totals missing {key}");
+        }
+        for h in v.get("harnesses").unwrap().as_array().unwrap() {
+            for key in [
+                "name",
+                "seconds",
+                "sims",
+                "committed",
+                "cycles",
+                "stall_no_reg",
+                "stall_dq_full",
+                "no_free_cycles",
+                "phase_seconds",
+                "probe",
+            ] {
+                assert!(h.get(key).is_some(), "harness missing {key}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_golden_line_round_trips_through_the_parser() {
+    let line = GOLDEN.lines().next().unwrap();
+    let v = json::parse(line).unwrap();
+    // Re-rendering the parsed tree reproduces the line exactly: the
+    // writer and parser agree on number formatting and member order.
+    assert_eq!(v.to_string(), line);
+    // Spot-check nested payloads survive.
+    let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
+    let probe = h.get("probe").unwrap();
+    assert_eq!(probe.get_str("bench"), Some("compress"));
+    let p99 = &probe.get("insert_to_commit").unwrap().as_array().unwrap()[2];
+    assert_eq!(p99.as_f64(), Some(55.0));
+    assert_eq!(v.get("alloc").unwrap().get_f64("allocated_bytes"), Some(64_000_000.0));
+    let minimal = json::parse(GOLDEN.lines().nth(1).unwrap()).unwrap();
+    assert_eq!(minimal.get("alloc"), Some(&Value::Null));
+}

@@ -89,6 +89,28 @@ impl TraceFormat {
     }
 }
 
+/// Output format of the `report` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Plain-text tables.
+    Text,
+    /// Markdown (the CI artifact format).
+    Markdown,
+}
+
+impl ReportFormat {
+    /// Parses a `--format` value.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "text" => Ok(ReportFormat::Text),
+            "markdown" => Ok(ReportFormat::Markdown),
+            other => Err(format!(
+                "unknown report format {other:?} (expected text or markdown)"
+            )),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -165,6 +187,31 @@ pub enum Command {
         window: Option<usize>,
         /// Instructions to analyse.
         count: u64,
+    },
+    /// Compare the latest run-history ledger record against a baseline
+    /// and score paper fidelity.
+    Report {
+        /// Ledger path (default `results/history/suite.jsonl`).
+        ledger: String,
+        /// Baseline git-revision prefix (`None` = rolling median of
+        /// prior comparable runs).
+        baseline: Option<String>,
+        /// Rolling-window size for the median baseline.
+        window: usize,
+        /// Report format.
+        format: ReportFormat,
+        /// Write the rendered report here instead of stdout.
+        out: Option<String>,
+        /// Also write a Prometheus text-format exposition here.
+        prom: Option<String>,
+        /// Exit nonzero on perf regression or fidelity drift (CI gate).
+        check: bool,
+        /// Perf-regression noise floor, percent.
+        max_regress_pct: f64,
+        /// Fidelity band multiplier (widen for smoke scales).
+        band_scale: f64,
+        /// Fidelity gating mode.
+        fidelity: rf_obs::trend::FidelityMode,
     },
     /// Register-file timing table.
     Timing {
@@ -253,7 +300,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         if !opt.starts_with("--") {
             return Err(format!("unexpected argument {opt:?}"));
         }
-        let value = if opt == "--split-queues" {
+        let value = if opt == "--split-queues" || opt == "--check" {
             None
         } else {
             it.next().map(str::to_owned)
@@ -339,6 +386,32 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .transpose()?,
             count: take("--count", &opts).map_or(Ok(200_000), |v| parse_num("--count", &v))?,
         }),
+        "report" => Ok(Command::Report {
+            ledger: take("--ledger", &opts)
+                .unwrap_or_else(|| rf_obs::ledger::LEDGER_PATH.to_owned()),
+            baseline: take("--baseline", &opts),
+            window: take("--window", &opts).map_or(Ok(5), |v| parse_num("--window", &v))?,
+            format: take("--format", &opts)
+                .map_or(Ok(ReportFormat::Text), |v| ReportFormat::parse(&v))?,
+            out: take("--out", &opts),
+            prom: take("--prom", &opts),
+            check: opts.iter().any(|(o, _)| o == "--check"),
+            max_regress_pct: take("--max-regress-pct", &opts)
+                .map_or(Ok(10.0), |v| parse_num("--max-regress-pct", &v))?,
+            band_scale: take("--band-scale", &opts)
+                .map_or(Ok(1.0), |v| parse_num("--band-scale", &v))?,
+            fidelity: take("--fidelity", &opts).map_or(
+                Ok(rf_obs::trend::FidelityMode::Gate),
+                |v| match v.as_str() {
+                    "gate" => Ok(rf_obs::trend::FidelityMode::Gate),
+                    "warn" => Ok(rf_obs::trend::FidelityMode::Warn),
+                    "off" => Ok(rf_obs::trend::FidelityMode::Off),
+                    other => Err(format!(
+                        "unknown fidelity mode {other:?} (expected gate, warn, or off)"
+                    )),
+                },
+            )?,
+        }),
         "timing" => Ok(Command::Timing {
             width: take("--width", &opts).map_or(Ok(4), |v| parse_num("--width", &v))?,
         }),
@@ -364,6 +437,10 @@ USAGE:
   rfstudy check    [--bench NAME] [--width N] [--exceptions MODEL]
                    [--regs N] [--commits N] [--seed N]
   rfstudy dataflow --bench NAME [--window N] [--count N]
+  rfstudy report   [--ledger FILE] [--baseline REV | --window N]
+                   [--format text|markdown] [--out FILE] [--prom FILE]
+                   [--check] [--max-regress-pct P] [--band-scale S]
+                   [--fidelity gate|warn|off]
   rfstudy timing   [--width N]
   rfstudy dump     --trace FILE [--count N]
   rfstudy help
@@ -393,6 +470,19 @@ CHECK OPTIONS:
   and imprecise exceptions, 2048 and 64 registers; each option pins one
   dimension. --commits defaults to the RF_COMMITS environment variable,
   or 10000. Exits non-zero if any invariant or static bound is violated.
+
+REPORT OPTIONS:
+  reads the run-history ledger written by the `all` suite binary
+  (default results/history/suite.jsonl) and compares the latest record
+  against a baseline: --baseline REV pins a git-revision prefix, else
+  the rolling median of the last --window comparable runs (default 5).
+  Also scores the latest headline numbers against the paper-fidelity
+  targets. --check exits non-zero on a perf regression beyond
+  --max-regress-pct (default 10, widened per-harness by run-to-run
+  noise) or a fidelity drift outside the accepted band (scaled by
+  --band-scale; --fidelity warn reports drift without gating, off
+  skips it). --prom FILE additionally writes a Prometheus text-format
+  exposition of the latest record and scorecard.
 ";
 
 #[cfg(test)]
@@ -497,6 +587,75 @@ mod tests {
     }
 
     #[test]
+    fn parses_report_with_defaults() {
+        match parse(&argv("report")).unwrap() {
+            Command::Report {
+                ledger,
+                baseline,
+                window,
+                format,
+                out,
+                prom,
+                check,
+                max_regress_pct,
+                band_scale,
+                fidelity,
+            } => {
+                assert_eq!(ledger, rf_obs::ledger::LEDGER_PATH);
+                assert_eq!(baseline, None);
+                assert_eq!(window, 5);
+                assert_eq!(format, ReportFormat::Text);
+                assert_eq!(out, None);
+                assert_eq!(prom, None);
+                assert!(!check);
+                assert_eq!(max_regress_pct, 10.0);
+                assert_eq!(band_scale, 1.0);
+                assert_eq!(fidelity, rf_obs::trend::FidelityMode::Gate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_report_with_all_options() {
+        match parse(&argv(
+            "report --ledger /tmp/l.jsonl --baseline abc123 --window 9 \
+             --format markdown --out /tmp/r.md --prom /tmp/r.prom --check \
+             --max-regress-pct 25 --band-scale 3 --fidelity warn",
+        ))
+        .unwrap()
+        {
+            Command::Report {
+                ledger,
+                baseline,
+                window,
+                format,
+                out,
+                prom,
+                check,
+                max_regress_pct,
+                band_scale,
+                fidelity,
+            } => {
+                assert_eq!(ledger, "/tmp/l.jsonl");
+                assert_eq!(baseline.as_deref(), Some("abc123"));
+                assert_eq!(window, 9);
+                assert_eq!(format, ReportFormat::Markdown);
+                assert_eq!(out.as_deref(), Some("/tmp/r.md"));
+                assert_eq!(prom.as_deref(), Some("/tmp/r.prom"));
+                assert!(check);
+                assert_eq!(max_regress_pct, 25.0);
+                assert_eq!(band_scale, 3.0);
+                assert_eq!(fidelity, rf_obs::trend::FidelityMode::Warn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("report --format xml")).is_err());
+        assert!(parse(&argv("report --fidelity maybe")).is_err());
+        assert!(parse(&argv("report --window abc")).is_err());
+    }
+
+    #[test]
     fn parses_dump() {
         let cmd = parse(&argv("dump --trace x.rft --count 10")).unwrap();
         assert_eq!(cmd, Command::Dump { trace: "x.rft".into(), count: 10 });
@@ -547,8 +706,10 @@ mod tests {
 
     #[test]
     fn usage_lists_every_subcommand() {
-        for sub in ["list", "run", "trace", "record", "replay", "check", "dataflow", "timing", "dump"]
-        {
+        for sub in [
+            "list", "run", "trace", "record", "replay", "check", "dataflow", "report", "timing",
+            "dump",
+        ] {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }
     }

@@ -1,7 +1,7 @@
 //! The `rfstudy` command-line simulator.
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
-//! `replay`, `check`, `dump`, `dataflow`, `timing`.
+//! `replay`, `check`, `dump`, `dataflow`, `report`, `timing`.
 
 mod cli;
 
@@ -129,6 +129,29 @@ fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Check { bench, width, exceptions, regs, commits, seed } => {
             run_check(bench, width, exceptions, regs, commits, seed)
         }
+        Command::Report {
+            ledger,
+            baseline,
+            window,
+            format,
+            out,
+            prom,
+            check,
+            max_regress_pct,
+            band_scale,
+            fidelity,
+        } => run_report(
+            &ledger,
+            baseline,
+            window,
+            format,
+            out,
+            prom,
+            check,
+            max_regress_pct,
+            band_scale,
+            fidelity,
+        ),
         Command::Dataflow { bench, window, count } => {
             let profile =
                 spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
@@ -259,6 +282,60 @@ fn run_check(
     } else {
         Ok(())
     }
+}
+
+/// The `report` subcommand: compares the latest run-history ledger
+/// record against a baseline and scores paper fidelity. With `--check`,
+/// returns `Err` (process exit code 1) when the analysis fails.
+#[allow(clippy::too_many_arguments)]
+fn run_report(
+    ledger_path: &str,
+    baseline: Option<String>,
+    window: usize,
+    format: cli::ReportFormat,
+    out: Option<String>,
+    prom: Option<String>,
+    check: bool,
+    max_regress_pct: f64,
+    band_scale: f64,
+    fidelity: rf_obs::trend::FidelityMode,
+) -> Result<(), String> {
+    let records = rf_obs::ledger::read_ledger(std::path::Path::new(ledger_path))
+        .map_err(|e| format!("cannot read ledger: {e}"))?;
+    let opts = rf_obs::trend::Options {
+        baseline,
+        window,
+        max_regress_pct,
+        band_scale,
+        fidelity,
+        ..rf_obs::trend::Options::default()
+    };
+    let analysis = rf_obs::trend::analyze(&records, &opts)?;
+    let rendered = match format {
+        cli::ReportFormat::Text => rf_obs::trend::render_text(&analysis),
+        cli::ReportFormat::Markdown => rf_obs::trend::render_markdown(&analysis),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered)
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            eprintln!("report -> {path} ({} bytes)", rendered.len());
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = prom {
+        let exposition = rf_obs::trend::render_prometheus(&analysis);
+        std::fs::write(&path, &exposition)
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        eprintln!("prometheus exposition -> {path} ({} bytes)", exposition.len());
+    }
+    if check && !analysis.passed() {
+        return Err(format!(
+            "report --check failed: {} finding(s); see report above",
+            analysis.failures.len()
+        ));
+    }
+    Ok(())
 }
 
 fn print_stats(name: &str, stats: &SimStats) {
