@@ -67,6 +67,6 @@ pub use config::{ExceptionModel, MachineConfig, SchedPolicy};
 pub use fu::DividerPool;
 pub use imprecise::KillEngine;
 pub use obs::{EventKind, NullObserver, Observer, StallCause, TraceEvent};
-pub use pipeline::Pipeline;
+pub use pipeline::{CancelToken, Cancelled, Pipeline};
 pub use regfile::{Category, PhysRegFile, RegState};
 pub use stats::{LiveModel, SimStats};

@@ -13,12 +13,69 @@ use rf_mem::{DataCache, InstructionCache};
 use rf_workload::{TraceGenerator, WrongPathGenerator};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// If the machine makes no commit progress for this many cycles, the
 /// simulation aborts: the configuration has deadlocked, which indicates a
 /// model bug (the paper's freeing rules are deadlock-free at >= 32
 /// registers).
 const DEADLOCK_HORIZON: u64 = 200_000;
+
+/// How often (in cycles) a running pipeline polls its [`CancelToken`].
+/// Coarse enough to be free on the hot path, fine enough that a
+/// cancelled multi-million-cycle run stops within microseconds.
+const CANCEL_POLL_MASK: u64 = 0x3FF;
+
+/// A cooperative cancellation flag shared between a running simulation
+/// and whoever supervises it (a batch deadline watchdog, a CLI timeout).
+///
+/// Cloning the token shares the underlying flag. Attach it with
+/// [`Pipeline::with_cancel`]; the cycle loop polls it every
+/// [`CANCEL_POLL_MASK`]` + 1` cycles and a fallible run
+/// ([`Pipeline::try_run`]) returns [`Cancelled`] once it fires. A token
+/// can only transition idle → cancelled; there is no reset, so a token
+/// must not be reused across batches.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A simulation stopped early because its [`CancelToken`] fired.
+///
+/// The pipeline's partial state is discarded — there is deliberately no
+/// way to read statistics out of a cancelled run, because a truncated
+/// [`SimStats`] would be indistinguishable from a completed one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The cycle at which the cancellation was observed.
+    pub at_cycle: u64,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation cancelled at cycle {}", self.at_cycle)
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// The simulated out-of-order processor.
 ///
@@ -73,6 +130,8 @@ pub struct Pipeline<O: Observer = NullObserver> {
     scratch_kills: Vec<(RegClass, u32)>,
     scratch_store_addrs: HashSet<u64>,
     scratch_load_addrs: HashSet<u64>,
+    /// Cooperative cancellation flag, polled by the cycle loop.
+    cancel: Option<CancelToken>,
 }
 
 impl Pipeline<NullObserver> {
@@ -132,8 +191,20 @@ impl<O: Observer> Pipeline<O> {
             scratch_kills: Vec::new(),
             scratch_store_addrs: HashSet::new(),
             scratch_load_addrs: HashSet::new(),
+            cancel: None,
             config,
         }
+    }
+
+    /// Attaches a cooperative cancellation token. Once the token fires,
+    /// the fallible run variants ([`Pipeline::try_run`] and friends)
+    /// return [`Cancelled`] within [`CANCEL_POLL_MASK`]` + 1` cycles; the
+    /// infallible variants panic. A token that never fires has no effect
+    /// on the simulated schedule: statistics are byte-identical with or
+    /// without one attached.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The configuration this pipeline was built with.
@@ -186,6 +257,39 @@ impl<O: Observer> Pipeline<O> {
         self.run_with_observed(trace, &mut wrong_path, n_commits)
     }
 
+    /// As [`run`](Pipeline::run), but returns [`Cancelled`] instead of
+    /// panicking when the attached [`CancelToken`] fires. The pipeline is
+    /// consumed either way: a cancelled run yields no statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] if the token attached with
+    /// [`Pipeline::with_cancel`] fired before the commit target was
+    /// reached.
+    pub fn try_run(
+        self,
+        trace: &mut TraceGenerator,
+        n_commits: u64,
+    ) -> Result<SimStats, Cancelled> {
+        self.try_run_observed(trace, n_commits).map(|(stats, _)| stats)
+    }
+
+    /// As [`run_observed`](Pipeline::run_observed), but cancellable; see
+    /// [`Pipeline::try_run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the attached token fires mid-run.
+    pub fn try_run_observed(
+        self,
+        trace: &mut TraceGenerator,
+        n_commits: u64,
+    ) -> Result<(SimStats, O), Cancelled> {
+        let mut wrong_path =
+            WrongPathGenerator::new(trace.profile(), self.config.sim_seed());
+        self.try_run_with_observed(trace, &mut wrong_path, n_commits)
+    }
+
     /// As [`run`](Pipeline::run), but with an explicit wrong-path
     /// instruction source. If the main trace ends before `n_commits`, the
     /// pipeline drains and returns early.
@@ -208,19 +312,52 @@ impl<O: Observer> Pipeline<O> {
     ///
     /// # Panics
     ///
-    /// Panics on deadlock, as [`run_with`](Pipeline::run_with).
+    /// Panics on deadlock, as [`run_with`](Pipeline::run_with), and when
+    /// an attached [`CancelToken`] fires (use
+    /// [`try_run_with_observed`](Pipeline::try_run_with_observed) to
+    /// handle cancellation as a value instead).
     pub fn run_with_observed(
-        mut self,
+        self,
         trace: &mut dyn Iterator<Item = Instruction>,
         wrong_path: &mut dyn Iterator<Item = Instruction>,
         n_commits: u64,
     ) -> (SimStats, O) {
+        self.try_run_with_observed(trace, wrong_path, n_commits)
+            .unwrap_or_else(|c| panic!("{c}"))
+    }
+
+    /// The fallible core of every run variant: advances the machine until
+    /// the commit target is reached (or the trace drains), returning
+    /// [`Cancelled`] as soon as an attached [`CancelToken`] is observed
+    /// fired. Cancellation is cooperative — the token is polled every
+    /// [`CANCEL_POLL_MASK`]` + 1` cycles — and destructive: the pipeline
+    /// state is dropped, so a cancelled run can never leak a truncated
+    /// [`SimStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the attached token fires mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock, as [`run_with`](Pipeline::run_with).
+    pub fn try_run_with_observed(
+        mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+        n_commits: u64,
+    ) -> Result<(SimStats, O), Cancelled> {
         self.commit_target = n_commits;
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
         while self.stats.committed < n_commits {
             self.step(trace, wrong_path);
             if self.trace_done && self.active.is_empty() {
                 break;
+            }
+            if self.now & CANCEL_POLL_MASK == 0
+                && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
+                return Err(Cancelled { at_cycle: self.now });
             }
             if self.stats.committed > last_progress.1 {
                 last_progress = (self.now, self.stats.committed);
@@ -237,7 +374,7 @@ impl<O: Observer> Pipeline<O> {
         if let Some(ic) = &self.icache {
             self.stats.icache_miss_rate = ic.miss_rate();
         }
-        (self.stats, self.obs)
+        Ok((self.stats, self.obs))
     }
 
     /// Advances the machine one cycle.
@@ -1011,5 +1148,47 @@ mod tests {
                 assert_eq!(cat_sum as usize, file.live_count(), "{class}");
             }
         }
+    }
+
+    #[test]
+    fn prefired_cancel_token_stops_the_run_early() {
+        let profile = rf_workload::spec92::compress();
+        let mut trace = rf_workload::TraceGenerator::new(&profile, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Pipeline::new(MachineConfig::new(4))
+            .with_cancel(token)
+            .try_run(&mut trace, 1_000_000)
+            .unwrap_err();
+        // The poll fires on the first masked cycle boundary, long before
+        // a million commits would have completed.
+        assert!(err.at_cycle <= CANCEL_POLL_MASK + 1, "stopped at {}", err.at_cycle);
+        assert!(format!("{err}").contains("cancelled at cycle"));
+    }
+
+    #[test]
+    fn unfired_cancel_token_leaves_statistics_byte_identical() {
+        let profile = rf_workload::spec92::espresso();
+        let run = |with_token: bool| {
+            let mut trace = rf_workload::TraceGenerator::new(&profile, 7);
+            let mut p = Pipeline::new(MachineConfig::new(4).seed(7));
+            if with_token {
+                p = p.with_cancel(CancelToken::new());
+            }
+            p.try_run(&mut trace, 3_000).expect("token never fires")
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "cancelled at cycle")]
+    fn infallible_run_panics_on_cancellation() {
+        let profile = rf_workload::spec92::compress();
+        let mut trace = rf_workload::TraceGenerator::new(&profile, 2);
+        let token = CancelToken::new();
+        token.cancel();
+        let _ = Pipeline::new(MachineConfig::new(4))
+            .with_cancel(token)
+            .run(&mut trace, 1_000_000);
     }
 }

@@ -50,6 +50,10 @@ pub struct Entry {
     pub phase_simulate: f64,
     /// The traced probe attached to this harness, if any.
     pub probe: Option<ProbeSummary>,
+    /// Failure message when the harness panicked instead of returning a
+    /// report (`None` for a successful harness). The counters above
+    /// still cover whatever the harness executed before failing.
+    pub error: Option<String>,
 }
 
 impl Entry {
@@ -218,12 +222,28 @@ impl SuiteBench {
     /// simulations accumulated; returns the harness's report. Emits a
     /// progress line on stderr when `RF_LOG` is `text` or `json`.
     pub fn time(&mut self, name: &str, harness: impl FnOnce() -> String) -> String {
+        self.try_time(name, harness).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`SuiteBench::time`], but a panicking harness is caught: the
+    /// entry is still recorded (with its telemetry up to the failure and
+    /// the panic message in [`Entry::error`]) and the message is
+    /// returned as `Err`, so the suite can keep running the remaining
+    /// harnesses.
+    pub fn try_time(
+        &mut self,
+        name: &str,
+        harness: impl FnOnce() -> String,
+    ) -> Result<String, String> {
         let sims0 = simulations_run();
         let committed0 = instructions_committed();
         let (cycles0, no_reg0, dq_full0, no_free0) = stall_telemetry();
         let (gen0, sim0) = phase_telemetry();
         let start = Instant::now();
-        let report = harness();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(harness))
+            .map_err(|payload| {
+                format!("harness {name:?} failed: {}", crate::runner::payload_text(payload.as_ref()))
+            });
         let (cycles1, no_reg1, dq_full1, no_free1) = stall_telemetry();
         let (gen1, sim1) = phase_telemetry();
         self.entries.push(Entry {
@@ -238,12 +258,13 @@ impl SuiteBench {
             phase_generate: (gen1 - gen0) as f64 / 1e9,
             phase_simulate: (sim1 - sim0) as f64 / 1e9,
             probe: None,
+            error: outcome.as_ref().err().cloned(),
         });
         if let Some(line) = progress_line(self.log, self.entries.len(), self.entries.last().unwrap())
         {
             eprintln!("{line}");
         }
-        report
+        outcome
     }
 
     /// Attaches a traced probe to the most recently timed harness: a
@@ -303,6 +324,16 @@ impl SuiteBench {
         );
         let _ = writeln!(out, "  \"cache_hits\": {},", cache.hits());
         let _ = writeln!(out, "  \"cache_misses\": {},", cache.misses());
+        match cache.capacity() {
+            Some(cap) => {
+                let _ = writeln!(out, "  \"cache_capacity\": {cap},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"cache_capacity\": null,");
+            }
+        }
+        let _ = writeln!(out, "  \"cache_evictions\": {},", cache.evictions());
+        let _ = writeln!(out, "  \"cache_resident_bytes\": {},", cache.resident_bytes());
         match self.speedup {
             Some(s) => {
                 let _ = writeln!(out, "  \"speedup_vs_1_worker\": {s:.2},");
@@ -367,6 +398,14 @@ impl SuiteBench {
                      \"p90\": {q90}, \"p99\": {q99}}}}}"
                 );
             }
+            if let Some(message) = &e.error {
+                // Value::String handles JSON escaping of the panic text.
+                let _ = write!(
+                    out,
+                    ", \"error\": {}",
+                    rf_obs::json::Value::String(message.clone())
+                );
+            }
             out.push('}');
             out.push_str(if i + 1 < self.entries.len() { ",\n" } else { "\n" });
         }
@@ -404,6 +443,7 @@ impl SuiteBench {
                     insert_to_commit: p.insert_to_commit,
                     issue_to_commit: p.issue_to_commit,
                 }),
+                error: e.error.clone(),
             })
             .collect();
         let alloc = if rf_obs::alloc::is_active() {
@@ -429,6 +469,9 @@ impl SuiteBench {
             cycles: self.entries.iter().map(|e| e.cycles).sum(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            cache_capacity: cache.capacity().map(|c| c as u64),
+            cache_evictions: cache.evictions(),
+            cache_resident_bytes: cache.resident_bytes(),
             harnesses,
             headlines,
             alloc,
@@ -551,6 +594,41 @@ mod tests {
     }
 
     #[test]
+    fn try_time_records_a_failing_harness_and_keeps_going() {
+        let mut bench = SuiteBench::start(500);
+        let err = bench
+            .try_time("broken", || panic!("synthetic \"failure\""))
+            .expect_err("panicking harness reports its error");
+        assert!(err.contains("broken") && err.contains("synthetic"), "{err}");
+        // The suite keeps going: the next harness is recorded normally.
+        let ok = bench.try_time("fine", || "report".to_owned());
+        assert_eq!(ok.as_deref(), Ok("report"));
+        assert_eq!(bench.entries().len(), 2);
+        assert_eq!(bench.entries()[0].error.as_deref(), Some(err.as_str()));
+        assert_eq!(bench.entries()[1].error, None);
+        // The error renders (escaped) in both the JSON report and the
+        // ledger record.
+        let json = bench.to_json();
+        assert!(json.contains("\"error\": \"harness \\\"broken\\\" failed"), "{json}");
+        rf_obs::json::validate(&json).expect("report with error must be valid JSON");
+        let record = bench.to_ledger_record(Vec::new());
+        assert_eq!(record.harnesses[0].error.as_deref(), Some(err.as_str()));
+        assert_eq!(record.harnesses[1].error, None);
+        rf_obs::json::validate(&record.to_line()).expect("ledger line valid");
+    }
+
+    #[test]
+    fn json_reports_cache_pressure_keys() {
+        let mut bench = SuiteBench::start(500);
+        let _ = bench.time("noop", String::new);
+        let json = bench.to_json();
+        for key in ["\"cache_capacity\"", "\"cache_evictions\"", "\"cache_resident_bytes\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        rf_obs::json::validate(&json).expect("report must stay valid JSON");
+    }
+
+    #[test]
     fn sanitizer_status_renders_clean_and_violated() {
         let clean = SanitizerStatus { probes: 8, events: 1_000, violations: 0 };
         assert_eq!(clean.status(), "clean");
@@ -579,6 +657,7 @@ mod tests {
             phase_generate: 0.05,
             phase_simulate: 1.0,
             probe: None,
+            error: None,
         };
         assert_eq!(progress_line(LogMode::Off, 1, &entry), None);
         let text = progress_line(LogMode::Text, 1, &entry).unwrap();
@@ -602,6 +681,7 @@ mod tests {
             phase_generate: 0.25,
             phase_simulate: 1.25,
             probe: None,
+            error: None,
         };
         assert!((entry.phase_aggregate() - 0.5).abs() < 1e-12);
         // Parallel workers: summed CPU time exceeds wall time.

@@ -2,37 +2,191 @@
 //! plus a `results/BENCH_suite.json` timing report for the whole suite.
 //!
 //! Every invocation also appends one schema-versioned record to the
-//! run-history ledger `results/history/suite.jsonl` (and copies it to
-//! `BENCH_history.jsonl` at the repo root): config knobs, per-harness
-//! timings with phase breakdowns, traced-probe percentiles, and the
-//! headline numbers extracted from each figure report. `rfstudy report`
-//! reads that ledger.
+//! run-history ledger `results/history/suite.jsonl` — the **authoritative**
+//! history file — and then mirrors that record to `BENCH_history.jsonl`
+//! at the repo root. A mirror failure is reported but non-fatal: the two
+//! files can disagree only in the direction of the mirror being stale,
+//! and `rfstudy report` reads the authoritative ledger.
 //!
-//! Pass a commit budget as the first argument or set RF_COMMITS
-//! (default 200000). RF_JOBS sets the number of parallel simulation
-//! workers (default: all cores); RF_CACHE=0 disables the shared run
-//! cache; RF_LOG=text|json emits a structured progress line on stderr as
-//! each harness finishes plus a final suite-summary record.
+//! # Arguments (strict)
+//!
+//! ```text
+//! all [COMMITS] [--deadline-secs N] [--cache-cap N] [--help]
+//! ```
+//!
+//! `COMMITS` is the per-simulation commit budget (default: `RF_COMMITS`
+//! or 200000). `--deadline-secs N` bounds every simulation batch to `N`
+//! wall seconds (cooperative cancellation; overrunning specs fail, the
+//! suite keeps going). `--cache-cap N` bounds the shared run cache to
+//! `N` entries (LRU eviction). A malformed argument or environment
+//! variable exits 2 with a message — it no longer silently launches a
+//! full-scale run — and `--help` prints usage instead of simulating.
+//!
+//! # Fault tolerance
+//!
+//! A harness that panics loses only itself: its bench entry and ledger
+//! record carry `"error": ...`, its report file is not written, the
+//! remaining harnesses still run and write their reports, and the
+//! process exits 1 with a suite-level failure summary.
+//!
+//! RF_JOBS sets the number of parallel simulation workers (default: all
+//! cores); RF_CACHE=0/off/false/no disables the shared run cache;
+//! RF_CACHE_CAP bounds it; RF_LOG=text|json emits a structured progress
+//! line on stderr as each harness finishes plus a final suite-summary
+//! record. With the `fault-probe` feature, RF_FAULT=<harness> injects a
+//! panicking simulation into that harness (the CI smoke path).
 
 use rf_experiments::bench::{SanitizerStatus, SuiteBench};
-use rf_experiments::runner::Scale;
+use rf_experiments::runner::{self, Scale};
 use rf_obs::fidelity;
 use rf_obs::ledger;
 use std::fs;
 use std::path::Path;
+use std::process::ExitCode;
+use std::time::Duration;
 
 /// Commit budget of the per-harness traced probes (small: each probe is
 /// one extra observed simulation whose stall attribution and latency
 /// percentiles annotate the harness in `BENCH_suite.json`).
 const PROBE_COMMITS: u64 = 5_000;
 
-fn main() -> std::io::Result<()> {
-    let scale = Scale {
-        commits: std::env::args()
-            .nth(1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| Scale::from_env().commits),
+const USAGE: &str = "usage: all [COMMITS] [--deadline-secs N] [--cache-cap N] [--help]
+
+Runs every table/figure harness, writes reports under results/, appends
+one record to the run-history ledger results/history/suite.jsonl
+(authoritative; mirrored to BENCH_history.jsonl), and exits nonzero if
+any harness failed.
+
+arguments:
+  COMMITS             committed instructions per simulation
+                      (default: RF_COMMITS or 200000)
+  --deadline-secs N   wall-clock budget per simulation batch; overrunning
+                      specs fail with a deadline error, the suite goes on
+  --cache-cap N       bound the shared run cache to N entries (LRU)
+
+environment:
+  RF_COMMITS      default commit budget
+  RF_JOBS         parallel simulation workers (default: all cores)
+  RF_CACHE        0/off/false/no disables the shared run cache
+  RF_CACHE_CAP    same as --cache-cap
+  RF_LOG          text|json progress lines on stderr";
+
+/// Parsed command line: commit budget override and batch deadline.
+struct Args {
+    commits: Option<u64>,
+    deadline_secs: Option<f64>,
+}
+
+/// Parses the strict argument contract. `Ok(None)` means `--help` was
+/// printed; `Err` carries the usage-error message (exit 2).
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut commits = None;
+    let mut deadline_secs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--deadline-secs" => {
+                let raw = args
+                    .next()
+                    .ok_or_else(|| "--deadline-secs needs a value".to_owned())?;
+                let secs: f64 = raw
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| {
+                        format!("--deadline-secs {raw:?} is not a positive number of seconds")
+                    })?;
+                deadline_secs = Some(secs);
+            }
+            "--cache-cap" => {
+                let raw =
+                    args.next().ok_or_else(|| "--cache-cap needs a value".to_owned())?;
+                let cap: u64 = raw
+                    .parse()
+                    .ok()
+                    .filter(|c: &u64| *c > 0)
+                    .ok_or_else(|| format!("--cache-cap {raw:?} is not a positive integer"))?;
+                // The cache reads RF_CACHE_CAP once on first use; set it
+                // now, before any simulation touches the global cache
+                // (startup is single-threaded).
+                std::env::set_var("RF_CACHE_CAP", cap.to_string());
+            }
+            _ if arg.starts_with('-') => {
+                return Err(format!("unknown option {arg:?}"));
+            }
+            _ => {
+                if commits.is_some() {
+                    return Err(format!("unexpected argument {arg:?}"));
+                }
+                let budget: u64 = arg.parse().map_err(|_| {
+                    format!("commit budget {arg:?} is not a non-negative integer")
+                })?;
+                commits = Some(budget);
+            }
+        }
+    }
+    Ok(Some(Args { commits, deadline_secs }))
+}
+
+/// The harness name RF_FAULT injects a panicking simulation into
+/// (`fault-probe` builds only; elsewhere the variable is ignored).
+#[cfg(feature = "fault-probe")]
+fn fault_target() -> Option<String> {
+    std::env::var("RF_FAULT").ok().filter(|v| !v.is_empty())
+}
+
+#[cfg(not(feature = "fault-probe"))]
+fn fault_target() -> Option<String> {
+    None
+}
+
+/// Runs the injected fault through the real pool/cache path, so the
+/// panic travels the exact route a model bug would take.
+#[cfg(feature = "fault-probe")]
+fn run_fault_probe(commits: u64) -> String {
+    let spec = rf_experiments::runner::RunSpec::baseline(runner::FAULT_BENCHMARK, 4)
+        .commits(commits.clamp(1, 1_000));
+    let _ = rf_experiments::runner::SimPool::from_env()
+        .run_many(std::slice::from_ref(&spec));
+    unreachable!("the fault probe always panics inside the pool");
+}
+
+#[cfg(not(feature = "fault-probe"))]
+fn run_fault_probe(_commits: u64) -> String {
+    unreachable!("fault_target() is always None without the fault-probe feature");
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("all: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
+    if let Err(message) = runner::validate_env() {
+        eprintln!("all: {message}");
+        return ExitCode::from(2);
+    }
+    if let Some(secs) = args.deadline_secs {
+        runner::set_default_deadline(Some(Duration::from_secs_f64(secs)));
+    }
+    let scale = args.commits.map_or_else(Scale::from_env, |commits| Scale { commits });
+    match run_suite(&scale) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("all: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_suite(scale: &Scale) -> std::io::Result<ExitCode> {
     fs::create_dir_all("results")?;
     type Harness = fn(&Scale) -> String;
     // Each harness carries a representative benchmark for its traced
@@ -52,23 +206,40 @@ fn main() -> std::io::Result<()> {
         ("sensitivity", rf_experiments::sensitivity::run, "ora"),
         ("dataflow", rf_experiments::dataflow::run, "mdljsp2"),
     ];
+    let fault = fault_target();
     let mut bench = SuiteBench::start(scale.commits);
     let mut headlines: Vec<(String, f64)> = Vec::new();
+    let mut failures: Vec<(String, String)> = Vec::new();
     for (name, run, probe_bench) in experiments {
-        let report = bench.time(name, || run(&scale));
-        bench.attach_probe(probe_bench, PROBE_COMMITS.min(scale.commits));
-        headlines.extend(
-            fidelity::extract_headlines(name, &report)
-                .into_iter()
-                .map(|h| (h.id.to_owned(), h.value)),
-        );
-        let path = format!("results/{name}.txt");
-        fs::write(&path, &report)?;
-        let timed = bench.entries().last().expect("just recorded");
-        println!(
-            "== {name} ({:.1}s, {} sims) -> {path}\n{report}",
-            timed.seconds, timed.sims
-        );
+        let outcome = if fault.as_deref() == Some(name) {
+            bench.try_time(name, || run_fault_probe(scale.commits))
+        } else {
+            bench.try_time(name, || run(scale))
+        };
+        match outcome {
+            Ok(report) => {
+                bench.attach_probe(probe_bench, PROBE_COMMITS.min(scale.commits));
+                headlines.extend(
+                    fidelity::extract_headlines(name, &report)
+                        .into_iter()
+                        .map(|h| (h.id.to_owned(), h.value)),
+                );
+                let path = format!("results/{name}.txt");
+                fs::write(&path, &report)?;
+                let timed = bench.entries().last().expect("just recorded");
+                println!(
+                    "== {name} ({:.1}s, {} sims) -> {path}\n{report}",
+                    timed.seconds, timed.sims
+                );
+            }
+            Err(message) => {
+                // No report file and no probe for a failed harness; its
+                // bench entry and ledger record carry the error, and the
+                // remaining harnesses still run.
+                eprintln!("== {name} FAILED: {message}");
+                failures.push((name.to_owned(), message));
+            }
+        }
     }
     let speedup = bench.measure_speedup(scale.commits.min(10_000));
     println!("parallel speedup vs 1 worker: {speedup:.2}x");
@@ -85,19 +256,34 @@ fn main() -> std::io::Result<()> {
     let json = bench.to_json();
     fs::write("results/BENCH_suite.json", &json)?;
     println!("== benchmark -> results/BENCH_suite.json\n{json}");
-    // Append this run to the history ledger and mirror the record at the
-    // repo root, so the perf/fidelity trajectory survives the overwrite
-    // of BENCH_suite.json.
+    // Append this run to the history ledger first: it is the
+    // authoritative record. The repo-root mirror is best-effort — if it
+    // fails, the mirror is stale but the history is intact.
     let line = bench.to_ledger_record(headlines).to_line();
     ledger::append_line(Path::new(ledger::LEDGER_PATH), &line)?;
-    ledger::write_latest(Path::new(ledger::LATEST_PATH), &line)?;
-    println!(
-        "== ledger record appended -> {} (latest copied to {})",
-        ledger::LEDGER_PATH,
-        ledger::LATEST_PATH
-    );
+    match ledger::write_latest(Path::new(ledger::LATEST_PATH), &line) {
+        Ok(()) => println!(
+            "== ledger record appended -> {} (latest copied to {})",
+            ledger::LEDGER_PATH,
+            ledger::LATEST_PATH
+        ),
+        Err(e) => eprintln!(
+            "== ledger record appended -> {} (warning: mirror {} not updated: {e}; \
+             the ledger is authoritative)",
+            ledger::LEDGER_PATH,
+            ledger::LATEST_PATH
+        ),
+    }
     if let Some(summary) = bench.suite_summary_line() {
         eprintln!("{summary}");
     }
-    Ok(())
+    if failures.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("suite FAILED: {}/12 harnesses did not complete", failures.len());
+        for (name, message) in &failures {
+            eprintln!("  {name}: {message}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }

@@ -1,12 +1,8 @@
-//! Regenerates the paper's table1 report. Pass a commit budget as the first
-//! argument or set RF_COMMITS (default 200000).
+//! Regenerates the paper's table1 report. Pass a commit budget as the
+//! first argument or set RF_COMMITS (default 200000); `--help` prints
+//! the full contract. Malformed arguments or environment exit 2, a
+//! failing harness exits 1.
 
-fn main() {
-    let scale = rf_experiments::runner::Scale {
-        commits: std::env::args()
-            .nth(1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| rf_experiments::runner::Scale::from_env().commits),
-    };
-    println!("{}", rf_experiments::table1::run(&scale));
+fn main() -> std::process::ExitCode {
+    rf_experiments::runner::harness_main("table1", rf_experiments::table1::run)
 }

@@ -1,13 +1,36 @@
 //! Simulation run specifications and execution: single runs, the shared
 //! run cache, and the parallel [`SimPool`] executor.
+//!
+//! # Fault tolerance
+//!
+//! Execution is fallible end to end: [`try_simulate`] maps every failure
+//! mode to a typed [`RunError`] and isolates worker panics with
+//! `catch_unwind` (the panicking [`Pipeline`]'s state is discarded,
+//! never reused), and [`SimPool::try_run_many`] returns one
+//! `Result` per spec so a batch salvages every completed result around a
+//! failing one. The shared [`RunCache`] recovers from lock poisoning and
+//! supports a bounded-LRU mode (`RF_CACHE_CAP`), and batches accept an
+//! optional deadline with cooperative cancellation checked both in the
+//! worker loop and inside [`Pipeline`] runs via [`CancelToken`].
+//!
+//! # Environment variables (strict)
+//!
+//! `RF_COMMITS`, `RF_JOBS`, `RF_CACHE`, and `RF_CACHE_CAP` are parsed
+//! strictly: a malformed value (for example `RF_COMMITS=200k`) is an
+//! error, never a silent fall-back to the default. Binaries should call
+//! [`validate_env`] at startup to turn that into a clean exit instead of
+//! a panic.
 
 use rf_bpred::PredictorKind;
-use rf_core::{ExceptionModel, MachineConfig, Pipeline, SchedPolicy, SimStats};
+use rf_core::{
+    CancelToken, ExceptionModel, MachineConfig, Pipeline, SchedPolicy, SimStats,
+};
 use rf_mem::{CacheConfig, CacheOrg};
 use rf_workload::{spec92, TraceGenerator};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// How long each simulation runs, in committed instructions.
 ///
@@ -20,15 +43,58 @@ pub struct Scale {
     pub commits: u64,
 }
 
+/// Reads an environment variable as a `u64`, strictly: unset is `None`,
+/// a well-formed value is `Some`, and anything else — `RF_COMMITS=200k`,
+/// an empty string, a negative number — is an error naming the variable
+/// and the offending value. The old behaviour (malformed values silently
+/// falling back to the default and launching a full 200k-commit run) is
+/// exactly the bug this guards against.
+fn env_u64(name: &str) -> Result<Option<u64>, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("{name}={raw:?} is not a non-negative integer")),
+    }
+}
+
+/// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
+/// `RF_CACHE`, `RF_CACHE_CAP`) without acting on any of them, so a
+/// binary can fail fast with one clear message before doing work.
+///
+/// # Errors
+///
+/// Returns the first malformed variable's error message.
+pub fn validate_env() -> Result<(), String> {
+    Scale::try_from_env()?;
+    SimPool::try_from_env()?;
+    cache_env_mode()?;
+    Ok(())
+}
+
 impl Scale {
     /// The default experiment scale (200k commits per run), overridable
     /// with the `RF_COMMITS` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RF_COMMITS` is set to a malformed value; binaries
+    /// should pre-validate with [`Scale::try_from_env`] or
+    /// [`validate_env`] to report that cleanly.
     pub fn from_env() -> Self {
-        let commits = std::env::var("RF_COMMITS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(200_000);
-        Self { commits }
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`Scale::from_env`], but a malformed `RF_COMMITS` is an error
+    /// instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed value.
+    pub fn try_from_env() -> Result<Self, String> {
+        Ok(Self { commits: env_u64("RF_COMMITS")?.unwrap_or(200_000) })
     }
 
     /// A fast scale for tests (20k commits).
@@ -267,19 +333,157 @@ pub fn phase_telemetry() -> (u64, u64) {
     (PHASE_GEN_NANOS.load(Ordering::Relaxed), PHASE_SIM_NANOS.load(Ordering::Relaxed))
 }
 
-/// Runs one simulation point (always executes; no caching).
+/// Why a simulation point could not produce statistics.
 ///
-/// # Panics
+/// Every failure is scoped to the one [`RunSpec`] that caused it:
+/// [`SimPool::try_run_many`] returns one `Result` per spec, so a batch
+/// salvages every completed result around a failing one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The spec names a benchmark no SPEC92 profile matches.
+    UnknownBenchmark {
+        /// The unrecognized benchmark name.
+        benchmark: String,
+    },
+    /// The simulation panicked; the payload is captured and the
+    /// panicking [`Pipeline`]'s state was discarded.
+    WorkerPanic {
+        /// Benchmark whose simulation panicked.
+        benchmark: String,
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
+    /// The batch deadline elapsed before this spec's simulation
+    /// completed (either it never started, or it was cooperatively
+    /// cancelled mid-run and its partial state discarded).
+    DeadlineExceeded {
+        /// Benchmark whose simulation was abandoned.
+        benchmark: String,
+        /// The deadline that elapsed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The run cache's lock was poisoned and could not be recovered.
+    /// [`RunCache`] recovers from poisoning in place, so this variant is
+    /// reserved for future lock strategies; no current code path
+    /// constructs it.
+    CachePoisoned,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::UnknownBenchmark { benchmark } => {
+                write!(f, "unknown benchmark {benchmark:?}")
+            }
+            RunError::WorkerPanic { benchmark, payload } => {
+                write!(f, "simulation of {benchmark:?} panicked: {payload}")
+            }
+            RunError::DeadlineExceeded { benchmark, deadline_ms } => {
+                write!(
+                    f,
+                    "deadline of {:.3}s exceeded before {benchmark:?} completed",
+                    *deadline_ms as f64 / 1e3
+                )
+            }
+            RunError::CachePoisoned => write!(f, "run cache lock poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Reserved benchmark name that panics inside the simulation worker —
+/// the fault-injection probe the robustness tests and the CI smoke job
+/// drive through the full pool/cache/suite stack. Only recognized in
+/// test builds or with the `fault-probe` feature; elsewhere it is an
+/// ordinary unknown benchmark.
+pub const FAULT_BENCHMARK: &str = "__fault__";
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+pub(crate) fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one simulation point (always executes; no caching), isolating
+/// failures: an unknown benchmark, a panicking worker, or a fired
+/// cancellation token each map to a typed [`RunError`] instead of
+/// unwinding into the caller. On success the process-wide telemetry
+/// counters are updated exactly as they always were; a failed run
+/// contributes nothing to them.
 ///
-/// Panics if the benchmark name is unknown.
-pub fn simulate(spec: &RunSpec) -> SimStats {
-    let profile = spec92::by_name(&spec.benchmark)
-        .unwrap_or_else(|| panic!("unknown benchmark {:?}", spec.benchmark));
-    let gen_start = std::time::Instant::now();
+/// # Errors
+///
+/// - [`RunError::UnknownBenchmark`] when the spec's benchmark has no
+///   profile.
+/// - [`RunError::WorkerPanic`] when the simulation panics; the payload
+///   is captured and the pipeline state discarded.
+/// - [`RunError::DeadlineExceeded`] when `cancel` fires mid-run
+///   (`deadline_ms` stamps the message).
+pub fn try_simulate(spec: &RunSpec) -> Result<SimStats, RunError> {
+    try_simulate_cancellable(spec, None, 0)
+}
+
+/// As [`try_simulate`], with an optional cooperative cancellation token
+/// (a fired token maps to [`RunError::DeadlineExceeded`] carrying
+/// `deadline_ms`).
+fn try_simulate_cancellable(
+    spec: &RunSpec,
+    cancel: Option<&CancelToken>,
+    deadline_ms: u64,
+) -> Result<SimStats, RunError> {
+    #[cfg(any(test, feature = "fault-probe"))]
+    if spec.benchmark == FAULT_BENCHMARK {
+        // The probe panics *inside* the isolation boundary, like a real
+        // model bug would.
+        let caught = std::panic::catch_unwind(|| -> SimStats {
+            panic!("injected fault probe");
+        });
+        let payload = caught.expect_err("probe always panics");
+        return Err(RunError::WorkerPanic {
+            benchmark: spec.benchmark.clone(),
+            payload: payload_text(payload.as_ref()),
+        });
+    }
+    let profile = spec92::by_name(&spec.benchmark).ok_or_else(|| {
+        RunError::UnknownBenchmark { benchmark: spec.benchmark.clone() }
+    })?;
+    let gen_start = Instant::now();
     let mut trace = TraceGenerator::new(&profile, spec.seed);
-    PHASE_GEN_NANOS.fetch_add(gen_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    let sim_start = std::time::Instant::now();
-    let stats = Pipeline::new(spec.machine_config()).run(&mut trace, spec.commits);
+    let gen_nanos = gen_start.elapsed().as_nanos() as u64;
+    let sim_start = Instant::now();
+    let mut pipeline = Pipeline::new(spec.machine_config());
+    if let Some(token) = cancel {
+        pipeline = pipeline.with_cancel(token.clone());
+    }
+    // The pipeline is moved into the closure and dropped there on panic:
+    // its state can never be observed again, which is what makes the
+    // unwind boundary safe to assert across.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pipeline.try_run(&mut trace, spec.commits)
+    }));
+    let stats = match caught {
+        Ok(Ok(stats)) => stats,
+        Ok(Err(_cancelled)) => {
+            return Err(RunError::DeadlineExceeded {
+                benchmark: spec.benchmark.clone(),
+                deadline_ms,
+            })
+        }
+        Err(payload) => {
+            return Err(RunError::WorkerPanic {
+                benchmark: spec.benchmark.clone(),
+                payload: payload_text(payload.as_ref()),
+            })
+        }
+    };
+    PHASE_GEN_NANOS.fetch_add(gen_nanos, Ordering::Relaxed);
     PHASE_SIM_NANOS.fetch_add(sim_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     SIM_RUNS.fetch_add(1, Ordering::Relaxed);
     SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
@@ -287,7 +491,88 @@ pub fn simulate(spec: &RunSpec) -> SimStats {
     SIM_STALL_NO_REG.fetch_add(stats.insert_stall_no_reg, Ordering::Relaxed);
     SIM_STALL_DQ_FULL.fetch_add(stats.insert_stall_dq_full, Ordering::Relaxed);
     SIM_NO_FREE_CYCLES.fetch_add(stats.no_free_any_cycles, Ordering::Relaxed);
-    stats
+    Ok(stats)
+}
+
+/// Runs one simulation point (always executes; no caching).
+///
+/// # Panics
+///
+/// Panics with the [`RunError`] message on any failure — unknown
+/// benchmark, worker panic, cancellation. Use [`try_simulate`] to handle
+/// those as values.
+pub fn simulate(spec: &RunSpec) -> SimStats {
+    try_simulate(spec).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Parses the cache environment variables strictly, returning
+/// `(enabled, capacity)`.
+///
+/// `RF_CACHE` accepts `0`/`off`/`false`/`no` (disabled) and
+/// `1`/`on`/`true`/`yes` (enabled, the default when unset),
+/// case-insensitively; anything else is an error — `RF_CACHE=off` used
+/// to silently leave the cache enabled, which is exactly the trap this
+/// closes. `RF_CACHE_CAP` bounds the cache to that many entries (LRU
+/// eviction); it must be a positive integer (`RF_CACHE=0` is how you
+/// disable the cache, not `RF_CACHE_CAP=0`).
+///
+/// # Errors
+///
+/// Returns a message naming the malformed variable and value.
+pub fn cache_env_mode() -> Result<(bool, Option<usize>), String> {
+    let enabled = match std::env::var("RF_CACHE") {
+        Err(_) => true,
+        Ok(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" | "no" => false,
+            "1" | "on" | "true" | "yes" => true,
+            _ => {
+                return Err(format!(
+                    "RF_CACHE={raw:?} is not recognized (use 0/off/false/no or 1/on/true/yes)"
+                ))
+            }
+        },
+    };
+    let cap = match env_u64("RF_CACHE_CAP")? {
+        None => None,
+        Some(0) => {
+            return Err(
+                "RF_CACHE_CAP=0 would cache nothing; set RF_CACHE=0 to disable the cache"
+                    .to_owned(),
+            )
+        }
+        Some(n) => Some(n as usize),
+    };
+    Ok((enabled, cap))
+}
+
+/// The interior of a [`RunCache`]: the spec→stats map plus the LRU
+/// clock and byte accounting, all guarded by one mutex.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<RunSpec, CacheEntry>,
+    /// Monotonic use counter; each `get` hit and each `insert` stamps
+    /// the entry, so the minimum stamp is the least-recently-used entry.
+    clock: u64,
+    /// Approximate bytes resident across all entries.
+    bytes: u64,
+}
+
+/// One cached result with its LRU stamp and size accounting.
+#[derive(Debug)]
+struct CacheEntry {
+    stats: Arc<SimStats>,
+    last_use: u64,
+    bytes: u64,
+}
+
+/// Approximate resident size of one cache entry: the key's heap plus the
+/// stats record. Deterministic for equal `(spec, stats)` pairs, which
+/// keeps the ledger's byte accounting reproducible.
+fn entry_bytes(spec: &RunSpec, stats: &SimStats) -> u64 {
+    (std::mem::size_of::<RunSpec>()
+        + spec.benchmark.len()
+        + std::mem::size_of::<CacheEntry>()
+        + stats.approx_bytes()) as u64
 }
 
 /// A keyed memo of simulation results: [`RunSpec`] → [`SimStats`].
@@ -297,18 +582,41 @@ pub fn simulate(spec: &RunSpec) -> SimStats {
 /// a common cache means each distinct point is simulated once per
 /// process. The global instance is shared by all harnesses; tests can
 /// build private instances. Disabled caches always miss.
+///
+/// Two robustness properties:
+///
+/// - **Poison recovery.** A thread that panics while holding the map
+///   lock poisons the mutex; the cache recovers the guard instead of
+///   propagating the poison, so one dead worker cannot take the shared
+///   cache down with it. Recoveries are counted — a nonzero
+///   [`RunCache::poison_recoveries`] means some run died mid-update.
+///   (No current panic path holds the lock: simulations run outside it.)
+/// - **Bounded LRU mode.** With a capacity set ([`RunCache::bounded`],
+///   `RF_CACHE_CAP`, or `--cache-cap` on the suite binary), inserting
+///   beyond the capacity evicts least-recently-used entries; evictions
+///   and resident bytes are tracked for the suite report and ledger.
 #[derive(Debug, Default)]
 pub struct RunCache {
-    map: Mutex<HashMap<RunSpec, Arc<SimStats>>>,
+    inner: Mutex<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
     disabled: bool,
+    /// Maximum resident entries (`None` = unbounded).
+    cap: Option<usize>,
 }
 
 impl RunCache {
-    /// Creates an empty, enabled cache.
+    /// Creates an empty, enabled, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache bounded to `cap` entries; inserting past
+    /// the bound evicts the least-recently-used entry.
+    pub fn bounded(cap: usize) -> Self {
+        Self { cap: Some(cap.max(1)), ..Self::default() }
     }
 
     /// Creates a cache that never stores or returns results (every lookup
@@ -317,16 +625,34 @@ impl RunCache {
         Self { disabled: true, ..Self::default() }
     }
 
-    /// The process-wide cache shared by every harness. Set `RF_CACHE=0`
-    /// to disable it (each batch then simulates every point it lists).
+    /// The process-wide cache shared by every harness. `RF_CACHE`
+    /// disables it and `RF_CACHE_CAP` bounds it — see [`cache_env_mode`]
+    /// for the accepted values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either variable is malformed (on first use only;
+    /// binaries should pre-validate with [`validate_env`]).
     pub fn global() -> &'static RunCache {
         static GLOBAL: OnceLock<RunCache> = OnceLock::new();
         GLOBAL.get_or_init(|| {
-            if std::env::var("RF_CACHE").is_ok_and(|v| v == "0") {
-                RunCache::disabled()
-            } else {
-                RunCache::new()
+            let (enabled, cap) = cache_env_mode().unwrap_or_else(|e| panic!("{e}"));
+            match (enabled, cap) {
+                (false, _) => RunCache::disabled(),
+                (true, Some(cap)) => RunCache::bounded(cap),
+                (true, None) => RunCache::new(),
             }
+        })
+    }
+
+    /// Locks the interior, recovering (and counting) a poisoned lock: the
+    /// map is always structurally valid mid-operation because every
+    /// mutation completes before the guard drops, so the data a panicking
+    /// thread left behind is safe to keep serving.
+    fn inner(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|poisoned: PoisonError<_>| {
+            self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
         })
     }
 
@@ -335,13 +661,26 @@ impl RunCache {
         !self.disabled
     }
 
-    /// Looks up a spec, counting a hit or miss.
+    /// The entry bound, if this cache is the bounded-LRU variant.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Looks up a spec, counting a hit or miss. A hit refreshes the
+    /// entry's LRU stamp.
     pub fn get(&self, spec: &RunSpec) -> Option<Arc<SimStats>> {
         if self.disabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let found = self.map.lock().expect("run cache poisoned").get(spec).cloned();
+        let mut inner = self.inner();
+        inner.clock += 1;
+        let now = inner.clock;
+        let found = inner.map.get_mut(spec).map(|entry| {
+            entry.last_use = now;
+            Arc::clone(&entry.stats)
+        });
+        drop(inner);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -349,10 +688,32 @@ impl RunCache {
         found
     }
 
-    /// Stores a result (no-op when disabled).
+    /// Stores a result (no-op when disabled), evicting
+    /// least-recently-used entries while over capacity.
     pub fn insert(&self, spec: RunSpec, stats: Arc<SimStats>) {
-        if !self.disabled {
-            self.map.lock().expect("run cache poisoned").insert(spec, stats);
+        if self.disabled {
+            return;
+        }
+        let bytes = entry_bytes(&spec, &stats);
+        let mut inner = self.inner();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(old) =
+            inner.map.insert(spec, CacheEntry { stats, last_use: now, bytes })
+        {
+            inner.bytes -= old.bytes;
+        }
+        inner.bytes += bytes;
+        while self.cap.is_some_and(|cap| inner.map.len() > cap) {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity map is non-empty");
+            let evicted = inner.map.remove(&victim).expect("victim just found");
+            inner.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -366,14 +727,80 @@ impl RunCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Times a poisoned lock was recovered (a worker died mid-update).
+    pub fn poison_recoveries(&self) -> u64 {
+        self.poison_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes currently resident (keys plus stats records).
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner().bytes
+    }
+
     /// Distinct results currently stored.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("run cache poisoned").len()
+        self.inner().map.len()
     }
 
     /// Whether the cache holds no results.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Process-wide default batch deadline in nanoseconds (0 = none). Set
+/// once at startup (the suite binary's `--deadline-secs` flag) so the
+/// twelve harness entry points pick it up through [`BatchOpts::default`]
+/// without changing their signatures.
+static DEFAULT_DEADLINE_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide default batch deadline applied by
+/// [`BatchOpts::default`] (`None` clears it).
+pub fn set_default_deadline(deadline: Option<Duration>) {
+    let nanos = deadline.map_or(0, |d| d.as_nanos().min(u64::MAX as u128) as u64);
+    DEFAULT_DEADLINE_NANOS.store(nanos, Ordering::Relaxed);
+}
+
+/// The process-wide default batch deadline, if one is set.
+pub fn default_deadline() -> Option<Duration> {
+    match DEFAULT_DEADLINE_NANOS.load(Ordering::Relaxed) {
+        0 => None,
+        nanos => Some(Duration::from_nanos(nanos)),
+    }
+}
+
+/// Options controlling one batch submitted to a [`SimPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOpts {
+    /// Wall-clock budget for the whole batch. When it elapses, running
+    /// simulations are cooperatively cancelled (their partial state is
+    /// discarded) and not-yet-started specs are abandoned; each affected
+    /// spec fails with [`RunError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+}
+
+impl BatchOpts {
+    /// Options with no deadline, regardless of the process default.
+    pub fn unbounded() -> Self {
+        Self { deadline: None }
+    }
+
+    /// Options with an explicit deadline.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        Self { deadline: Some(deadline) }
+    }
+}
+
+impl Default for BatchOpts {
+    /// The process-wide default ([`set_default_deadline`]), or no
+    /// deadline when none is set.
+    fn default() -> Self {
+        Self { deadline: default_deadline() }
     }
 }
 
@@ -384,6 +811,11 @@ impl RunCache {
 /// back in input order regardless of completion order, and equal specs
 /// within a batch are simulated once — so a report built from a batch is
 /// byte-identical to one built by running the specs sequentially.
+///
+/// The fallible entry points ([`SimPool::try_run_many`] and friends)
+/// return one `Result` per spec: a panicking or deadline-cancelled
+/// simulation fails only its own spec, and every other completed result
+/// in the batch is still returned (and cached).
 #[derive(Debug, Clone, Copy)]
 pub struct SimPool {
     jobs: usize,
@@ -398,15 +830,29 @@ impl SimPool {
 
     /// A pool sized from the `RF_JOBS` environment variable, defaulting
     /// to the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RF_JOBS` is malformed; binaries should pre-validate
+    /// with [`SimPool::try_from_env`] or [`validate_env`].
     pub fn from_env() -> Self {
-        let jobs = std::env::var("RF_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&j| j > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-            });
-        Self::new(jobs)
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// As [`SimPool::from_env`], but a malformed `RF_JOBS` (including
+    /// `RF_JOBS=0`) is an error instead of a panic or a silent fall-back
+    /// to full parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed value.
+    pub fn try_from_env() -> Result<Self, String> {
+        let jobs = match env_u64("RF_JOBS")? {
+            Some(0) => return Err("RF_JOBS=0 would run nothing; use RF_JOBS=1".to_owned()),
+            Some(n) => n as usize,
+            None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        };
+        Ok(Self::new(jobs))
     }
 
     /// The number of concurrent simulations this pool runs.
@@ -416,13 +862,54 @@ impl SimPool {
 
     /// Runs every spec, sharing results through the global [`RunCache`].
     /// Results are in input order: `result[i]` corresponds to `specs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first [`RunError`]'s message; use
+    /// [`SimPool::try_run_many`] to salvage the rest of the batch.
     pub fn run_many(&self, specs: &[RunSpec]) -> Vec<Arc<SimStats>> {
         self.run_many_cached(specs, RunCache::global())
     }
 
     /// As [`SimPool::run_many`], but against an explicit cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first [`RunError`]'s message.
     pub fn run_many_cached(&self, specs: &[RunSpec], cache: &RunCache) -> Vec<Arc<SimStats>> {
-        let mut results: Vec<Option<Arc<SimStats>>> = vec![None; specs.len()];
+        self.try_run_many_opts(specs, cache, BatchOpts::default())
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+
+    /// Runs every spec through the global [`RunCache`], returning one
+    /// `Result` per spec in input order. A failing simulation (panic,
+    /// unknown benchmark, elapsed deadline) fails only its own spec;
+    /// every completed result is returned and cached.
+    pub fn try_run_many(&self, specs: &[RunSpec]) -> Vec<Result<Arc<SimStats>, RunError>> {
+        self.try_run_many_cached(specs, RunCache::global())
+    }
+
+    /// As [`SimPool::try_run_many`], but against an explicit cache.
+    pub fn try_run_many_cached(
+        &self,
+        specs: &[RunSpec],
+        cache: &RunCache,
+    ) -> Vec<Result<Arc<SimStats>, RunError>> {
+        self.try_run_many_opts(specs, cache, BatchOpts::default())
+    }
+
+    /// As [`SimPool::try_run_many_cached`], with explicit batch options
+    /// (deadline).
+    pub fn try_run_many_opts(
+        &self,
+        specs: &[RunSpec],
+        cache: &RunCache,
+        opts: BatchOpts,
+    ) -> Vec<Result<Arc<SimStats>, RunError>> {
+        let mut results: Vec<Option<Result<Arc<SimStats>, RunError>>> =
+            vec![None; specs.len()];
 
         // Resolve cache hits and deduplicate the remainder, preserving
         // first-appearance order for determinism. With the cache disabled
@@ -432,7 +919,7 @@ impl SimPool {
         let mut task_of: HashMap<&RunSpec, usize> = HashMap::new();
         for (i, spec) in specs.iter().enumerate() {
             if let Some(found) = cache.get(spec) {
-                results[i] = Some(found);
+                results[i] = Some(Ok(found));
             } else if cache.is_enabled() {
                 let t = *task_of.entry(spec).or_insert_with(|| {
                     tasks.push(spec);
@@ -446,29 +933,80 @@ impl SimPool {
             }
         }
 
-        for (t, stats) in self.execute(&tasks) {
-            cache.insert(tasks[t].clone(), Arc::clone(&stats));
+        // Insert into the cache in task order (not worker completion
+        // order) so LRU stamps — and therefore evictions under a bounded
+        // cache — are deterministic across worker counts.
+        let mut executed = self.execute(&tasks, opts);
+        executed.sort_unstable_by_key(|(t, _)| *t);
+        for (t, outcome) in executed {
+            if let Ok(stats) = &outcome {
+                cache.insert(tasks[t].clone(), Arc::clone(stats));
+            }
             for &i in &needers[t] {
-                results[i] = Some(Arc::clone(&stats));
+                results[i] = Some(outcome.clone());
             }
         }
 
         results.into_iter().map(|r| r.expect("every spec resolved")).collect()
     }
 
-    /// Executes `tasks`, returning `(task_index, stats)` pairs.
-    fn execute(&self, tasks: &[&RunSpec]) -> Vec<(usize, Arc<SimStats>)> {
+    /// Executes `tasks`, returning `(task_index, outcome)` pairs. With a
+    /// deadline set, a watchdog thread fires a shared [`CancelToken`] at
+    /// the deadline; workers check it before starting each task, and
+    /// running pipelines poll it cooperatively.
+    fn execute(
+        &self,
+        tasks: &[&RunSpec],
+        opts: BatchOpts,
+    ) -> Vec<(usize, Result<Arc<SimStats>, RunError>)> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let deadline_ms =
+            opts.deadline.map_or(0, |d| d.as_millis().min(u64::MAX as u128) as u64);
+        let start = Instant::now();
+        let cancel = CancelToken::new();
+        let run_one = |spec: &RunSpec| -> Result<Arc<SimStats>, RunError> {
+            if cancel.is_cancelled() || opts.deadline.is_some_and(|d| start.elapsed() >= d) {
+                return Err(RunError::DeadlineExceeded {
+                    benchmark: spec.benchmark.clone(),
+                    deadline_ms,
+                });
+            }
+            let token = opts.deadline.is_some().then_some(&cancel);
+            try_simulate_cancellable(spec, token, deadline_ms).map(Arc::new)
+        };
         let workers = self.jobs.min(tasks.len());
-        if workers <= 1 {
-            return tasks
-                .iter()
-                .enumerate()
-                .map(|(t, spec)| (t, Arc::new(simulate(spec))))
-                .collect();
+        if workers <= 1 && opts.deadline.is_none() {
+            return tasks.iter().enumerate().map(|(t, spec)| (t, run_one(spec))).collect();
         }
         let cursor = AtomicUsize::new(0);
-        let mut done: Vec<(usize, Arc<SimStats>)> = Vec::with_capacity(tasks.len());
+        let mut done: Vec<(usize, Result<Arc<SimStats>, RunError>)> =
+            Vec::with_capacity(tasks.len());
+        // The watchdog parks on this pair: woken early when all work is
+        // done, otherwise it fires the cancel token at the deadline.
+        let parker = (Mutex::new(false), Condvar::new());
         std::thread::scope(|scope| {
+            if let Some(deadline) = opts.deadline {
+                let cancel = &cancel;
+                let parker = &parker;
+                scope.spawn(move || {
+                    let (lock, cvar) = parker;
+                    let mut finished =
+                        lock.lock().unwrap_or_else(PoisonError::into_inner);
+                    while !*finished {
+                        let elapsed = start.elapsed();
+                        if elapsed >= deadline {
+                            cancel.cancel();
+                            return;
+                        }
+                        finished = cvar
+                            .wait_timeout(finished, deadline - elapsed)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0;
+                    }
+                });
+            }
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -476,15 +1014,21 @@ impl SimPool {
                         loop {
                             let t = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(spec) = tasks.get(t) else { break };
-                            mine.push((t, Arc::new(simulate(spec))));
+                            mine.push((t, run_one(spec)));
                         }
                         mine
                     })
                 })
                 .collect();
             for handle in handles {
-                done.extend(handle.join().expect("simulation worker panicked"));
+                // Workers cannot panic — simulation panics are caught
+                // inside `try_simulate_cancellable` — so a join failure
+                // here is a harness bug, not a model bug.
+                done.extend(handle.join().expect("simulation worker thread died"));
             }
+            let (lock, cvar) = &parker;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cvar.notify_all();
         });
         done
     }
@@ -493,6 +1037,68 @@ impl SimPool {
 impl Default for SimPool {
     fn default() -> Self {
         Self::from_env()
+    }
+}
+
+/// Standard entry point for the figure/table harness binaries: strict
+/// argument and environment handling wrapped around a report-producing
+/// function.
+///
+/// The contract every harness binary shares:
+///
+/// - `--help`/`-h` prints usage and exits 0 (it used to launch a full
+///   200k-commit run);
+/// - an optional first argument sets the commit budget; a malformed
+///   argument or extra arguments exit 2 with a clear message instead of
+///   silently running the default budget;
+/// - a malformed runner environment variable exits 2 before any
+///   simulation starts;
+/// - a panic escaping the harness is caught and reported, exiting 1.
+pub fn harness_main(name: &str, run: fn(&Scale) -> String) -> std::process::ExitCode {
+    let usage = format!(
+        "usage: {name} [COMMITS]\n\n\
+         Regenerates the {name} report on stdout.\n\n\
+         arguments:\n  \
+         COMMITS        committed instructions per simulation\n                 \
+         (default: RF_COMMITS or 200000)\n\n\
+         environment:\n  \
+         RF_COMMITS     default commit budget\n  \
+         RF_JOBS        parallel simulation workers (default: all cores)\n  \
+         RF_CACHE       0/off/false/no disables the shared run cache\n  \
+         RF_CACHE_CAP   bound the run cache to N entries (LRU eviction)"
+    );
+    let mut commits: Option<u64> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--help" || arg == "-h" {
+            println!("{usage}");
+            return std::process::ExitCode::SUCCESS;
+        }
+        if commits.is_some() {
+            eprintln!("{name}: unexpected argument {arg:?}\n{usage}");
+            return std::process::ExitCode::from(2);
+        }
+        match arg.parse::<u64>() {
+            Ok(n) => commits = Some(n),
+            Err(_) => {
+                eprintln!("{name}: commit budget {arg:?} is not a non-negative integer\n{usage}");
+                return std::process::ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = validate_env() {
+        eprintln!("{name}: {e}");
+        return std::process::ExitCode::from(2);
+    }
+    let scale = commits.map_or_else(Scale::from_env, |commits| Scale { commits });
+    match std::panic::catch_unwind(|| run(&scale)) {
+        Ok(report) => {
+            println!("{report}");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(payload) => {
+            eprintln!("{name}: harness failed: {}", payload_text(payload.as_ref()));
+            std::process::ExitCode::FAILURE
+        }
     }
 }
 
@@ -597,6 +1203,186 @@ mod tests {
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 2);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fault_probe_fails_only_its_own_spec() {
+        // (a) try_run_many returns Err for the poisoned spec and Ok for
+        // the rest of the batch, identical to fault-free runs.
+        let cache = RunCache::new();
+        let pool = SimPool::new(2);
+        let good_a = RunSpec::baseline("espresso", 4).commits(2_000);
+        let bad = RunSpec::baseline(FAULT_BENCHMARK, 4).commits(2_000);
+        let good_b = RunSpec::baseline("compress", 4).commits(2_000);
+        let out =
+            pool.try_run_many_cached(&[good_a.clone(), bad, good_b.clone()], &cache);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            **out[0].as_ref().expect("first spec completes"),
+            simulate(&good_a)
+        );
+        assert_eq!(
+            **out[2].as_ref().expect("third spec completes"),
+            simulate(&good_b)
+        );
+        match out[1].as_ref().expect_err("probe spec fails") {
+            RunError::WorkerPanic { benchmark, payload } => {
+                assert_eq!(benchmark, FAULT_BENCHMARK);
+                assert!(payload.contains("injected fault probe"), "payload: {payload}");
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        // (b) the cache still serves hits afterwards: the two completed
+        // results are resident and a re-run hits both.
+        assert_eq!(cache.len(), 2);
+        let hits_before = cache.hits();
+        let again = pool.try_run_many_cached(&[good_a, good_b], &cache);
+        assert!(again.iter().all(Result::is_ok));
+        assert_eq!(cache.hits(), hits_before + 2);
+    }
+
+    #[test]
+    fn cache_recovers_from_a_poisoned_lock() {
+        let cache = Arc::new(RunCache::new());
+        let spec = RunSpec::baseline("ora", 4).commits(1_000);
+        let stats = Arc::new(simulate(&spec));
+        cache.insert(spec.clone(), Arc::clone(&stats));
+        // Poison the interior mutex the way a dying worker would: panic
+        // while holding the guard.
+        let poisoner = Arc::clone(&cache);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.inner.lock().expect("not yet poisoned");
+            panic!("worker died holding the cache lock");
+        })
+        .join();
+        assert!(cache.inner.is_poisoned());
+        // Every operation still works, and the recovery is counted.
+        assert_eq!(cache.get(&spec).as_deref(), Some(&*stats));
+        cache.insert(RunSpec::baseline("espresso", 4).commits(1_000), stats);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.poison_recoveries() > 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let cache = RunCache::bounded(2);
+        let a = RunSpec::baseline("espresso", 4).commits(1_000);
+        let b = RunSpec::baseline("compress", 4).commits(1_000);
+        let c = RunSpec::baseline("ora", 4).commits(1_000);
+        let stats = Arc::new(simulate(&a));
+        cache.insert(a.clone(), Arc::clone(&stats));
+        cache.insert(b.clone(), Arc::clone(&stats));
+        // Touch `a`, making `b` the LRU entry; the third insert must
+        // evict `b`.
+        assert!(cache.get(&a).is_some());
+        cache.insert(c.clone(), Arc::clone(&stats));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&c).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.resident_bytes() > 0);
+        assert_eq!(cache.capacity(), Some(2));
+    }
+
+    #[test]
+    fn evicted_entry_resimulates_identically() {
+        // (d) LRU eviction keeps results deterministic: forcing an
+        // eviction and re-running the evicted spec reproduces the
+        // unbounded cache's stats exactly.
+        let reference = simulate(&RunSpec::baseline("espresso", 4).commits(2_000));
+        let cache = RunCache::bounded(1);
+        let pool = SimPool::new(2);
+        let specs = vec![
+            RunSpec::baseline("espresso", 4).commits(2_000),
+            RunSpec::baseline("compress", 4).commits(2_000),
+            RunSpec::baseline("espresso", 4).commits(2_000),
+        ];
+        let out = pool.try_run_many_cached(&specs, &cache);
+        assert!(cache.evictions() >= 1);
+        assert_eq!(**out[0].as_ref().expect("first run completes"), reference);
+        assert_eq!(**out[2].as_ref().expect("re-run after eviction"), reference);
+    }
+
+    #[test]
+    fn batch_deadline_cancels_and_reports() {
+        let cache = RunCache::new();
+        let pool = SimPool::new(2);
+        // A commit budget far beyond what a few microseconds allow: the
+        // watchdog fires mid-run and the worker loop abandons the rest.
+        let specs: Vec<RunSpec> = ["espresso", "compress", "ora"]
+            .iter()
+            .map(|b| RunSpec::baseline(b, 8).commits(5_000_000))
+            .collect();
+        let out = pool.try_run_many_opts(
+            &specs,
+            &cache,
+            BatchOpts::with_deadline(Duration::from_micros(50)),
+        );
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            match r.as_ref().expect_err("deadline fires long before 5M commits") {
+                RunError::DeadlineExceeded { .. } => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        // Nothing partial leaked into the cache.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let cache = RunCache::new();
+        let pool = SimPool::new(2);
+        let spec = RunSpec::baseline("espresso", 4).commits(2_000);
+        let out = pool.try_run_many_opts(
+            std::slice::from_ref(&spec),
+            &cache,
+            BatchOpts::with_deadline(Duration::from_secs(3600)),
+        );
+        assert_eq!(**out[0].as_ref().expect("completes well before an hour"), simulate(&spec));
+    }
+
+    #[test]
+    fn strict_env_parsing_rejects_malformed_values() {
+        // Env mutation is process-global, so this test owns all four
+        // variables for its duration and restores them at the end; it is
+        // the only test in this binary that touches them.
+        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP"];
+        let saved: Vec<Option<String>> =
+            vars.iter().map(|v| std::env::var(v).ok()).collect();
+        let cases: [(&str, &str, &str); 6] = [
+            ("RF_COMMITS", "200k", "RF_COMMITS"),
+            ("RF_JOBS", "abc", "RF_JOBS"),
+            ("RF_JOBS", "0", "RF_JOBS=0"),
+            ("RF_CACHE", "maybe", "RF_CACHE"),
+            ("RF_CACHE_CAP", "-1", "RF_CACHE_CAP"),
+            ("RF_CACHE_CAP", "0", "RF_CACHE_CAP=0"),
+        ];
+        for (var, value, needle) in cases {
+            for v in vars {
+                std::env::remove_var(v);
+            }
+            std::env::set_var(var, value);
+            let err = validate_env().expect_err(var);
+            assert!(err.contains(needle), "{var}={value} error: {err}");
+        }
+        // Normalized RF_CACHE spellings and well-formed values all pass.
+        for v in vars {
+            std::env::remove_var(v);
+        }
+        for ok in ["0", "OFF", "false", "No", "1", "on", "TRUE", "yes"] {
+            std::env::set_var("RF_CACHE", ok);
+            assert!(validate_env().is_ok(), "RF_CACHE={ok} should be accepted");
+        }
+        std::env::remove_var("RF_CACHE");
+        assert_eq!(cache_env_mode(), Ok((true, None)));
+        for (var, value) in vars.iter().zip(saved) {
+            match value {
+                Some(v) => std::env::set_var(var, v),
+                None => std::env::remove_var(var),
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,12 @@ use std::path::Path;
 
 /// Version of the record layout; bump on breaking schema changes so
 /// `rfstudy report` can refuse records it does not understand.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the per-harness `error` field (null for a harness that
+/// completed; the failure message for one that did not) and the cache
+/// pressure block (`config.cache_cap`, `totals.cache_evictions`,
+/// `totals.cache_resident_bytes`).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -82,6 +87,10 @@ pub struct HarnessRecord {
     pub phase: PhaseRecord,
     /// Traced-probe percentiles, when the harness attached one.
     pub probe: Option<ProbeRecord>,
+    /// Failure message when the harness did not complete (its report was
+    /// not written); `None` for a successful harness. The counters above
+    /// still cover whatever the harness executed before failing.
+    pub error: Option<String>,
 }
 
 /// Allocation counters for the whole run (only present when the suite
@@ -123,6 +132,14 @@ pub struct LedgerRecord {
     pub cache_hits: u64,
     /// Run-cache misses across the suite.
     pub cache_misses: u64,
+    /// Run-cache entry bound (`RF_CACHE_CAP`), when the bounded LRU mode
+    /// was active.
+    pub cache_capacity: Option<u64>,
+    /// Entries evicted by the LRU bound across the suite.
+    pub cache_evictions: u64,
+    /// Approximate bytes resident in the run cache at the end of the
+    /// suite.
+    pub cache_resident_bytes: u64,
     /// Per-harness breakdown, in suite order.
     pub harnesses: Vec<HarnessRecord>,
     /// Headline numbers extracted from the figure harnesses
@@ -158,6 +175,7 @@ impl LedgerRecord {
                     ("commits".to_owned(), int(self.commits)),
                     ("jobs".to_owned(), int(self.jobs)),
                     ("cache".to_owned(), Value::Bool(self.cache)),
+                    ("cache_cap".to_owned(), self.cache_capacity.map_or(Value::Null, int)),
                     ("sanitize".to_owned(), Value::Bool(self.sanitize)),
                 ]),
             ),
@@ -170,6 +188,11 @@ impl LedgerRecord {
                     ("cycles".to_owned(), int(self.cycles)),
                     ("cache_hits".to_owned(), int(self.cache_hits)),
                     ("cache_misses".to_owned(), int(self.cache_misses)),
+                    ("cache_evictions".to_owned(), int(self.cache_evictions)),
+                    (
+                        "cache_resident_bytes".to_owned(),
+                        int(self.cache_resident_bytes),
+                    ),
                 ]),
             ),
             (
@@ -245,6 +268,13 @@ fn harness_value(h: &HarnessRecord) -> Value {
                     ]),
                 ),
             ]),
+            None => Value::Null,
+        },
+    ));
+    members.push((
+        "error".to_owned(),
+        match &h.error {
+            Some(message) => Value::String(message.clone()),
             None => Value::Null,
         },
     ));
@@ -366,6 +396,9 @@ mod tests {
             cycles: 90_000,
             cache_hits: 40,
             cache_misses: 100,
+            cache_capacity: Some(64),
+            cache_evictions: 3,
+            cache_resident_bytes: 12_345,
             harnesses: vec![HarnessRecord {
                 name: "fig3".to_owned(),
                 seconds: 0.5,
@@ -382,6 +415,7 @@ mod tests {
                     insert_to_commit: (10, 20, 30),
                     issue_to_commit: (5, 9, 14),
                 }),
+                error: None,
             }],
             headlines: vec![("fig3.commit_ipc.4way_dq32".to_owned(), 2.68)],
             alloc: None,
@@ -405,11 +439,33 @@ mod tests {
         assert_eq!(h.get_str("name"), Some("fig3"));
         assert_eq!(h.get("phase_seconds").unwrap().get_f64("simulate"), Some(0.4));
         assert_eq!(h.get("probe").unwrap().get_str("bench"), Some("gcc1"));
+        assert_eq!(h.get("error"), Some(&Value::Null));
+        assert_eq!(v.get("config").unwrap().get_f64("cache_cap"), Some(64.0));
+        assert_eq!(v.get("totals").unwrap().get_f64("cache_evictions"), Some(3.0));
+        assert_eq!(
+            v.get("totals").unwrap().get_f64("cache_resident_bytes"),
+            Some(12_345.0)
+        );
         assert_eq!(
             v.get("headlines").unwrap().get_f64("fig3.commit_ipc.4way_dq32"),
             Some(2.68)
         );
         assert_eq!(v.get("alloc"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn harness_error_renders_escaped_and_round_trips() {
+        let mut rec = sample();
+        rec.harnesses[0].error =
+            Some("simulation of \"fig3\" panicked: boom\nsecond line".to_owned());
+        let line = rec.to_line();
+        assert!(!line.contains('\n'), "errors must not break the one-line format");
+        let v = json::parse(&line).unwrap();
+        let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            h.get_str("error"),
+            Some("simulation of \"fig3\" panicked: boom\nsecond line")
+        );
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! rendering of a fully-populated record (every optional present) and a
 //! minimal one (every optional absent) against
 //! `tests/golden/ledger_record.jsonl`. If it fails because of an
-//! intentional schema change, bump the schema version, update the
-//! golden file to the `=== got ===` output, and teach
+//! intentional schema change, bump the schema version, regenerate the
+//! golden file (`RF_REGEN_GOLDEN=1 cargo test -p rf-obs --test
+//! ledger_golden`, or copy the `=== got ===` output), and teach
 //! `rf_obs::trend::analyze` about the new layout.
 
 use rf_obs::json::{self, Value};
@@ -32,6 +33,9 @@ fn full_record() -> LedgerRecord {
         cycles: 98_765_432,
         cache_hits: 321,
         cache_misses: 913,
+        cache_capacity: Some(256),
+        cache_evictions: 17,
+        cache_resident_bytes: 1_048_576,
         harnesses: vec![
             HarnessRecord {
                 name: "table1".to_owned(),
@@ -49,6 +53,7 @@ fn full_record() -> LedgerRecord {
                     insert_to_commit: (9, 21, 55),
                     issue_to_commit: (4, 11, 30),
                 }),
+                error: None,
             },
             HarnessRecord {
                 name: "fig10".to_owned(),
@@ -61,6 +66,9 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 13,
                 phase: PhaseRecord { generate: 0.001, simulate: 0.6, aggregate: 0.149 },
                 probe: None,
+                error: Some(
+                    "simulation of \"gcc1\" panicked: injected fault probe".to_owned(),
+                ),
             },
         ],
         headlines: vec![
@@ -90,6 +98,9 @@ fn minimal_record() -> LedgerRecord {
         cycles: 0,
         cache_hits: 0,
         cache_misses: 0,
+        cache_capacity: None,
+        cache_evictions: 0,
+        cache_resident_bytes: 0,
         harnesses: Vec::new(),
         headlines: Vec::new(),
         alloc: None,
@@ -99,6 +110,10 @@ fn minimal_record() -> LedgerRecord {
 #[test]
 fn record_rendering_matches_golden_file() {
     let got = format!("{}\n{}\n", full_record().to_line(), minimal_record().to_line());
+    if std::env::var("RF_REGEN_GOLDEN").is_ok() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/ledger_record.jsonl");
+        std::fs::write(path, &got).expect("write regenerated golden file");
+    }
     assert_eq!(
         got, GOLDEN,
         "ledger rendering drifted from the golden file; if the schema \
@@ -108,7 +123,7 @@ fn record_rendering_matches_golden_file() {
 }
 
 #[test]
-fn golden_lines_parse_back_to_schema_one() {
+fn golden_lines_parse_back_to_current_schema() {
     for (i, line) in GOLDEN.lines().enumerate() {
         let v = json::parse(line).unwrap_or_else(|e| panic!("golden line {}: {e}", i + 1));
         assert_eq!(v.get_f64("schema"), Some(SCHEMA_VERSION as f64));
@@ -117,11 +132,20 @@ fn golden_lines_parse_back_to_schema_one() {
             assert!(v.get(key).is_some(), "line {} missing {key}", i + 1);
         }
         let config = v.get("config").unwrap();
-        for key in ["commits", "jobs", "cache", "sanitize"] {
+        for key in ["commits", "jobs", "cache", "cache_cap", "sanitize"] {
             assert!(config.get(key).is_some(), "config missing {key}");
         }
         let totals = v.get("totals").unwrap();
-        for key in ["seconds", "sims", "committed", "cycles", "cache_hits", "cache_misses"] {
+        for key in [
+            "seconds",
+            "sims",
+            "committed",
+            "cycles",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_resident_bytes",
+        ] {
             assert!(totals.get(key).is_some(), "totals missing {key}");
         }
         for h in v.get("harnesses").unwrap().as_array().unwrap() {
@@ -136,6 +160,7 @@ fn golden_lines_parse_back_to_schema_one() {
                 "no_free_cycles",
                 "phase_seconds",
                 "probe",
+                "error",
             ] {
                 assert!(h.get(key).is_some(), "harness missing {key}");
             }

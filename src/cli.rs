@@ -138,6 +138,10 @@ pub enum Command {
         bench: String,
         /// Commit budget.
         commits: u64,
+        /// Wall-clock budget in seconds (`None` = unbounded). An
+        /// overrunning simulation is cancelled cooperatively and the
+        /// process exits 1.
+        deadline_secs: Option<f64>,
         /// Machine options.
         machine: MachineOpts,
     },
@@ -317,14 +321,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let bench = take("--bench", &opts).ok_or("run requires --bench")?;
             let commits =
                 take("--commits", &opts).map_or(Ok(200_000), |v| parse_num("--commits", &v))?;
+            let deadline_secs = take("--deadline-secs", &opts)
+                .map(|v| {
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|s| s.is_finite() && *s > 0.0)
+                        .ok_or_else(|| {
+                            format!("--deadline-secs {v:?} is not a positive number of seconds")
+                        })
+                })
+                .transpose()?;
             let mut machine = MachineOpts::default();
             for (o, v) in &opts {
-                if o == "--bench" || o == "--commits" {
+                if matches!(o.as_str(), "--bench" | "--commits" | "--deadline-secs") {
                     continue;
                 }
                 parse_machine(o, v.as_deref(), &mut machine)?;
             }
-            Ok(Command::Run { bench, commits, machine })
+            Ok(Command::Run { bench, commits, deadline_secs, machine })
         }
         "trace" => {
             let bench = take("--bench", &opts).ok_or("trace requires --bench")?;
@@ -429,7 +443,8 @@ rfstudy — register-file design study simulator (HPCA'96 reproduction)
 
 USAGE:
   rfstudy list
-  rfstudy run      --bench NAME [--commits N] [machine options]
+  rfstudy run      --bench NAME [--commits N] [--deadline-secs S]
+                   [machine options]
   rfstudy trace    --bench NAME [--commits N] [--format chrome|text|summary]
                    [--window CYCLES] [--out FILE] [machine options]
   rfstudy record   --bench NAME --out FILE [--count N] [--seed N]
@@ -455,6 +470,11 @@ MACHINE OPTIONS:
   --predictor KIND      bimodal | gshare | combining
   --split-queues        split the dispatch queue (extension)
   --seed N              workload / simulation seed
+
+RUN OPTIONS:
+  --deadline-secs S     wall-clock budget in seconds; an overrunning
+                        simulation is cancelled cooperatively (its partial
+                        statistics are discarded) and rfstudy exits 1
 
 TRACE OPTIONS:
   --format FMT          chrome (Perfetto-loadable trace-event JSON),
@@ -483,6 +503,12 @@ REPORT OPTIONS:
   --band-scale; --fidelity warn reports drift without gating, off
   skips it). --prom FILE additionally writes a Prometheus text-format
   exposition of the latest record and scorecard.
+
+EXIT STATUS:
+  0  success
+  1  runtime failure (simulation error, sanitizer violation, failed
+     check/report gate, exceeded --deadline-secs)
+  2  usage error (unknown command or option, malformed value)
 ";
 
 #[cfg(test)]
@@ -501,9 +527,10 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Run { bench, commits, machine } => {
+            Command::Run { bench, commits, deadline_secs, machine } => {
                 assert_eq!(bench, "tomcatv");
                 assert_eq!(commits, 5000);
+                assert_eq!(deadline_secs, None);
                 assert_eq!(machine.width, 8);
                 assert_eq!(machine.regs, 128);
                 assert_eq!(machine.exceptions, ExceptionModel::Imprecise);
@@ -519,6 +546,19 @@ mod tests {
     #[test]
     fn run_requires_bench() {
         assert!(parse(&argv("run --commits 100")).is_err());
+    }
+
+    #[test]
+    fn run_parses_a_deadline_and_rejects_malformed_ones() {
+        match parse(&argv("run --bench ora --deadline-secs 1.5")).unwrap() {
+            Command::Run { deadline_secs, .. } => assert_eq!(deadline_secs, Some(1.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in ["0", "-2", "nan", "inf", "abc"] {
+            let err =
+                parse(&argv(&format!("run --bench ora --deadline-secs {bad}"))).unwrap_err();
+            assert!(err.contains("positive number of seconds"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -2,13 +2,17 @@
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
 //! `replay`, `check`, `dump`, `dataflow`, `report`, `timing`.
+//!
+//! Exit status: 0 on success, 1 on a runtime failure (simulation error,
+//! sanitizer violation, failed gate, exceeded deadline), 2 on a usage
+//! error (unknown command/option or malformed value).
 
 mod cli;
 
 use cli::{Command, MachineOpts, TraceFormat};
 use rf_check::{CheckParams, Sanitizer};
 use rf_core::dataflow::analyze;
-use rf_core::{ExceptionModel, LiveModel, Pipeline, SimStats};
+use rf_core::{CancelToken, Cancelled, ExceptionModel, LiveModel, Pipeline, SimStats};
 use rf_obs::Recorder;
 use rf_isa::RegClass;
 use rf_timing::{RegFileGeometry, TimingModel};
@@ -22,7 +26,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", cli::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     match dispatch(cmd) {
@@ -53,14 +57,39 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Run { bench, commits, machine } => {
+        Command::Run { bench, commits, deadline_secs, machine } => {
             let profile =
                 spec92::by_name(&bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
             let mut trace = TraceGenerator::new(&profile, machine.seed);
+            // The watchdog thread fires the token after the wall budget;
+            // the pipeline polls it cooperatively and discards its partial
+            // state. The thread is detached — it holds only a token clone,
+            // and the process outlives any still-pending sleep by at most
+            // the time it takes `main` to return.
+            let cancel = deadline_secs.map(|secs| {
+                let token = CancelToken::new();
+                let armed = token.clone();
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                    armed.cancel();
+                });
+                token
+            });
+            let deadline_err = |c: Cancelled| {
+                format!(
+                    "deadline of {}s exceeded at cycle {} (partial statistics discarded)",
+                    deadline_secs.unwrap_or_default(),
+                    c.at_cycle
+                )
+            };
             if rf_check::sanitize_enabled() {
                 let sanitizer = Sanitizer::new(machine.regs, machine.exceptions);
-                let (stats, sanitizer) = Pipeline::with_observer(machine.to_config(), sanitizer)
-                    .run_observed(&mut trace, commits);
+                let mut pipeline = Pipeline::with_observer(machine.to_config(), sanitizer);
+                if let Some(token) = cancel {
+                    pipeline = pipeline.with_cancel(token);
+                }
+                let (stats, sanitizer) =
+                    pipeline.try_run_observed(&mut trace, commits).map_err(deadline_err)?;
                 print_stats(&bench, &stats);
                 println!("{}", sanitizer.report());
                 if !sanitizer.is_clean() {
@@ -70,7 +99,11 @@ fn dispatch(cmd: Command) -> Result<(), String> {
                     ));
                 }
             } else {
-                let stats = Pipeline::new(machine.to_config()).run(&mut trace, commits);
+                let mut pipeline = Pipeline::new(machine.to_config());
+                if let Some(token) = cancel {
+                    pipeline = pipeline.with_cancel(token);
+                }
+                let stats = pipeline.try_run(&mut trace, commits).map_err(deadline_err)?;
                 print_stats(&bench, &stats);
             }
             Ok(())

@@ -32,6 +32,7 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         no_free_cycles: 3,
         phase: PhaseRecord { generate: 0.001, simulate: seconds * 0.9, aggregate: 0.0 },
         probe: None,
+        error: None,
     };
     LedgerRecord {
         timestamp_unix: 1_754_000_000 + seq,
@@ -46,6 +47,9 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         cycles: 320_000,
         cache_hits: 10,
         cache_misses: 70,
+        cache_capacity: None,
+        cache_evictions: 0,
+        cache_resident_bytes: 0,
         harnesses: vec![harness("fig3", 1.0 * scale), harness("fig6", 2.0 * scale)],
         headlines,
         alloc: None,
