@@ -1,0 +1,86 @@
+//! Microbenchmarks for the event-driven cycle kernel: single-run latency
+//! on a fixed `RunSpec` with the kernel on and off, plus the raw
+//! per-cycle stepping rate of `Pipeline::step` without any run-loop
+//! bookkeeping. The on/off pair is the speedup the idle-skip kernel buys
+//! on a register-starved configuration; the step benchmark isolates the
+//! cost of one simulated cycle (issue scan, completion heap, accounting).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rf_core::Pipeline;
+use rf_experiments::runner::RunSpec;
+use rf_workload::{spec92, TraceGenerator, WrongPathGenerator};
+use std::hint::black_box;
+
+const COMMITS: u64 = 20_000;
+
+/// A register-starved sweep point: long no-free-register stalls give the
+/// kernel wide idle windows, so this spec shows the fastpath's best case
+/// while staying a configuration the paper's figures actually visit.
+fn starved_spec() -> RunSpec {
+    RunSpec::baseline("compress", 4).regs(40).commits(COMMITS)
+}
+
+/// A generously-sized baseline: few idle windows, so the fastpath's
+/// bookkeeping overhead (not its skipping) dominates the comparison.
+fn roomy_spec() -> RunSpec {
+    RunSpec::baseline("espresso", 4).commits(COMMITS)
+}
+
+fn run_once(spec: &RunSpec, fastpath: bool) -> u64 {
+    let mut trace = TraceGenerator::new(
+        &spec92::by_name(&spec.benchmark).expect("known bench"),
+        spec.seed,
+    );
+    Pipeline::new(spec.machine_config())
+        .with_fastpath(fastpath)
+        .run(&mut trace, spec.commits)
+        .cycles
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    for (label, spec) in [("starved", starved_spec()), ("roomy", roomy_spec())] {
+        let mut group = c.benchmark_group(format!("kernel/single_run/{label}"));
+        group.throughput(Throughput::Elements(COMMITS));
+        group.bench_function("legacy per-cycle loop", |b| {
+            b.iter(|| black_box(run_once(&spec, false)))
+        });
+        group.bench_function("event-driven kernel", |b| {
+            b.iter(|| black_box(run_once(&spec, true)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/step");
+    const CYCLES_PER_ITER: u64 = 1_000;
+    group.throughput(Throughput::Elements(CYCLES_PER_ITER));
+    group.bench_function("1000 cycles, baseline machine", |b| {
+        let spec = roomy_spec();
+        let profile = spec92::by_name(&spec.benchmark).expect("known bench");
+        b.iter_batched(
+            || {
+                (
+                    Pipeline::new(spec.machine_config()),
+                    TraceGenerator::new(&profile, spec.seed),
+                    WrongPathGenerator::new(&profile, spec.seed),
+                )
+            },
+            |(mut pipeline, mut trace, mut wrong_path)| {
+                for _ in 0..CYCLES_PER_ITER {
+                    pipeline.step_cycle(&mut trace, &mut wrong_path);
+                }
+                black_box(pipeline)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_single_run, bench_step
+);
+criterion_main!(benches);

@@ -160,7 +160,9 @@ impl CheckReport {
 }
 
 /// Builds the machine configuration for a set of check parameters.
-fn config_for(p: &CheckParams) -> MachineConfig {
+/// Public so equivalence tests (e.g. the fast-path sweep) can simulate
+/// exactly the configurations the check matrix covers.
+pub fn config_for(p: &CheckParams) -> MachineConfig {
     MachineConfig::new(p.width)
         .dispatch_queue(8 * p.width)
         .physical_regs(p.regs)

@@ -31,7 +31,7 @@ pub mod inject;
 pub mod oracle;
 pub mod sanitizer;
 
-pub use crosscheck::{cross_validate, default_matrix, suite_probe, CheckParams, CheckReport, SuiteSanitizer};
+pub use crosscheck::{config_for, cross_validate, default_matrix, suite_probe, CheckParams, CheckReport, SuiteSanitizer};
 pub use inject::{Fault, FaultInjector};
 pub use oracle::{analyze, ClassOracle, TraceOracle};
 pub use sanitizer::{Sanitizer, Violation, ViolationKind};

@@ -1,0 +1,39 @@
+//! Equivalence sweep for the event-driven cycle kernel.
+//!
+//! Runs every configuration of the standard check matrix twice — once with
+//! the legacy per-cycle loop (`RF_FASTPATH=0` semantics) and once with
+//! idle-cycle skipping — and asserts the full [`SimStats`] are identical.
+//! This is the executable form of the kernel's equivalence argument: the
+//! skip decision may only jump over cycles in which no statistic can
+//! change, so the two loops must agree bit for bit on every counter and
+//! histogram, not just on headline IPC.
+
+use rf_check::{config_for, default_matrix};
+use rf_core::{Pipeline, SimStats};
+use rf_workload::{spec92, TraceGenerator};
+
+const COMMITS: u64 = 2_000;
+const SEED: u64 = 12;
+
+fn simulate(params_idx: usize, fastpath: bool) -> SimStats {
+    let params = &default_matrix(COMMITS, SEED)[params_idx];
+    let profile = spec92::by_name(&params.bench).expect("matrix benches exist");
+    let mut trace = TraceGenerator::new(&profile, params.seed);
+    Pipeline::new(config_for(params))
+        .with_fastpath(fastpath)
+        .run(&mut trace, params.commits)
+}
+
+#[test]
+fn fastpath_is_byte_identical_across_the_check_matrix() {
+    let matrix = default_matrix(COMMITS, SEED);
+    for (i, params) in matrix.iter().enumerate() {
+        let legacy = simulate(i, false);
+        let fast = simulate(i, true);
+        assert_eq!(
+            legacy, fast,
+            "kernel diverged on {} width={} {:?} regs={}",
+            params.bench, params.width, params.exceptions, params.regs
+        );
+    }
+}

@@ -46,6 +46,10 @@ pub struct ActiveEntry {
     pub srcs: [Option<(RegClass, u32)>; 2],
     /// Memory address for loads/stores.
     pub mem_addr: Option<u64>,
+    /// Whether every renamed source register is ready (maintained by the
+    /// pipeline: computed at insert, raised by completion wake-ups).
+    /// Meaningful only while [`Stage::InQueue`].
+    pub ready: bool,
     /// Branch bookkeeping for conditional branches.
     pub branch: Option<BranchInfo>,
     /// Program counter (predictor indexing).
@@ -72,16 +76,93 @@ pub struct ActiveEntry {
 /// assert_eq!(list.get(seq).unwrap().stage, Stage::InQueue);
 /// assert_eq!(list.len(), 1);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ActiveList {
     entries: VecDeque<ActiveEntry>,
     next_seq: u64,
+    /// Ring bitset over `seq & (scan_cap - 1)` marking the entries the
+    /// issue scan must visit: in-queue entries whose source registers are
+    /// all ready (the only possible issue candidates — address hazards
+    /// are tracked separately by the pipeline's incremental hazard
+    /// index). Live sequence numbers are dense and the ring is kept
+    /// larger than the list, so each live entry owns a distinct bit.
+    scan_words: Vec<u64>,
+    /// Ring capacity in bits (a power of two, `scan_words.len() * 64`).
+    scan_cap: u64,
+}
+
+impl Default for ActiveList {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ActiveList {
     /// Creates an empty list.
     pub fn new() -> Self {
-        Self::default()
+        Self::new_in(VecDeque::new(), Vec::new())
+    }
+
+    /// As [`ActiveList::new`], reusing previously allocated buffers
+    /// (contents are discarded, capacity is kept).
+    pub(crate) fn new_in(mut entries: VecDeque<ActiveEntry>, mut scan_words: Vec<u64>) -> Self {
+        entries.clear();
+        scan_words.clear();
+        scan_words.resize(4, 0);
+        Self { entries, next_seq: 0, scan_words, scan_cap: 256 }
+    }
+
+    /// Tears the list down into its raw buffers for arena recycling.
+    pub(crate) fn into_buffers(self) -> (VecDeque<ActiveEntry>, Vec<u64>) {
+        (self.entries, self.scan_words)
+    }
+
+    /// Adds `seq` to the issue scan: called by the pipeline when an
+    /// in-queue entry becomes data-ready (at insert, or on a completion
+    /// wake-up).
+    #[inline]
+    pub(crate) fn scan_set(&mut self, seq: u64) {
+        let pos = (seq & (self.scan_cap - 1)) as usize;
+        self.scan_words[pos / 64] |= 1 << (pos % 64);
+    }
+
+    /// Removes `seq` from the issue scan: called when an entry stops
+    /// being an issue candidate (issue, removal).
+    #[inline]
+    pub(crate) fn scan_retire(&mut self, seq: u64) {
+        let pos = (seq & (self.scan_cap - 1)) as usize;
+        self.scan_words[pos / 64] &= !(1 << (pos % 64));
+    }
+
+    /// Doubles the ring and rebuilds it from the live window. The
+    /// rebuild predicate mirrors the maintenance rules exactly: a bit is
+    /// set for data-ready in-queue entries.
+    #[cold]
+    fn scan_grow(&mut self) {
+        self.scan_cap *= 2;
+        self.scan_words.clear();
+        self.scan_words.resize((self.scan_cap / 64) as usize, 0);
+        let mut to_set = Vec::new();
+        for e in &self.entries {
+            if e.stage == Stage::InQueue && e.ready {
+                to_set.push(e.seq);
+            }
+        }
+        for seq in to_set {
+            self.scan_set(seq);
+        }
+    }
+
+    /// Iterates, oldest to youngest, over the sequence numbers the issue
+    /// phase must visit: data-ready in-queue entries. Word-level skipping
+    /// makes a scan of a mostly-waiting window O(set bits) instead of
+    /// O(list length).
+    pub(crate) fn scan_seqs(&self) -> ScanSeqs<'_> {
+        let (next, back) = match (self.entries.front(), self.entries.back()) {
+            (Some(f), Some(b)) => (f.seq, b.seq),
+            _ => (1, 0), // empty: next > back yields nothing
+        };
+        ScanSeqs { words: &self.scan_words, mask: self.scan_cap - 1, next, back }
     }
 
     /// Appends a fresh entry in the dispatch-queue stage, returning its
@@ -99,10 +180,17 @@ impl ActiveList {
             dest: None,
             srcs: [None, None],
             mem_addr: None,
+            ready: false,
             branch: None,
             pc,
             div_unit: None,
         });
+        // A fresh entry is not in the scan until the pipeline marks it
+        // data-ready; growing here guarantees the ring always has a
+        // distinct bit per live entry before that happens.
+        if self.entries.len() as u64 >= self.scan_cap {
+            self.scan_grow();
+        }
         seq
     }
 
@@ -147,7 +235,9 @@ impl ActiveList {
 
     /// Removes and returns the oldest entry (commit).
     pub fn pop_front(&mut self) -> Option<ActiveEntry> {
-        self.entries.pop_front()
+        let e = self.entries.pop_front()?;
+        self.scan_retire(e.seq);
+        Some(e)
     }
 
     /// Removes and returns the youngest entry (squash rollback). The
@@ -158,6 +248,7 @@ impl ActiveList {
     /// are truncated to the squash boundary).
     pub fn pop_back(&mut self) -> Option<ActiveEntry> {
         let e = self.entries.pop_back()?;
+        self.scan_retire(e.seq);
         self.next_seq = e.seq;
         Some(e)
     }
@@ -175,6 +266,46 @@ impl ActiveList {
     /// Iterates mutably oldest to youngest.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ActiveEntry> {
         self.entries.iter_mut()
+    }
+}
+
+/// Iterator over the marked sequence numbers of an [`ActiveList`]'s issue
+/// scan, oldest to youngest (see `ActiveList::scan_seqs`).
+///
+/// Sequence numbers map to ring positions `seq & mask`; consecutive
+/// sequence numbers occupy consecutive positions, so the iterator walks
+/// the window linearly, skipping 64 positions at a time through words
+/// with no remaining set bits.
+#[derive(Debug)]
+pub(crate) struct ScanSeqs<'a> {
+    words: &'a [u64],
+    mask: u64,
+    next: u64,
+    back: u64,
+}
+
+impl Iterator for ScanSeqs<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        let mut s = self.next;
+        while s <= self.back {
+            let pos = (s & self.mask) as usize;
+            let rest = self.words[pos / 64] >> (pos % 64);
+            if rest == 0 {
+                // Nothing left in this word: jump to the next boundary.
+                s += 64 - (pos as u64 % 64);
+                continue;
+            }
+            s += u64::from(rest.trailing_zeros());
+            if s > self.back {
+                break;
+            }
+            self.next = s + 1;
+            return Some(s);
+        }
+        self.next = s;
+        None
     }
 }
 
@@ -218,5 +349,63 @@ mod tests {
         assert!(list.get(0).is_none());
         list.push(OpKind::IntAlu, false, 0);
         assert!(list.get(99).is_none());
+    }
+
+    /// The scan must visit exactly the entries the issue phase cares
+    /// about: data-ready in-queue entries.
+    fn expected_scan(list: &ActiveList) -> Vec<u64> {
+        list.iter()
+            .filter(|e| e.stage == Stage::InQueue && e.ready)
+            .map(|e| e.seq)
+            .collect()
+    }
+
+    #[test]
+    fn scan_tracks_readiness_and_stage_transitions_in_order() {
+        let mut list = ActiveList::new();
+        let a = list.push(OpKind::IntAlu, false, 0);
+        let b = list.push(OpKind::Load, false, 4);
+        let c = list.push(OpKind::Store, false, 8);
+        // Fresh entries are invisible until marked ready.
+        assert!(list.scan_seqs().next().is_none());
+        for seq in [a, b, c] {
+            list.get_mut(seq).unwrap().ready = true;
+            list.scan_set(seq);
+        }
+        assert_eq!(list.scan_seqs().collect::<Vec<_>>(), vec![a, b, c]);
+        // Issuing drops an entry from the scan regardless of kind.
+        list.get_mut(a).unwrap().stage = Stage::Issued;
+        list.scan_retire(a);
+        list.get_mut(b).unwrap().stage = Stage::Issued;
+        list.scan_retire(b);
+        assert_eq!(list.scan_seqs().collect::<Vec<_>>(), vec![c]);
+        assert_eq!(list.scan_seqs().collect::<Vec<_>>(), expected_scan(&list));
+        // Squash removes the remaining candidate too.
+        list.pop_back();
+        assert!(list.scan_seqs().next().is_none());
+    }
+
+    #[test]
+    fn scan_survives_ring_growth_and_wraparound() {
+        let mut list = ActiveList::new();
+        // Push enough entries to force a ring rebuild (initial cap 256),
+        // committing from the front so seq positions wrap the ring.
+        for i in 0..2_000u64 {
+            let seq = list.push(OpKind::Load, false, i * 4);
+            // Every other entry becomes data-ready; every third issues
+            // (leaving the scan again).
+            if i % 2 == 0 {
+                list.get_mut(seq).unwrap().ready = true;
+                list.scan_set(seq);
+            }
+            if i % 3 == 0 {
+                list.get_mut(seq).unwrap().stage = Stage::Issued;
+                list.scan_retire(seq);
+            }
+            if i % 5 == 0 && list.front().is_some() {
+                list.pop_front();
+            }
+        }
+        assert_eq!(list.scan_seqs().collect::<Vec<_>>(), expected_scan(&list));
     }
 }

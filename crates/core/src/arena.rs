@@ -1,0 +1,114 @@
+//! Thread-local recycling of per-run simulation buffers.
+//!
+//! A sweep point costs a dozen heap allocations before the first cycle
+//! runs: per-register state, free/staged masks, the active list, the
+//! completion heap, and the issue-phase scratch buffers. None of them
+//! outlive the run, so a thread that simulates thousands of sweep points
+//! (the experiment runner's worker threads) can hand the buffers of a
+//! finished run to the next [`Pipeline`](crate::Pipeline) instead of
+//! returning them to the allocator.
+//!
+//! Recycling is invisible to the simulation: every constructor that
+//! accepts recycled buffers clears them first, so a pipeline built from
+//! the pool is byte-for-byte equivalent to one built from fresh
+//! allocations (the run cost shows up only in the `profile-alloc`
+//! counters). Buffers are recycled only when a run completes normally —
+//! a panicked or cancelled pipeline drops its state, preserving the
+//! fault-isolation rule that a poisoned run leaks nothing into later
+//! ones.
+
+use crate::active::ActiveEntry;
+use crate::hazard::AddrMap;
+use crate::regfile::RegState;
+use rf_isa::RegClass;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+/// The recyclable allocations of one simulation run.
+#[derive(Debug, Default)]
+pub(crate) struct RunBuffers {
+    /// Per-register state, one per class.
+    pub reg_state: [Vec<RegState>; 2],
+    /// Free-register bitmask words, one per class.
+    pub free_words: [Vec<u64>; 2],
+    /// Staged-free bitmask words, one per class.
+    pub staged_words: [Vec<u64>; 2],
+    /// Active-list entry storage.
+    pub entries: VecDeque<ActiveEntry>,
+    /// Active-list issue-scan ring words.
+    pub scan_words: Vec<u64>,
+    /// Completion-heap storage.
+    pub completions: Vec<Reverse<(u64, u64)>>,
+    /// Issue-phase candidate scratch.
+    pub scratch_issue: Vec<u64>,
+    /// Issue-phase selection scratch.
+    pub scratch_selected: Vec<u64>,
+    /// Kill-engine drain scratch.
+    pub scratch_kills: Vec<(RegClass, u32)>,
+    /// Memory-disambiguation store-hazard map.
+    pub store_hazard_map: AddrMap,
+    /// Memory-disambiguation load-hazard map.
+    pub load_hazard_map: AddrMap,
+    /// Per-class, per-register completion wake-up lists.
+    pub waiters: [Vec<Vec<u64>>; 2],
+}
+
+thread_local! {
+    static POOL: RefCell<Option<Box<RunBuffers>>> = const { RefCell::new(None) };
+}
+
+/// Takes the thread's pooled buffers (or a fresh, empty set).
+pub(crate) fn take() -> Box<RunBuffers> {
+    POOL.with(|p| p.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Returns a completed run's buffers to the thread pool. Contents are
+/// cleared here (capacity kept) so a poisoned value can never leak state;
+/// the constructors that reuse them clear again defensively.
+pub(crate) fn put(mut buffers: Box<RunBuffers>) {
+    for v in &mut buffers.reg_state {
+        v.clear();
+    }
+    for v in &mut buffers.free_words {
+        v.clear();
+    }
+    for v in &mut buffers.staged_words {
+        v.clear();
+    }
+    buffers.entries.clear();
+    buffers.scan_words.clear();
+    buffers.completions.clear();
+    buffers.scratch_issue.clear();
+    buffers.scratch_selected.clear();
+    buffers.scratch_kills.clear();
+    buffers.store_hazard_map.clear();
+    buffers.load_hazard_map.clear();
+    for per_class in &mut buffers.waiters {
+        for list in per_class.iter_mut() {
+            list.clear();
+        }
+    }
+    POOL.with(|p| *p.borrow_mut() = Some(buffers));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_round_trips_capacity() {
+        // Ensure this thread's slot is in a known state.
+        let _ = take();
+        let mut b = Box::<RunBuffers>::default();
+        b.scratch_issue.reserve(1024);
+        b.store_hazard_map.insert(7, vec![1]);
+        let cap = b.scratch_issue.capacity();
+        put(b);
+        let b = take();
+        assert!(b.scratch_issue.capacity() >= cap, "capacity survives pooling");
+        assert!(b.store_hazard_map.is_empty(), "contents are cleared");
+        // The slot is empty now: a second take is fresh.
+        assert_eq!(take().scratch_issue.capacity(), 0);
+    }
+}

@@ -69,6 +69,14 @@ impl DividerPool {
     pub fn free_at(&self, now: u64) -> usize {
         self.busy_until.iter().filter(|&&b| b <= now).count()
     }
+
+    /// The earliest cycle at which at least one divider is free: the
+    /// minimum `busy_until` over the pool. When a divider is already free
+    /// this is in the past (or zero); the event-driven kernel only
+    /// consults it after observing that every unit is busy.
+    pub fn next_free_at(&self) -> u64 {
+        self.busy_until.iter().copied().min().expect("pool is never empty")
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +121,16 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_dividers_panics() {
         let _ = DividerPool::new(0);
+    }
+
+    #[test]
+    fn next_free_at_is_the_earliest_release() {
+        let mut p = DividerPool::new(2);
+        p.try_reserve(0, 16).unwrap();
+        let u = p.try_reserve(0, 8).unwrap();
+        assert_eq!(p.next_free_at(), 8);
+        p.release_early(u, 2);
+        assert_eq!(p.next_free_at(), 3);
+        assert_eq!(p.free_at(3), 1);
     }
 }

@@ -53,6 +53,8 @@
 #![warn(missing_docs)]
 
 mod active;
+mod arena;
+mod hazard;
 pub mod dataflow;
 mod config;
 mod fu;
@@ -67,6 +69,6 @@ pub use config::{ExceptionModel, MachineConfig, SchedPolicy};
 pub use fu::DividerPool;
 pub use imprecise::KillEngine;
 pub use obs::{EventKind, NullObserver, Observer, StallCause, TraceEvent};
-pub use pipeline::{CancelToken, Cancelled, Pipeline};
+pub use pipeline::{skip_telemetry, CancelToken, Cancelled, Pipeline};
 pub use regfile::{Category, PhysRegFile, RegState};
 pub use stats::{LiveModel, SimStats};

@@ -3,6 +3,7 @@
 use crate::active::{ActiveList, BranchInfo, Stage};
 use crate::config::{ExceptionModel, MachineConfig};
 use crate::fu::DividerPool;
+use crate::hazard::HazardIndex;
 use crate::imprecise::KillEngine;
 use crate::obs::{EventKind, NullObserver, Observer, StallCause, TraceEvent};
 use crate::regfile::{Category, PhysRegFile};
@@ -10,10 +11,11 @@ use crate::stats::SimStats;
 use rf_bpred::AnyPredictor;
 use rf_isa::{Instruction, IssueClass, IssueLimits, OpKind, RegClass};
 use rf_mem::{DataCache, InstructionCache};
+use crate::arena::{self, RunBuffers};
 use rf_workload::{TraceGenerator, WrongPathGenerator};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// If the machine makes no commit progress for this many cycles, the
@@ -26,6 +28,81 @@ const DEADLOCK_HORIZON: u64 = 200_000;
 /// Coarse enough to be free on the hot path, fine enough that a
 /// cancelled multi-million-cycle run stops within microseconds.
 const CANCEL_POLL_MASK: u64 = 0x3FF;
+
+/// Process-wide total of cycles the event-driven kernel skipped (bulk
+/// accounted instead of simulated), flushed once per completed run.
+static SKIPPED_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide total of idle-skip jumps taken, flushed per completed run.
+static WAKEUP_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide fast-path telemetry: `(cycles_skipped, wakeup_events)`
+/// accumulated over every run completed in this process. A skipped cycle
+/// is one the event-driven kernel proved inert and accounted in bulk; a
+/// wakeup event is one idle-skip jump. Both are deterministic for a given
+/// set of executed runs. Runs that panic or are cancelled flush nothing.
+pub fn skip_telemetry() -> (u64, u64) {
+    (SKIPPED_CYCLES.load(Ordering::Relaxed), WAKEUP_EVENTS.load(Ordering::Relaxed))
+}
+
+/// Parses an `RF_FASTPATH`-style switch value (the spellings accepted by
+/// the experiment runner's `RF_CACHE`): `1/on/true/yes` or
+/// `0/off/false/no`, case-insensitive. `None` for anything else.
+fn parse_switch(value: &str) -> Option<bool> {
+    match value.to_ascii_lowercase().as_str() {
+        "1" | "on" | "true" | "yes" => Some(true),
+        "0" | "off" | "false" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+/// Reads the `RF_FASTPATH` toggle: unset means enabled (the event-driven
+/// kernel is the default; the legacy per-cycle loop is kept behind
+/// `RF_FASTPATH=0` for one release as an equivalence escape hatch). The
+/// environment is consulted once per process — pipelines are constructed
+/// on every simulation, and the toggle is a launch-time decision, not a
+/// per-run one (tests override per pipeline with
+/// [`Pipeline::with_fastpath`] instead of mutating the environment).
+///
+/// # Panics
+///
+/// Panics on an unparsable value. The binaries pre-validate the
+/// environment and exit with a usage error before constructing pipelines.
+fn fastpath_from_env() -> bool {
+    static FASTPATH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FASTPATH.get_or_init(|| match std::env::var("RF_FASTPATH") {
+        Err(_) => true,
+        Ok(v) => parse_switch(&v).unwrap_or_else(|| {
+            panic!("invalid RF_FASTPATH value {v:?}: use 1/on/true/yes or 0/off/false/no")
+        }),
+    })
+}
+
+/// Why the issue phase could not issue a ready candidate this cycle.
+/// Recorded unconditionally (three flag writes) so the skip decision can
+/// tell which wake-up sources matter.
+#[derive(Debug, Clone, Copy, Default)]
+struct IssueBlocks {
+    /// A ready candidate was passed over by the width or per-class
+    /// budget. Budgets reset every cycle, so the candidate could issue
+    /// next cycle: never skip.
+    budget: bool,
+    /// A ready FP divide found every divider busy; wake when one frees.
+    div: bool,
+    /// A ready memory operation found the (lockup) cache busy; wake at
+    /// `locked_until`.
+    cache: bool,
+}
+
+/// The stall attribution of a skipped cycle: which insert-phase counter
+/// the legacy loop would have incremented once per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleStall {
+    /// `insert_stall_dq_full` (dispatch queue or reorder cap).
+    DqFull,
+    /// `insert_stall_no_reg` (destination class has no free register).
+    NoReg,
+}
 
 /// A cooperative cancellation flag shared between a running simulation
 /// and whoever supervises it (a batch deadline watchdog, a CLI timeout).
@@ -128,10 +205,28 @@ pub struct Pipeline<O: Observer = NullObserver> {
     scratch_issue: Vec<u64>,
     scratch_selected: Vec<u64>,
     scratch_kills: Vec<(RegClass, u32)>,
-    scratch_store_addrs: HashSet<u64>,
-    scratch_load_addrs: HashSet<u64>,
+    /// Incomplete stores by address (blocks younger loads and stores).
+    store_hazards: HazardIndex,
+    /// Incomplete loads by address (blocks younger stores).
+    load_hazards: HazardIndex,
+    /// Per class, per physical register: in-queue entries waiting for
+    /// that register to become ready. Registered at insert, drained when
+    /// the producing completion raises the register's ready flag. Stale
+    /// sequence numbers (squashed waiters, reused seqs) are tolerated:
+    /// a wake-up re-derives readiness from the entry's actual sources.
+    waiters: [Vec<Vec<u64>>; 2],
     /// Cooperative cancellation flag, polled by the cycle loop.
     cancel: Option<CancelToken>,
+    /// Whether the event-driven kernel (idle-cycle skipping) is enabled.
+    /// Only consulted on unobserved runs; observed runs always take the
+    /// legacy per-cycle loop so every hook fires every cycle.
+    fastpath: bool,
+    /// Why the most recent issue phase held back ready work.
+    blocks: IssueBlocks,
+    /// Cycles skipped and jumps taken by this run (flushed to the
+    /// process-wide totals when the run completes).
+    skipped_cycles: u64,
+    wakeup_events: u64,
 }
 
 impl Pipeline<NullObserver> {
@@ -149,8 +244,14 @@ impl<O: Observer> Pipeline<O> {
     pub fn with_observer(config: MachineConfig, mut obs: O) -> Self {
         let limits = config.limits();
         let cache = config.cache_geometry().build(config.cache_org());
-        let mut regs =
-            [PhysRegFile::new(config.phys_regs()), PhysRegFile::new(config.phys_regs())];
+        let mut buf = arena::take();
+        let [state0, state1] = std::mem::take(&mut buf.reg_state);
+        let [free0, free1] = std::mem::take(&mut buf.free_words);
+        let [staged0, staged1] = std::mem::take(&mut buf.staged_words);
+        let mut regs = [
+            PhysRegFile::new_in(config.phys_regs(), (state0, free0, staged0)),
+            PhysRegFile::new_in(config.phys_regs(), (state1, free1, staged1)),
+        ];
         let mut map = [[0u32; 31]; 2];
         for class in RegClass::ALL {
             for (vreg, slot) in map[class.index()].iter_mut().enumerate() {
@@ -166,6 +267,24 @@ impl<O: Observer> Pipeline<O> {
         let stats = SimStats::new(config.phys_regs());
         let icache =
             config.icache_config().map(|(c, penalty)| InstructionCache::new(c, penalty));
+        let RunBuffers {
+            entries,
+            scan_words,
+            completions,
+            scratch_issue,
+            scratch_selected,
+            scratch_kills,
+            store_hazard_map,
+            load_hazard_map,
+            mut waiters,
+            ..
+        } = *buf;
+        for per_class in &mut waiters {
+            for list in per_class.iter_mut() {
+                list.clear();
+            }
+            per_class.resize_with(config.phys_regs(), Vec::new);
+        }
         Self {
             obs,
             limits,
@@ -174,10 +293,10 @@ impl<O: Observer> Pipeline<O> {
             bp: AnyPredictor::new(config.predictor_kind()),
             regs,
             map,
-            active: ActiveList::new(),
+            active: ActiveList::new_in(entries, scan_words),
             kill: KillEngine::new(),
             dividers,
-            completions: BinaryHeap::new(),
+            completions: BinaryHeap::from(completions),
             now: 0,
             dq_counts: [0, 0],
             pending_mispredict: None,
@@ -186,14 +305,29 @@ impl<O: Observer> Pipeline<O> {
             stats,
             trace_done: false,
             commit_target: u64::MAX,
-            scratch_issue: Vec::new(),
-            scratch_selected: Vec::new(),
-            scratch_kills: Vec::new(),
-            scratch_store_addrs: HashSet::new(),
-            scratch_load_addrs: HashSet::new(),
+            scratch_issue,
+            scratch_selected,
+            scratch_kills,
+            store_hazards: HazardIndex::new_in(store_hazard_map),
+            load_hazards: HazardIndex::new_in(load_hazard_map),
+            waiters,
             cancel: None,
+            fastpath: fastpath_from_env(),
+            blocks: IssueBlocks::default(),
+            skipped_cycles: 0,
+            wakeup_events: 0,
             config,
         }
+    }
+
+    /// Forces the event-driven kernel on or off for this pipeline,
+    /// overriding the `RF_FASTPATH` environment toggle. Both settings
+    /// produce byte-identical [`SimStats`]; the toggle exists so the
+    /// equivalence can be asserted (and the legacy loop reached) without
+    /// mutating the process environment.
+    pub fn with_fastpath(mut self, enabled: bool) -> Self {
+        self.fastpath = enabled;
+        self
     }
 
     /// Attaches a cooperative cancellation token. Once the token fires,
@@ -350,6 +484,7 @@ impl<O: Observer> Pipeline<O> {
         self.commit_target = n_commits;
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
         while self.stats.committed < n_commits {
+            let inserted_before = self.stats.inserted;
             self.step(trace, wrong_path);
             if self.trace_done && self.active.is_empty() {
                 break;
@@ -368,13 +503,80 @@ impl<O: Observer> Pipeline<O> {
                     self.now, self.stats.committed
                 );
             }
+            // Event-driven kernel: jump over cycles in which provably
+            // nothing can happen, accounting for them in bulk. Observed
+            // runs always take the per-cycle loop (`O::ACTIVE` is a
+            // compile-time constant, so this folds away entirely).
+            if !O::ACTIVE && self.fastpath && self.stats.committed < n_commits {
+                let inserted = self.stats.inserted != inserted_before;
+                if let Some((wake, stall)) = self.idle_wake(inserted, last_progress.0) {
+                    // A jump can cross the masked poll cycles, so poll on
+                    // every skip boundary too.
+                    if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                        return Err(Cancelled { at_cycle: self.now });
+                    }
+                    let skipped = wake - 1 - self.now;
+                    self.now = wake - 1;
+                    self.account_idle(skipped, stall);
+                }
+            }
         }
         self.stats.cache = *self.cache.stats();
         self.stats.peak_outstanding_fills = self.cache.peak_outstanding_fills();
         if let Some(ic) = &self.icache {
             self.stats.icache_miss_rate = ic.miss_rate();
         }
-        Ok((self.stats, self.obs))
+        if self.skipped_cycles != 0 || self.wakeup_events != 0 {
+            SKIPPED_CYCLES.fetch_add(self.skipped_cycles, Ordering::Relaxed);
+            WAKEUP_EVENTS.fetch_add(self.wakeup_events, Ordering::Relaxed);
+        }
+        // The run completed: recycle its buffers for the next pipeline on
+        // this thread (cancelled and panicked runs drop theirs instead).
+        let Self {
+            stats,
+            obs,
+            regs,
+            active,
+            completions,
+            scratch_issue,
+            scratch_selected,
+            scratch_kills,
+            store_hazards,
+            load_hazards,
+            waiters,
+            ..
+        } = self;
+        let [r0, r1] = regs;
+        let (state0, free0, staged0) = r0.into_buffers();
+        let (state1, free1, staged1) = r1.into_buffers();
+        let (entries, scan_words) = active.into_buffers();
+        arena::put(Box::new(RunBuffers {
+            reg_state: [state0, state1],
+            free_words: [free0, free1],
+            staged_words: [staged0, staged1],
+            entries,
+            scan_words,
+            completions: completions.into_vec(),
+            scratch_issue,
+            scratch_selected,
+            scratch_kills,
+            store_hazard_map: store_hazards.into_map(),
+            load_hazard_map: load_hazards.into_map(),
+            waiters,
+        }));
+        Ok((stats, obs))
+    }
+
+    /// Advances the machine one cycle. Exposed for microbenchmarks and
+    /// diagnostics that need the raw stepping rate; the run variants
+    /// drive this in a loop with commit targets, cancellation, deadlock
+    /// detection, and the event-driven kernel layered on top.
+    pub fn step_cycle(
+        &mut self,
+        trace: &mut dyn Iterator<Item = Instruction>,
+        wrong_path: &mut dyn Iterator<Item = Instruction>,
+    ) {
+        self.step(trace, wrong_path);
     }
 
     /// Advances the machine one cycle.
@@ -437,6 +639,16 @@ impl<O: Observer> Pipeline<O> {
         let dest = entry.dest;
         let branch = entry.branch;
         let pc = entry.pc;
+        let mem_addr = entry.mem_addr;
+        // A completed memory operation stops being an address-hazard
+        // source for younger loads and stores.
+        if let Some(addr) = mem_addr {
+            match kind {
+                OpKind::Store => self.store_hazards.remove(addr, seq),
+                OpKind::Load => self.load_hazards.remove(addr, seq),
+                _ => {}
+            }
+        }
         if O::ACTIVE {
             self.obs.event(TraceEvent {
                 cycle: self.now,
@@ -458,9 +670,13 @@ impl<O: Observer> Pipeline<O> {
             self.maybe_free_imprecise(class, p);
         }
 
-        // Destination register: the value is now available.
+        // Destination register: the value is now available. Wake the
+        // in-queue readers waiting on it before anything can free the
+        // register (freeing requires zero pending readers, so live
+        // waiters pin it; the drain is what moves them into the scan).
         if let Some((class, new, vreg, _prev)) = dest {
             self.regs[class.index()].reg_mut(new).ready = true;
+            self.wake_readers(class, new);
             self.regs[class.index()].transition(new, Category::WaitImprecise);
             self.maybe_free_imprecise(class, new);
             // Feeding wrong-path writers to the kill engine is safe: they
@@ -514,6 +730,32 @@ impl<O: Observer> Pipeline<O> {
             self.maybe_free_imprecise(class, p);
         }
         self.scratch_kills = killed;
+    }
+
+    /// Drains the waiters of a register that just became ready, moving
+    /// every in-queue entry whose sources are now all ready into the
+    /// issue scan. Stale waiters — squashed entries, reused sequence
+    /// numbers, entries already woken through another source — are
+    /// filtered by re-deriving readiness from the live entry, so a
+    /// spurious registration can never create a premature candidate.
+    fn wake_readers(&mut self, class: RegClass, p: u32) {
+        let mut list = std::mem::take(&mut self.waiters[class.index()][p as usize]);
+        for seq in list.drain(..) {
+            let Some(e) = self.active.get(seq) else { continue };
+            if e.stage != Stage::InQueue || e.ready {
+                continue;
+            }
+            let ready = e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&(c, src)| self.regs[c.index()].reg(src).ready);
+            if ready {
+                self.active.get_mut(seq).expect("checked live").ready = true;
+                self.active.scan_set(seq);
+            }
+        }
+        self.waiters[class.index()][p as usize] = list;
     }
 
     /// If all three imprecise conditions hold for register `p` — writer
@@ -570,8 +812,16 @@ impl<O: Observer> Pipeline<O> {
                 }
                 Stage::Completed => {}
             }
-            // Readers that never completed release their register claims.
+            // Readers that never completed release their register claims,
+            // and incomplete memory operations stop being hazard sources.
             if e.stage != Stage::Completed {
+                if let Some(addr) = e.mem_addr {
+                    match e.kind {
+                        OpKind::Store => self.store_hazards.remove(addr, e.seq),
+                        OpKind::Load => self.load_hazards.remove(addr, e.seq),
+                        _ => {}
+                    }
+                }
                 for (class, p) in e.srcs.iter().flatten().copied() {
                     let reg = self.regs[class.index()].reg_mut(p);
                     debug_assert!(reg.pending_readers > 0);
@@ -710,67 +960,56 @@ impl<O: Observer> Pipeline<O> {
         }
 
         self.scratch_issue.clear();
-        self.scratch_store_addrs.clear();
-        self.scratch_load_addrs.clear();
 
         // Set when a data-ready memory operation could not even become a
         // candidate because the cache had no free access slot.
         let mut cache_blocked = false;
 
-        // Pass 1: collect every data- and hazard-ready candidate.
-        for e in self.active.iter() {
-            if e.stage == Stage::InQueue {
-                'check: {
-                    for (c, p) in e.srcs.iter().flatten().copied() {
-                        if !self.regs[c.index()].reg(p).ready {
-                            break 'check;
-                        }
+        // Pass 1: collect every data- and hazard-ready candidate. The
+        // active list's scan bitset yields, in program order, exactly the
+        // data-ready in-queue entries — completion wake-ups are the only
+        // way an entry becomes ready, so nothing outside the scan could
+        // have passed the per-entry readiness loop this replaces. Memory
+        // candidates are checked against the incremental hazard index,
+        // which holds precisely the incomplete loads and stores the
+        // legacy scan re-accumulated each cycle; the strict `older than`
+        // predicate reproduces its insertion-ordered set construction
+        // (a candidate never conflicted with itself or anything younger,
+        // whose addresses had not yet been inserted at its check).
+        for seq in self.active.scan_seqs() {
+            let e = self.active.get(seq).expect("scan yields live entries");
+            debug_assert_eq!(e.stage, Stage::InQueue);
+            debug_assert!(e
+                .srcs
+                .iter()
+                .flatten()
+                .all(|&(c, p)| self.regs[c.index()].reg(p).ready));
+            match e.kind {
+                OpKind::Load => {
+                    let addr = e.mem_addr.expect("loads carry addresses");
+                    if !cache_free {
+                        cache_blocked = true;
+                        continue;
                     }
-                    match e.kind {
-                        OpKind::Load => {
-                            let addr = e.mem_addr.expect("loads carry addresses");
-                            if !cache_free {
-                                cache_blocked = true;
-                                break 'check;
-                            }
-                            if self.scratch_store_addrs.contains(&addr) {
-                                break 'check;
-                            }
-                        }
-                        OpKind::Store => {
-                            let addr = e.mem_addr.expect("stores carry addresses");
-                            if !cache_free {
-                                cache_blocked = true;
-                                break 'check;
-                            }
-                            if self.scratch_store_addrs.contains(&addr)
-                                || self.scratch_load_addrs.contains(&addr)
-                            {
-                                break 'check;
-                            }
-                        }
-                        _ => {}
-                    }
-                    self.scratch_issue.push(e.seq);
-                }
-            }
-            // Accumulate older unresolved memory addresses for
-            // disambiguation of younger candidates. Instructions selected
-            // this cycle are still InQueue here, so they naturally stay
-            // "unresolved" for younger ones.
-            if e.stage != Stage::Completed {
-                if let Some(addr) = e.mem_addr {
-                    match e.kind {
-                        OpKind::Store => {
-                            self.scratch_store_addrs.insert(addr);
-                        }
-                        OpKind::Load => {
-                            self.scratch_load_addrs.insert(addr);
-                        }
-                        _ => {}
+                    if self.store_hazards.older_than(addr, seq) {
+                        continue;
                     }
                 }
+                OpKind::Store => {
+                    let addr = e.mem_addr.expect("stores carry addresses");
+                    if !cache_free {
+                        cache_blocked = true;
+                        continue;
+                    }
+                    if self.store_hazards.older_than(addr, seq)
+                        || self.load_hazards.older_than(addr, seq)
+                    {
+                        continue;
+                    }
+                }
+                _ => {}
             }
+            self.scratch_issue.push(seq);
         }
 
         // Pass 2: apply the budgets in policy order and issue.
@@ -779,23 +1018,27 @@ impl<O: Observer> Pipeline<O> {
             candidates.reverse();
         }
         let mut selected = std::mem::take(&mut self.scratch_selected);
-        // Set when a ready candidate lost out to the width, per-class, or
-        // divider budget (a functional-unit structural stall).
-        let mut fu_busy = false;
+        // Set when a ready candidate lost out to the width or per-class
+        // budget, or to the divider pool, respectively (together: a
+        // functional-unit structural stall). Tracked separately because
+        // they imply different wake-up times for the skip kernel: budgets
+        // reset next cycle, dividers free at a known future cycle.
+        let mut budget_blocked = false;
+        let mut div_blocked = false;
         for &seq in &candidates {
             if budget == 0 {
-                fu_busy = true;
+                budget_blocked = true;
                 break;
             }
             let kind = self.active.get(seq).expect("candidate is live").kind;
             let class = kind.issue_class();
             if class_budget[class.index()] == 0 {
-                fu_busy = true;
+                budget_blocked = true;
                 continue;
             }
             if matches!(kind, OpKind::FpDiv32 | OpKind::FpDiv64) {
                 if divs_free == 0 {
-                    fu_busy = true;
+                    div_blocked = true;
                     continue;
                 }
                 divs_free -= 1;
@@ -804,11 +1047,13 @@ impl<O: Observer> Pipeline<O> {
             budget -= 1;
             selected.push(seq);
         }
+        self.blocks =
+            IssueBlocks { budget: budget_blocked, div: div_blocked, cache: cache_blocked };
         if O::ACTIVE {
             if cache_blocked {
                 self.obs.stall(self.now, StallCause::CacheMissBlocked);
             }
-            if fu_busy {
+            if budget_blocked || div_blocked {
                 self.obs.stall(self.now, StallCause::FuBusy);
             }
         }
@@ -831,6 +1076,10 @@ impl<O: Observer> Pipeline<O> {
             entry.stage = Stage::Issued;
             (entry.kind, entry.mem_addr)
         };
+        // Issued instructions are no longer issue candidates. (Issued
+        // memory operations stay in the hazard index until completion;
+        // the scan itself only ever visits candidates.)
+        self.active.scan_retire(seq);
         let complete_at = match kind {
             OpKind::Load => {
                 let addr = mem_addr.expect("loads carry addresses");
@@ -1020,11 +1269,34 @@ impl<O: Observer> Pipeline<O> {
         {
             self.kill.barrier_inserted(seq);
         }
+        let mem_addr = inst.mem().map(|m| m.addr());
+        // Data-readiness: an entry enters the issue scan only once every
+        // renamed source is ready; until then it waits on each unready
+        // source's completion wake-up. Memory operations additionally
+        // become hazard sources for younger loads and stores right away.
+        let mut ready = true;
+        for (c, p) in srcs.iter().flatten().copied() {
+            if !self.regs[c.index()].reg(p).ready {
+                ready = false;
+                self.waiters[c.index()][p as usize].push(seq);
+            }
+        }
+        if let Some(addr) = mem_addr {
+            match inst.kind() {
+                OpKind::Store => self.store_hazards.add(addr, seq),
+                OpKind::Load => self.load_hazards.add(addr, seq),
+                _ => {}
+            }
+        }
         let entry = self.active.get_mut(seq).expect("just pushed");
         entry.srcs = srcs;
         entry.dest = dest;
         entry.branch = branch;
-        entry.mem_addr = inst.mem().map(|m| m.addr());
+        entry.mem_addr = mem_addr;
+        entry.ready = ready;
+        if ready {
+            self.active.scan_set(seq);
+        }
         self.dq_counts[Self::queue_of(self.config.has_split_queues(), inst.kind())] += 1;
         self.stats.inserted += 1;
         if O::ACTIVE {
@@ -1083,6 +1355,171 @@ impl<O: Observer> Pipeline<O> {
         self.regs[1].end_cycle();
         if O::ACTIVE {
             self.obs.cycle_end(self.now, int_empty, fp_empty);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven kernel (idle-cycle skipping)
+    // ------------------------------------------------------------------
+
+    /// Decides, from the post-step state, whether the machine is *frozen*:
+    /// no phase can change any statistic until a known future wake-up
+    /// cycle. Returns `Some((wake, stall))` when cycles
+    /// `now+1 ..= wake-1` are provably inert — the caller jumps `now` to
+    /// `wake - 1`, bulk-accounts the gap via [`account_idle`] with `stall`
+    /// as the per-cycle insert attribution, and the next [`step`] executes
+    /// cycle `wake` exactly as the per-cycle loop would have.
+    ///
+    /// The freeze argument, phase by phase (between wake-ups, no phase
+    /// mutates state, so a decision made now holds for every skipped
+    /// cycle):
+    ///
+    /// * **complete**: the completion heap pops nothing before its head
+    ///   cycle, which caps `wake`. Post-step the head is strictly in the
+    ///   future (the current step drained everything due).
+    /// * **commit**: in-order commit retires nothing while the active-list
+    ///   head is not `Completed`; the head can only become `Completed`
+    ///   through the completion heap. An already-completed head vetoes the
+    ///   skip.
+    /// * **issue**: completions are the only source of new data-readiness
+    ///   and the only resolver of memory hazards, so no new candidate can
+    ///   appear before the heap head. A candidate passed over by the
+    ///   width/class budget could issue next cycle (budgets reset), so
+    ///   [`IssueBlocks::budget`] vetoes; a divider- or cache-blocked
+    ///   candidate wakes when the pool or lockup window frees, which caps
+    ///   `wake`.
+    /// * **insert**: classified by [`classify_idle_insert`]; anything
+    ///   inserted this cycle vetoes (a just-inserted entry was not an
+    ///   issue candidate this cycle but is one next cycle).
+    /// * **account**: per-cycle increments of frozen quantities, applied
+    ///   `k`-fold by [`account_idle`]. Staged frees are empty post-step
+    ///   (asserted there), so `end_cycle` is a no-op on skipped cycles.
+    ///
+    /// The deadlock horizon caps every jump so the no-progress panic fires
+    /// at exactly the cycle the per-cycle loop would have reported.
+    ///
+    /// [`account_idle`]: Self::account_idle
+    /// [`classify_idle_insert`]: Self::classify_idle_insert
+    /// [`step`]: Self::step
+    fn idle_wake(
+        &self,
+        inserted_any: bool,
+        horizon_base: u64,
+    ) -> Option<(u64, Option<IdleStall>)> {
+        if inserted_any {
+            return None;
+        }
+        if self.active.front().is_some_and(|e| e.stage == Stage::Completed) {
+            return None;
+        }
+        if self.blocks.budget {
+            return None;
+        }
+        let (stall, insert_cap) = self.classify_idle_insert()?;
+        let mut wake = insert_cap;
+        if let Some(&Reverse((cycle, _))) = self.completions.peek() {
+            wake = wake.min(cycle);
+        }
+        if self.blocks.cache {
+            wake = wake.min(self.cache.next_accept_cycle());
+        }
+        if self.blocks.div {
+            wake = wake.min(self.dividers.next_free_at());
+        }
+        wake = wake.min(horizon_base + DEADLOCK_HORIZON + 1);
+        (wake > self.now + 1).then_some((wake, stall))
+    }
+
+    /// Classifies what the insert phase would do on every cycle of a
+    /// prospective skip window: `None` means it would mutate state (fetch,
+    /// insert, or probe the i-cache) and the window must not open;
+    /// `Some((stall, cap))` means it is inert, incrementing `stall`'s
+    /// counter once per cycle, valid up to cycle `cap` (exclusive). The
+    /// branch order mirrors `insert_phase` exactly, so the attribution
+    /// matches what the per-cycle loop would have recorded.
+    fn classify_idle_insert(&self) -> Option<(Option<IdleStall>, u64)> {
+        // Fetch starved: insert returns before touching anything, but only
+        // until the redirect lands — cap the window there.
+        if self.now + 1 < self.fetch_resume_at {
+            return Some((None, self.fetch_resume_at));
+        }
+        if self.config.effective_insert_bandwidth() == 0 {
+            return Some((None, u64::MAX));
+        }
+        if self.dq_total() >= self.config.dq_size() {
+            return Some((Some(IdleStall::DqFull), u64::MAX));
+        }
+        if self.config.reorder_capacity().is_some_and(|cap| self.active.len() >= cap) {
+            return Some((Some(IdleStall::DqFull), u64::MAX));
+        }
+        match &self.fetch_buffer {
+            Some((inst, _)) => {
+                // A buffered instruction is re-probed against the i-cache
+                // every retry cycle, mutating its hit/miss statistics:
+                // never skip.
+                if self.icache.is_some() {
+                    return None;
+                }
+                let q = Self::queue_of(self.config.has_split_queues(), inst.kind());
+                if self.dq_counts[q] >= self.queue_cap(q) {
+                    return Some((Some(IdleStall::DqFull), u64::MAX));
+                }
+                if let Some(d) = inst.dest() {
+                    if self.regs[d.class().index()].free_count() == 0 {
+                        return Some((Some(IdleStall::NoReg), u64::MAX));
+                    }
+                }
+                // The buffered instruction would insert next cycle.
+                None
+            }
+            None => {
+                if self.pending_mispredict.is_some() {
+                    // Wrong-path fetch always produces an instruction.
+                    None
+                } else if self.trace_done {
+                    // A drained trace yields `None` forever; the insert
+                    // phase just re-breaks without touching statistics.
+                    Some((None, u64::MAX))
+                } else {
+                    // A live trace would fetch (and likely insert).
+                    None
+                }
+            }
+        }
+    }
+
+    /// Bulk accounting for `k` skipped cycles: applies exactly what `k`
+    /// iterations of `account_phase` (plus the per-cycle insert-stall
+    /// increment) would have, multiplied out. Valid only on a frozen
+    /// machine — every quantity read here is constant across the window.
+    fn account_idle(&mut self, k: u64, stall: Option<IdleStall>) {
+        debug_assert_eq!(self.regs[0].staged_count(), 0, "frozen machine stages nothing");
+        debug_assert_eq!(self.regs[1].staged_count(), 0, "frozen machine stages nothing");
+        self.skipped_cycles += k;
+        self.wakeup_events += 1;
+        self.stats.cycles += k;
+        let int_empty = self.regs[0].free_count() == 0;
+        let fp_empty = self.regs[1].free_count() == 0;
+        self.stats.no_free_int_cycles += k * u64::from(int_empty);
+        self.stats.no_free_fp_cycles += k * u64::from(fp_empty);
+        self.stats.no_free_any_cycles += k * u64::from(int_empty || fp_empty);
+        self.stats.dq_occupancy_sum += k * self.dq_total() as u64;
+        for class in RegClass::ALL {
+            let file = &self.regs[class.index()];
+            self.stats.live_hist[class.index()][file.live_count()] += k;
+            self.stats.live_hist_imprecise[class.index()][file.live_count_imprecise()] +=
+                k;
+            let counts = file.category_counts();
+            for (sum, &c) in
+                self.stats.cat_sums[class.index()].iter_mut().zip(counts.iter())
+            {
+                *sum += k * u64::from(c);
+            }
+        }
+        match stall {
+            Some(IdleStall::DqFull) => self.stats.insert_stall_dq_full += k,
+            Some(IdleStall::NoReg) => self.stats.insert_stall_no_reg += k,
+            None => {}
         }
     }
 }
@@ -1178,6 +1615,108 @@ mod tests {
             p.try_run(&mut trace, 3_000).expect("token never fires")
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn switch_values_parse_strictly() {
+        for v in ["1", "on", "TRUE", "Yes"] {
+            assert_eq!(parse_switch(v), Some(true), "{v}");
+        }
+        for v in ["0", "off", "False", "NO"] {
+            assert_eq!(parse_switch(v), Some(false), "{v}");
+        }
+        for v in ["", "2", "yep", "enable", " 1"] {
+            assert_eq!(parse_switch(v), None, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn fastpath_matches_the_legacy_loop_exactly() {
+        // Stall-heavy configurations (tiny register file, blocking cache,
+        // split queues, divide-heavy FP code) maximize the skip windows
+        // the kernel can take; the statistics must not move by one bit.
+        let cases = [
+            (
+                rf_workload::spec92::compress(),
+                MachineConfig::new(4).physical_regs(64).seed(11),
+            ),
+            (
+                rf_workload::spec92::ora(),
+                MachineConfig::new(8)
+                    .physical_regs(48)
+                    .split_dispatch_queues(true)
+                    .cache(rf_mem::CacheOrg::Lockup)
+                    .exceptions(ExceptionModel::Precise)
+                    .seed(11),
+            ),
+            (
+                rf_workload::spec92::tomcatv(),
+                MachineConfig::new(4)
+                    .physical_regs(40)
+                    .exceptions(ExceptionModel::AlphaHybrid)
+                    .seed(11),
+            ),
+        ];
+        for (profile, config) in cases {
+            let run = |fast: bool| {
+                let mut trace = rf_workload::TraceGenerator::new(&profile, 11);
+                Pipeline::new(config.clone())
+                    .with_fastpath(fast)
+                    .run(&mut trace, 5_000)
+            };
+            assert_eq!(run(false), run(true), "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn skip_kernel_finds_idle_windows_under_pressure() {
+        // A 34-register machine spends most cycles stalled on register
+        // freeing; the kernel must prove at least one multi-cycle window.
+        let profile = rf_workload::spec92::compress();
+        let mut trace = rf_workload::TraceGenerator::new(&profile, 3);
+        let mut wp = rf_workload::WrongPathGenerator::new(&profile, 3);
+        let mut p = Pipeline::new(MachineConfig::new(4).physical_regs(34).seed(3));
+        let mut last_progress = (0u64, 0u64);
+        for _ in 0..50_000 {
+            let before = p.stats.inserted;
+            p.step(&mut trace, &mut wp);
+            if p.stats.committed > last_progress.1 {
+                last_progress = (p.now, p.stats.committed);
+            }
+            let inserted = p.stats.inserted != before;
+            if let Some((wake, _stall)) = p.idle_wake(inserted, last_progress.0) {
+                assert!(wake > p.now + 1, "a window always spans at least one cycle");
+                return;
+            }
+        }
+        panic!("no idle window found in 50k stall-heavy cycles");
+    }
+
+    #[test]
+    fn cancellation_interrupts_a_long_skipping_run() {
+        // The skip kernel jumps over the masked poll cycles, so the
+        // boundary poll must keep a mid-run cancellation prompt even on a
+        // run that would otherwise never reach its commit target.
+        let profile = rf_workload::spec92::compress();
+        let mut trace = rf_workload::TraceGenerator::new(&profile, 5);
+        let token = CancelToken::new();
+        let t = token.clone();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            t.cancel();
+        });
+        let start = std::time::Instant::now();
+        let err = Pipeline::new(MachineConfig::new(4).physical_regs(33).seed(5))
+            .with_cancel(token)
+            .with_fastpath(true)
+            .try_run(&mut trace, u64::MAX)
+            .unwrap_err();
+        canceller.join().expect("canceller thread exits cleanly");
+        assert!(err.at_cycle > 0);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "cancellation observed promptly"
+        );
     }
 
     #[test]

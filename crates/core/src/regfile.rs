@@ -95,8 +95,20 @@ impl Default for RegState {
 #[derive(Debug, Clone)]
 pub struct PhysRegFile {
     state: Vec<RegState>,
-    free: Vec<u32>,
-    staged: Vec<u32>,
+    /// Bitmask of free registers: bit `p % 64` of word `p / 64` is set
+    /// iff register `p` is on the free list. Allocation takes the lowest
+    /// free index.
+    free_words: Vec<u64>,
+    /// Bitmask of registers staged for freeing this cycle; merged into
+    /// `free_words` by [`PhysRegFile::end_cycle`].
+    staged_words: Vec<u64>,
+    free_len: usize,
+    staged_len: usize,
+    /// Index of the lowest word that may contain a set free bit.
+    free_hint: usize,
+    /// Lowest word touched by `stage_free` since the last `end_cycle`
+    /// (equal to `free_words.len()` when nothing is staged).
+    staged_hint: usize,
     /// Live-category counters, kept incrementally.
     cat_counts: [u32; 4],
 }
@@ -108,14 +120,46 @@ impl PhysRegFile {
     ///
     /// Panics if `n == 0` or `n > u32::MAX as usize`.
     pub fn new(n: usize) -> Self {
+        Self::new_in(n, (Vec::new(), Vec::new(), Vec::new()))
+    }
+
+    /// As [`PhysRegFile::new`], reusing previously allocated buffers
+    /// (contents are discarded, capacity is kept). Used by the per-run
+    /// arena to avoid re-allocating per-register state on every run.
+    pub(crate) fn new_in(
+        n: usize,
+        buffers: (Vec<RegState>, Vec<u64>, Vec<u64>),
+    ) -> Self {
         assert!(n > 0 && n <= u32::MAX as usize, "bad register file size");
+        let (mut state, mut free_words, mut staged_words) = buffers;
+        state.clear();
+        state.resize(n, RegState::default());
+        let words = n.div_ceil(64);
+        free_words.clear();
+        free_words.resize(words, !0u64);
+        // Mask off the bits beyond register n - 1 in the top word.
+        let tail = n % 64;
+        if tail != 0 {
+            free_words[words - 1] = (1u64 << tail) - 1;
+        }
+        staged_words.clear();
+        staged_words.resize(words, 0);
         Self {
-            state: vec![RegState::default(); n],
-            // Pop from the back: allocate low indices first.
-            free: (0..n as u32).rev().collect(),
-            staged: Vec::new(),
+            state,
+            free_words,
+            staged_words,
+            free_len: n,
+            staged_len: 0,
+            free_hint: 0,
+            staged_hint: words,
             cat_counts: [0; 4],
         }
+    }
+
+    /// Tears the file down into its raw buffers so the arena can recycle
+    /// their allocations for the next run.
+    pub(crate) fn into_buffers(self) -> (Vec<RegState>, Vec<u64>, Vec<u64>) {
+        (self.state, self.free_words, self.staged_words)
     }
 
     /// Total registers in the file.
@@ -131,7 +175,7 @@ impl PhysRegFile {
     /// Registers currently on the free list (staged frees excluded).
     #[inline]
     pub fn free_count(&self) -> usize {
-        self.free.len()
+        self.free_len
     }
 
     /// Allocated (live) registers. Staged frees still count as live: they
@@ -139,7 +183,7 @@ impl PhysRegFile {
     /// register live until it can be reused.
     #[inline]
     pub fn live_count(&self) -> usize {
-        self.state.len() - self.free.len()
+        self.state.len() - self.free_len
     }
 
     /// Live registers under the *imprecise* model: allocated registers
@@ -160,17 +204,30 @@ impl PhysRegFile {
     /// [`PhysRegFile::end_cycle`]; still counted live).
     #[inline]
     pub fn staged_count(&self) -> usize {
-        self.staged.len()
+        self.staged_len
     }
 
     /// Allocates a register (writer entering the dispatch queue), or
-    /// `None` if the free list is empty.
+    /// `None` if the free list is empty. The lowest free index is taken,
+    /// so word-wise scans from the hint terminate almost immediately.
     #[inline]
     pub fn alloc(&mut self) -> Option<u32> {
-        let p = self.free.pop()?;
+        let mut w = self.free_hint;
+        while w < self.free_words.len() && self.free_words[w] == 0 {
+            w += 1;
+        }
+        if w == self.free_words.len() {
+            debug_assert_eq!(self.free_len, 0);
+            return None;
+        }
+        self.free_hint = w;
+        let bit = self.free_words[w].trailing_zeros();
+        self.free_words[w] &= self.free_words[w] - 1;
+        self.free_len -= 1;
+        let p = (w as u32) * 64 + bit;
         debug_assert!(
             (p as usize) < self.state.len(),
-            "free list held out-of-range register {p} (file size {})",
+            "free mask held out-of-range register {p} (file size {})",
             self.state.len()
         );
         let s = &mut self.state[p as usize];
@@ -240,14 +297,28 @@ impl PhysRegFile {
         debug_assert!(s.allocated, "double free of register {p}");
         self.cat_counts[s.category.index()] -= 1;
         s.allocated = false;
-        self.staged.push(p);
+        let w = (p / 64) as usize;
+        debug_assert_eq!(self.staged_words[w] & (1 << (p % 64)), 0);
+        self.staged_words[w] |= 1 << (p % 64);
+        self.staged_len += 1;
+        self.staged_hint = self.staged_hint.min(w);
     }
 
     /// Returns staged frees to the free list (call once per cycle, after
     /// the insertion phase).
     #[inline]
     pub fn end_cycle(&mut self) {
-        self.free.append(&mut self.staged);
+        if self.staged_len == 0 {
+            return;
+        }
+        for w in self.staged_hint..self.free_words.len() {
+            self.free_words[w] |= self.staged_words[w];
+            self.staged_words[w] = 0;
+        }
+        self.free_len += self.staged_len;
+        self.staged_len = 0;
+        self.free_hint = self.free_hint.min(self.staged_hint);
+        self.staged_hint = self.free_words.len();
     }
 }
 
@@ -343,5 +414,36 @@ mod tests {
         rf.stage_free(5);
         rf.end_cycle();
         assert_eq!(rf.alloc(), Some(5));
+    }
+
+    #[test]
+    fn alloc_takes_the_lowest_free_index() {
+        // Spans three mask words so the hint walk is exercised.
+        let mut rf = PhysRegFile::new(130);
+        for i in 0..130u32 {
+            assert_eq!(rf.alloc(), Some(i));
+        }
+        rf.stage_free(100);
+        rf.stage_free(3);
+        rf.end_cycle();
+        assert_eq!(rf.alloc(), Some(3));
+        assert_eq!(rf.alloc(), Some(100));
+        assert_eq!(rf.alloc(), None);
+    }
+
+    #[test]
+    fn recycled_buffers_behave_like_fresh_ones() {
+        let mut rf = PhysRegFile::new(70);
+        for _ in 0..70 {
+            rf.alloc().unwrap();
+        }
+        let buffers = rf.into_buffers();
+        let mut rf = PhysRegFile::new_in(33, buffers);
+        assert_eq!(rf.free_count(), 33);
+        assert_eq!(rf.live_count(), 0);
+        for i in 0..33u32 {
+            assert_eq!(rf.alloc(), Some(i));
+        }
+        assert_eq!(rf.alloc(), None);
     }
 }

@@ -15,7 +15,7 @@ use crate::runner::{
     instructions_committed, phase_telemetry, simulations_run, stall_telemetry, RunCache,
     RunSpec, SimPool,
 };
-use rf_core::{NullObserver, Observer as _, Pipeline, StallCause};
+use rf_core::{skip_telemetry, NullObserver, Observer as _, Pipeline, StallCause};
 use rf_obs::ledger::{
     AllocRecord, HarnessRecord, LedgerRecord, PhaseRecord, ProbeRecord,
 };
@@ -43,6 +43,11 @@ pub struct Entry {
     pub stall_dq_full: u64,
     /// Cycles with an empty free list across those simulations.
     pub no_free_cycles: u64,
+    /// Cycles the event-driven kernel bulk-accounted instead of
+    /// simulating (a subset of `cycles`; 0 with `RF_FASTPATH=0`).
+    pub cycles_skipped: u64,
+    /// Idle-skip jumps the kernel took during those simulations.
+    pub wakeup_events: u64,
     /// CPU-seconds constructing trace generators during the harness.
     pub phase_generate: f64,
     /// CPU-seconds inside `Pipeline::run` during the harness (can exceed
@@ -239,6 +244,7 @@ impl SuiteBench {
         let committed0 = instructions_committed();
         let (cycles0, no_reg0, dq_full0, no_free0) = stall_telemetry();
         let (gen0, sim0) = phase_telemetry();
+        let (skipped0, wakeups0) = skip_telemetry();
         let start = Instant::now();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(harness))
             .map_err(|payload| {
@@ -246,6 +252,7 @@ impl SuiteBench {
             });
         let (cycles1, no_reg1, dq_full1, no_free1) = stall_telemetry();
         let (gen1, sim1) = phase_telemetry();
+        let (skipped1, wakeups1) = skip_telemetry();
         self.entries.push(Entry {
             name: name.to_owned(),
             seconds: start.elapsed().as_secs_f64(),
@@ -255,6 +262,8 @@ impl SuiteBench {
             stall_no_reg: no_reg1 - no_reg0,
             stall_dq_full: dq_full1 - dq_full0,
             no_free_cycles: no_free1 - no_free0,
+            cycles_skipped: skipped1 - skipped0,
+            wakeup_events: wakeups1 - wakeups0,
             phase_generate: (gen1 - gen0) as f64 / 1e9,
             phase_simulate: (sim1 - sim0) as f64 / 1e9,
             probe: None,
@@ -364,7 +373,9 @@ impl SuiteBench {
                 out,
                 "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"simulations\": {}, \
                  \"instructions_committed\": {}, \"cycles\": {}, \
-                 \"stall_no_reg\": {}, \"stall_dq_full\": {}, \"no_free_cycles\": {}",
+                 \"stall_no_reg\": {}, \"stall_dq_full\": {}, \"no_free_cycles\": {}, \
+                 \"cycles_skipped\": {}, \"wakeup_events\": {}, \
+                 \"cycles_per_second\": {:.3}",
                 e.name,
                 e.seconds,
                 e.sims,
@@ -372,7 +383,10 @@ impl SuiteBench {
                 e.cycles,
                 e.stall_no_reg,
                 e.stall_dq_full,
-                e.no_free_cycles
+                e.no_free_cycles,
+                e.cycles_skipped,
+                e.wakeup_events,
+                rate(e.cycles as f64, e.seconds)
             );
             if let Some(p) = &e.probe {
                 let _ = write!(
@@ -432,6 +446,8 @@ impl SuiteBench {
                 stall_no_reg: e.stall_no_reg,
                 stall_dq_full: e.stall_dq_full,
                 no_free_cycles: e.no_free_cycles,
+                cycles_skipped: e.cycles_skipped,
+                wakeup_events: e.wakeup_events,
                 phase: PhaseRecord {
                     generate: e.phase_generate,
                     simulate: e.phase_simulate,
@@ -583,6 +599,9 @@ mod tests {
             "\"stall_no_reg\"",
             "\"stall_dq_full\"",
             "\"no_free_cycles\"",
+            "\"cycles_skipped\"",
+            "\"wakeup_events\"",
+            "\"cycles_per_second\"",
             "\"probe\"",
             "\"in-order-commit-blocked\"",
             "\"latency_insert_to_commit\"",
@@ -654,6 +673,8 @@ mod tests {
             stall_no_reg: 5,
             stall_dq_full: 7,
             no_free_cycles: 11,
+            cycles_skipped: 12_000,
+            wakeup_events: 600,
             phase_generate: 0.05,
             phase_simulate: 1.0,
             probe: None,
@@ -678,6 +699,8 @@ mod tests {
             stall_no_reg: 0,
             stall_dq_full: 0,
             no_free_cycles: 0,
+            cycles_skipped: 0,
+            wakeup_events: 0,
             phase_generate: 0.25,
             phase_simulate: 1.25,
             probe: None,

@@ -61,8 +61,9 @@ fn env_u64(name: &str) -> Result<Option<u64>, String> {
 }
 
 /// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
-/// `RF_CACHE`, `RF_CACHE_CAP`) without acting on any of them, so a
-/// binary can fail fast with one clear message before doing work.
+/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_FASTPATH`) without acting on any of
+/// them, so a binary can fail fast with one clear message before doing
+/// work.
 ///
 /// # Errors
 ///
@@ -71,7 +72,29 @@ pub fn validate_env() -> Result<(), String> {
     Scale::try_from_env()?;
     SimPool::try_from_env()?;
     cache_env_mode()?;
+    fastpath_env_mode()?;
     Ok(())
+}
+
+/// Validates the `RF_FASTPATH` toggle for the event-driven cycle kernel
+/// and returns whether it is enabled (unset means enabled). This mirrors
+/// the parse `rf-core` performs at pipeline construction, so a binary
+/// that pre-validates here never hits the core's panic.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed value.
+pub fn fastpath_env_mode() -> Result<bool, String> {
+    match std::env::var("RF_FASTPATH") {
+        Err(_) => Ok(true),
+        Ok(raw) => match raw.to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" | "no" => Ok(false),
+            "1" | "on" | "true" | "yes" => Ok(true),
+            _ => Err(format!(
+                "RF_FASTPATH={raw:?} is not recognized (use 0/off/false/no or 1/on/true/yes)"
+            )),
+        },
+    }
 }
 
 impl Scale {
@@ -1065,7 +1088,8 @@ pub fn harness_main(name: &str, run: fn(&Scale) -> String) -> std::process::Exit
          RF_COMMITS     default commit budget\n  \
          RF_JOBS        parallel simulation workers (default: all cores)\n  \
          RF_CACHE       0/off/false/no disables the shared run cache\n  \
-         RF_CACHE_CAP   bound the run cache to N entries (LRU eviction)"
+         RF_CACHE_CAP   bound the run cache to N entries (LRU eviction)\n  \
+         RF_FASTPATH    0/off/false/no disables the event-driven cycle kernel"
     );
     let mut commits: Option<u64> = None;
     for arg in std::env::args().skip(1) {
@@ -1345,19 +1369,24 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_malformed_values() {
-        // Env mutation is process-global, so this test owns all four
+        // Env mutation is process-global, so this test owns all five
         // variables for its duration and restores them at the end; it is
-        // the only test in this binary that touches them.
-        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP"];
+        // the only test in this binary that touches them. (`rf-core`
+        // reads RF_FASTPATH once per process through a OnceLock, so the
+        // malformed window here cannot poison concurrent pipeline
+        // constructions.)
+        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP", "RF_FASTPATH"];
         let saved: Vec<Option<String>> =
             vars.iter().map(|v| std::env::var(v).ok()).collect();
-        let cases: [(&str, &str, &str); 6] = [
+        let cases: [(&str, &str, &str); 8] = [
             ("RF_COMMITS", "200k", "RF_COMMITS"),
             ("RF_JOBS", "abc", "RF_JOBS"),
             ("RF_JOBS", "0", "RF_JOBS=0"),
             ("RF_CACHE", "maybe", "RF_CACHE"),
             ("RF_CACHE_CAP", "-1", "RF_CACHE_CAP"),
             ("RF_CACHE_CAP", "0", "RF_CACHE_CAP=0"),
+            ("RF_FASTPATH", "fast", "RF_FASTPATH"),
+            ("RF_FASTPATH", "2", "RF_FASTPATH"),
         ];
         for (var, value, needle) in cases {
             for v in vars {
@@ -1375,8 +1404,14 @@ mod tests {
             std::env::set_var("RF_CACHE", ok);
             assert!(validate_env().is_ok(), "RF_CACHE={ok} should be accepted");
         }
+        for ok in ["0", "OFF", "false", "No", "1", "on", "TRUE", "yes"] {
+            std::env::set_var("RF_FASTPATH", ok);
+            assert!(validate_env().is_ok(), "RF_FASTPATH={ok} should be accepted");
+        }
         std::env::remove_var("RF_CACHE");
+        std::env::remove_var("RF_FASTPATH");
         assert_eq!(cache_env_mode(), Ok((true, None)));
+        assert_eq!(fastpath_env_mode(), Ok(true));
         for (var, value) in vars.iter().zip(saved) {
             match value {
                 Some(v) => std::env::set_var(var, v),

@@ -110,6 +110,19 @@ impl DataCache {
         self.org != CacheOrg::Lockup || now >= self.locked_until
     }
 
+    /// The first cycle at which [`can_accept`](DataCache::can_accept) is
+    /// guaranteed true again: the lockup cache's `locked_until`, or 0 for
+    /// the organisations that never block. The event-driven kernel uses
+    /// this as a wake-up target after a memory operation was refused.
+    #[inline]
+    pub fn next_accept_cycle(&self) -> u64 {
+        if self.org == CacheOrg::Lockup {
+            self.locked_until
+        } else {
+            0
+        }
+    }
+
     /// Issues a load of `addr` at cycle `now`; `tag` identifies the load
     /// for later cancellation (the core uses its sequence number).
     ///
@@ -298,6 +311,20 @@ mod tests {
         // Lockup hits don't lock the cache.
         assert!(c.can_accept(21));
         assert_eq!(r.complete_at(), 22);
+    }
+
+    #[test]
+    fn next_accept_cycle_tracks_the_lockup_window() {
+        let mut c = cache(CacheOrg::Lockup);
+        assert_eq!(c.next_accept_cycle(), 0);
+        c.load(0x1000, 10, 1);
+        // Probe (1) + fetch (16): accepts again at cycle 27.
+        assert_eq!(c.next_accept_cycle(), 27);
+        assert!(c.can_accept(c.next_accept_cycle()));
+        // Non-blocking organisations never refuse an access.
+        let mut free = cache(CacheOrg::LockupFree);
+        free.load(0x1000, 10, 1);
+        assert_eq!(free.next_accept_cycle(), 0);
     }
 
     #[test]

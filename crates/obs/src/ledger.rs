@@ -25,7 +25,12 @@ use std::path::Path;
 /// completed; the failure message for one that did not) and the cache
 /// pressure block (`config.cache_cap`, `totals.cache_evictions`,
 /// `totals.cache_resident_bytes`).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added the event-driven kernel's skip telemetry per harness —
+/// `cycles_skipped` and `wakeup_events` (both deterministic for a given
+/// set of executed simulations) plus the derived, volatile
+/// `cycles_per_second` throughput.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -83,6 +88,11 @@ pub struct HarnessRecord {
     pub stall_dq_full: u64,
     /// Cycles with an empty free list.
     pub no_free_cycles: u64,
+    /// Cycles the event-driven kernel bulk-accounted instead of
+    /// simulating (a subset of `cycles`; 0 when `RF_FASTPATH=0`).
+    pub cycles_skipped: u64,
+    /// Idle-skip jumps the kernel took.
+    pub wakeup_events: u64,
     /// Phase timer breakdown.
     pub phase: PhaseRecord,
     /// Traced-probe percentiles, when the harness attached one.
@@ -236,6 +246,14 @@ fn harness_value(h: &HarnessRecord) -> Value {
         ("stall_no_reg".to_owned(), int(h.stall_no_reg)),
         ("stall_dq_full".to_owned(), int(h.stall_dq_full)),
         ("no_free_cycles".to_owned(), int(h.no_free_cycles)),
+        ("cycles_skipped".to_owned(), int(h.cycles_skipped)),
+        ("wakeup_events".to_owned(), int(h.wakeup_events)),
+        // Derived throughput; the `per_second` suffix marks it volatile,
+        // so the determinism payload drops it automatically.
+        (
+            "cycles_per_second".to_owned(),
+            num(round6(if h.seconds > 0.0 { h.cycles as f64 / h.seconds } else { 0.0 })),
+        ),
         (
             "phase_seconds".to_owned(),
             Value::Object(vec![
@@ -408,6 +426,8 @@ mod tests {
                 stall_no_reg: 10,
                 stall_dq_full: 20,
                 no_free_cycles: 5,
+                cycles_skipped: 30_000,
+                wakeup_events: 1_500,
                 phase: PhaseRecord { generate: 0.01, simulate: 0.4, aggregate: 0.09 },
                 probe: Some(ProbeRecord {
                     bench: "gcc1".to_owned(),
@@ -437,6 +457,9 @@ mod tests {
         assert_eq!(v.get("totals").unwrap().get_f64("sims"), Some(100.0));
         let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
         assert_eq!(h.get_str("name"), Some("fig3"));
+        assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
+        assert_eq!(h.get_f64("wakeup_events"), Some(1_500.0));
+        assert_eq!(h.get_f64("cycles_per_second"), Some(90_000.0));
         assert_eq!(h.get("phase_seconds").unwrap().get_f64("simulate"), Some(0.4));
         assert_eq!(h.get("probe").unwrap().get_str("bench"), Some("gcc1"));
         assert_eq!(h.get("error"), Some(&Value::Null));
@@ -521,6 +544,9 @@ mod tests {
         let p = metric_payload(&a);
         assert_eq!(p.get("totals").unwrap().get_f64("cycles"), Some(90_000.0));
         assert!(p.get("totals").unwrap().get("seconds").is_none());
+        let h = &p.get("harnesses").unwrap().as_array().unwrap()[0];
+        assert!(h.get("cycles_per_second").is_none(), "derived throughput is volatile");
+        assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
     }
 
     #[test]

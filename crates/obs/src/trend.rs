@@ -592,7 +592,7 @@ mod tests {
             .join(",");
         let doc = format!(
             concat!(
-                "{{\"schema\":2,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
+                "{{\"schema\":3,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
                 "\"config\":{{\"commits\":2000,\"jobs\":1,\"cache\":true,\"sanitize\":false}},",
                 "\"totals\":{{\"seconds\":{total},\"sims\":10,\"committed\":20000,",
                 "\"cycles\":9000,\"cache_hits\":1,\"cache_misses\":9}},",

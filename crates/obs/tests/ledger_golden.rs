@@ -46,6 +46,8 @@ fn full_record() -> LedgerRecord {
                 stall_no_reg: 0,
                 stall_dq_full: 42_000,
                 no_free_cycles: 0,
+                cycles_skipped: 750_000,
+                wakeup_events: 31_000,
                 phase: PhaseRecord { generate: 0.002, simulate: 10.25, aggregate: 0.248 },
                 probe: Some(ProbeRecord {
                     bench: "compress".to_owned(),
@@ -64,6 +66,8 @@ fn full_record() -> LedgerRecord {
                 stall_no_reg: 77,
                 stall_dq_full: 0,
                 no_free_cycles: 13,
+                cycles_skipped: 0,
+                wakeup_events: 0,
                 phase: PhaseRecord { generate: 0.001, simulate: 0.6, aggregate: 0.149 },
                 probe: None,
                 error: Some(
@@ -158,6 +162,9 @@ fn golden_lines_parse_back_to_current_schema() {
                 "stall_no_reg",
                 "stall_dq_full",
                 "no_free_cycles",
+                "cycles_skipped",
+                "wakeup_events",
+                "cycles_per_second",
                 "phase_seconds",
                 "probe",
                 "error",

@@ -30,6 +30,8 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         stall_no_reg: 7,
         stall_dq_full: 11,
         no_free_cycles: 3,
+        cycles_skipped: 64_000,
+        wakeup_events: 2_000,
         phase: PhaseRecord { generate: 0.001, simulate: seconds * 0.9, aggregate: 0.0 },
         probe: None,
         error: None,
