@@ -51,6 +51,30 @@ fn bench_single_run(c: &mut Criterion) {
     }
 }
 
+/// The rf-prof overhead contract: the same single run with the
+/// profiler off (one relaxed atomic load per coarse site, one
+/// thread-local read per hot site) and on (1-in-64 sampled cycle
+/// windows). The on/off delta on the step hot path is the measured
+/// overhead the `<3%` budget in DESIGN.md refers to.
+fn bench_profiler_overhead(c: &mut Criterion) {
+    let spec = roomy_spec();
+    let mut group = c.benchmark_group("kernel/profiler");
+    group.throughput(Throughput::Elements(COMMITS));
+    group.bench_function("spans off", |b| {
+        rf_prof::set_enabled(false);
+        b.iter(|| black_box(run_once(&spec, true)))
+    });
+    group.bench_function("spans on, sampled 1/64", |b| {
+        rf_prof::set_enabled(true);
+        b.iter(|| black_box(run_once(&spec, true)));
+        // Drain the accumulated tree so repeated iterations don't grow
+        // an unbounded profile, and leave the process switch off.
+        let _ = rf_prof::collect();
+        rf_prof::set_enabled(false);
+    });
+    group.finish();
+}
+
 fn bench_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernel/step");
     const CYCLES_PER_ITER: u64 = 1_000;
@@ -81,6 +105,6 @@ fn bench_step(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_single_run, bench_step
+    targets = bench_single_run, bench_profiler_overhead, bench_step
 );
 criterion_main!(benches);

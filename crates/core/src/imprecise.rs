@@ -104,6 +104,7 @@ impl KillEngine {
     /// Allocation-free form of [`KillEngine::branch_completed`]: appends
     /// the killed mappings to `out` instead of returning a fresh `Vec`.
     pub fn branch_completed_into(&mut self, seq: u64, out: &mut Vec<Killed>) {
+        let _s = rf_prof::hot_span("kill_engine");
         self.outstanding_branches.remove(&seq);
         self.drain_cleared_into(out);
     }
@@ -158,6 +159,7 @@ impl KillEngine {
         seq: u64,
         out: &mut Vec<Killed>,
     ) {
+        let _s = rf_prof::hot_span("kill_engine");
         if seq < self.watermark() {
             self.kill_up_to_into(class, vreg, seq, out);
         } else {
@@ -176,6 +178,7 @@ impl KillEngine {
 
     /// Allocation-free form of [`KillEngine::squash_younger_than`].
     pub fn squash_younger_than_into(&mut self, boundary: u64, out: &mut Vec<Killed>) {
+        let _s = rf_prof::hot_span("kill_engine");
         self.pending.retain(|&(_, _, seq)| seq <= boundary);
         // Outstanding branches above the boundary are removed one by one
         // by the pipeline via `branch_squashed`, but doing it wholesale

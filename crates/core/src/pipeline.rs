@@ -227,6 +227,15 @@ pub struct Pipeline<O: Observer = NullObserver> {
     /// process-wide totals when the run completes).
     skipped_cycles: u64,
     wakeup_events: u64,
+    /// Whether the self-profiler was enabled when this pipeline was
+    /// built (`RF_PROFILE`, or `rf_prof::set_enabled`). Spans never
+    /// touch simulated state, so this cannot affect results.
+    prof: bool,
+    /// Whether the current step falls in a profiler sampling window —
+    /// set by the run loop one step in [`rf_prof::SAMPLE_WEIGHT`], so
+    /// per-phase spans cost nothing on unsampled cycles beyond one
+    /// branch on this field.
+    prof_gate: bool,
 }
 
 impl Pipeline<NullObserver> {
@@ -316,7 +325,20 @@ impl<O: Observer> Pipeline<O> {
             blocks: IssueBlocks::default(),
             skipped_cycles: 0,
             wakeup_events: 0,
+            prof: rf_prof::enabled(),
+            prof_gate: false,
             config,
+        }
+    }
+
+    /// A sampled profiling span for the cycle hot path: `None` (free)
+    /// unless this step falls in an open sampling window.
+    #[inline]
+    fn pspan(&self, name: &'static str) -> Option<rf_prof::Span> {
+        if self.prof_gate {
+            Some(rf_prof::hot_span(name))
+        } else {
+            None
         }
     }
 
@@ -483,7 +505,21 @@ impl<O: Observer> Pipeline<O> {
     ) -> Result<(SimStats, O), Cancelled> {
         self.commit_target = n_commits;
         let mut last_progress = (0u64, 0u64); // (cycle, committed)
+        let mut prof_steps: u64 = 0;
         while self.stats.committed < n_commits {
+            // Self-profiling samples one step in `SAMPLE_WEIGHT`: the
+            // gate opens for the whole iteration (step + idle-skip
+            // bookkeeping) and the sampled spans scale back up by the
+            // same factor. Counted in executed steps, not cycles, so
+            // skipped idle windows don't starve the sample.
+            let _prof_window = if self.prof {
+                let sampled = prof_steps & u64::from(rf_prof::SAMPLE_WEIGHT - 1) == 0;
+                prof_steps += 1;
+                self.prof_gate = sampled;
+                sampled.then(|| rf_prof::cycle_gate(rf_prof::SAMPLE_WEIGHT))
+            } else {
+                None
+            };
             let inserted_before = self.stats.inserted;
             self.step(trace, wrong_path);
             if self.trace_done && self.active.is_empty() {
@@ -508,6 +544,7 @@ impl<O: Observer> Pipeline<O> {
             // runs always take the per-cycle loop (`O::ACTIVE` is a
             // compile-time constant, so this folds away entirely).
             if !O::ACTIVE && self.fastpath && self.stats.committed < n_commits {
+                let _s = self.pspan("cycle.idle_skip");
                 let inserted = self.stats.inserted != inserted_before;
                 if let Some((wake, stall)) = self.idle_wake(inserted, last_progress.0) {
                     // A jump can cross the masked poll cycles, so poll on
@@ -586,12 +623,30 @@ impl<O: Observer> Pipeline<O> {
         wrong_path: &mut dyn Iterator<Item = Instruction>,
     ) {
         self.now += 1;
-        self.cache.drain_fills(self.now);
-        self.complete_phase();
-        self.commit_phase();
-        self.issue_phase();
-        self.insert_phase(trace, wrong_path);
-        self.account_phase();
+        {
+            let _s = self.pspan("cycle.cache_drain");
+            self.cache.drain_fills(self.now);
+        }
+        {
+            let _s = self.pspan("cycle.complete");
+            self.complete_phase();
+        }
+        {
+            let _s = self.pspan("cycle.commit");
+            self.commit_phase();
+        }
+        {
+            let _s = self.pspan("cycle.issue");
+            self.issue_phase();
+        }
+        {
+            let _s = self.pspan("cycle.insert");
+            self.insert_phase(trace, wrong_path);
+        }
+        {
+            let _s = self.pspan("cycle.account");
+            self.account_phase();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -622,7 +677,14 @@ impl<O: Observer> Pipeline<O> {
             if !valid {
                 continue;
             }
-            if self.complete_entry(seq) {
+            // Separate spans for the entry work and recovery leave the
+            // phase's self-time as the completion heap's own cost.
+            let recover = {
+                let _s = self.pspan("cycle.complete.entry");
+                self.complete_entry(seq)
+            };
+            if recover {
+                let _s = self.pspan("cycle.complete.recover");
                 self.recover(seq);
             }
         }
@@ -991,6 +1053,7 @@ impl<O: Observer> Pipeline<O> {
                         cache_blocked = true;
                         continue;
                     }
+                    let _s = self.pspan("cycle.issue.hazard");
                     if self.store_hazards.older_than(addr, seq) {
                         continue;
                     }
@@ -1001,6 +1064,7 @@ impl<O: Observer> Pipeline<O> {
                         cache_blocked = true;
                         continue;
                     }
+                    let _s = self.pspan("cycle.issue.hazard");
                     if self.store_hazards.older_than(addr, seq)
                         || self.load_hazards.older_than(addr, seq)
                     {
@@ -1172,6 +1236,7 @@ impl<O: Observer> Pipeline<O> {
             let (inst, on_wrong_path) = match self.fetch_buffer.take() {
                 Some(b) => b,
                 None => {
+                    let _s = self.pspan("cycle.insert.trace_gen");
                     if self.pending_mispredict.is_some() {
                         let i = wrong_path.next().expect("wrong-path stream is infinite");
                         (i, true)

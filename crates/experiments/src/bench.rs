@@ -55,6 +55,9 @@ pub struct Entry {
     pub phase_simulate: f64,
     /// The traced probe attached to this harness, if any.
     pub probe: Option<ProbeSummary>,
+    /// Self-profile span tree captured while the harness ran (`None`
+    /// unless the `rf-prof` profiler is enabled).
+    pub profile: Option<rf_prof::ProfileNode>,
     /// Failure message when the harness panicked instead of returning a
     /// report (`None` for a successful harness). The counters above
     /// still cover whatever the harness executed before failing.
@@ -67,6 +70,14 @@ impl Entry {
     /// simulate phase is CPU time summed across workers.
     pub fn phase_aggregate(&self) -> f64 {
         (self.seconds - self.phase_generate - self.phase_simulate).max(0.0)
+    }
+
+    /// Whether every simulation this harness asked for came out of the
+    /// run cache: it executed nothing itself, so its zero counters are
+    /// cache bookkeeping, not throughput, and trend analysis must skip
+    /// rather than average them.
+    pub fn cache_served(&self) -> bool {
+        self.sims == 0 && self.error.is_none()
     }
 }
 
@@ -253,6 +264,9 @@ impl SuiteBench {
         let (cycles1, no_reg1, dq_full1, no_free1) = stall_telemetry();
         let (gen1, sim1) = phase_telemetry();
         let (skipped1, wakeups1) = skip_telemetry();
+        // `collect` drains everything profiled since the last drain, so
+        // each harness gets exactly the spans recorded on its watch.
+        let profile = rf_prof::collect();
         self.entries.push(Entry {
             name: name.to_owned(),
             seconds: start.elapsed().as_secs_f64(),
@@ -267,6 +281,7 @@ impl SuiteBench {
             phase_generate: (gen1 - gen0) as f64 / 1e9,
             phase_simulate: (sim1 - sim0) as f64 / 1e9,
             probe: None,
+            profile,
             error: outcome.as_ref().err().cloned(),
         });
         if let Some(line) = progress_line(self.log, self.entries.len(), self.entries.last().unwrap())
@@ -288,6 +303,23 @@ impl SuiteBench {
     /// The per-harness records so far.
     pub fn entries(&self) -> &[Entry] {
         &self.entries
+    }
+
+    /// The suite-level self-profile: every harness profile merged into
+    /// one canonical tree (`None` when the profiler was off).
+    pub fn suite_profile(&self) -> Option<rf_prof::ProfileNode> {
+        let mut merged: Option<rf_prof::ProfileNode> = None;
+        for entry in &self.entries {
+            let Some(tree) = &entry.profile else { continue };
+            match merged.as_mut() {
+                Some(m) => m.merge(tree),
+                None => merged = Some(tree.clone()),
+            }
+        }
+        merged.map(|mut m| {
+            m.normalize();
+            m
+        })
     }
 
     /// Measures the parallel speedup of the configured pool over a single
@@ -367,15 +399,30 @@ impl SuiteBench {
                 let _ = writeln!(out, "  \"sanitizer\": null,");
             }
         }
+        match self.suite_profile() {
+            Some(p) => {
+                let _ = writeln!(out, "  \"profile\": {},", rf_obs::profile::to_value(&p));
+            }
+            None => {
+                let _ = writeln!(out, "  \"profile\": null,");
+            }
+        }
         out.push_str("  \"harnesses\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
+            // A fully cache-served harness has no throughput of its own:
+            // null, not a zero that trend averaging would ingest.
+            let cps = if e.sims == 0 {
+                "null".to_owned()
+            } else {
+                format!("{:.3}", rate(e.cycles as f64, e.seconds))
+            };
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"simulations\": {}, \
                  \"instructions_committed\": {}, \"cycles\": {}, \
                  \"stall_no_reg\": {}, \"stall_dq_full\": {}, \"no_free_cycles\": {}, \
                  \"cycles_skipped\": {}, \"wakeup_events\": {}, \
-                 \"cycles_per_second\": {:.3}",
+                 \"cache_served\": {}, \"cycles_per_second\": {cps}",
                 e.name,
                 e.seconds,
                 e.sims,
@@ -386,8 +433,11 @@ impl SuiteBench {
                 e.no_free_cycles,
                 e.cycles_skipped,
                 e.wakeup_events,
-                rate(e.cycles as f64, e.seconds)
+                e.cache_served(),
             );
+            if let Some(p) = &e.profile {
+                let _ = write!(out, ", \"profile\": {}", rf_obs::profile::to_value(p));
+            }
             if let Some(p) = &e.probe {
                 let _ = write!(
                     out,
@@ -448,11 +498,13 @@ impl SuiteBench {
                 no_free_cycles: e.no_free_cycles,
                 cycles_skipped: e.cycles_skipped,
                 wakeup_events: e.wakeup_events,
+                cache_served: e.cache_served(),
                 phase: PhaseRecord {
                     generate: e.phase_generate,
                     simulate: e.phase_simulate,
                     aggregate: e.phase_aggregate(),
                 },
+                profile: e.profile.clone(),
                 probe: e.probe.as_ref().map(|p| ProbeRecord {
                     bench: p.bench.clone(),
                     cycles: p.cycles,
@@ -601,7 +653,9 @@ mod tests {
             "\"no_free_cycles\"",
             "\"cycles_skipped\"",
             "\"wakeup_events\"",
-            "\"cycles_per_second\"",
+            "\"cache_served\": true",
+            "\"cycles_per_second\": null",
+            "\"profile\": null",
             "\"probe\"",
             "\"in-order-commit-blocked\"",
             "\"latency_insert_to_commit\"",
@@ -678,6 +732,7 @@ mod tests {
             phase_generate: 0.05,
             phase_simulate: 1.0,
             probe: None,
+            profile: None,
             error: None,
         };
         assert_eq!(progress_line(LogMode::Off, 1, &entry), None);
@@ -704,6 +759,7 @@ mod tests {
             phase_generate: 0.25,
             phase_simulate: 1.25,
             probe: None,
+            profile: None,
             error: None,
         };
         assert!((entry.phase_aggregate() - 0.5).abs() < 1e-12);

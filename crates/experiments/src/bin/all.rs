@@ -69,7 +69,9 @@ environment:
   RF_JOBS         parallel simulation workers (default: all cores)
   RF_CACHE        0/off/false/no disables the shared run cache
   RF_CACHE_CAP    same as --cache-cap
-  RF_LOG          text|json progress lines on stderr";
+  RF_LOG          text|json progress lines on stderr
+  RF_PROFILE      1/on/true/yes embeds rf-prof self-profiles in the
+                  suite report and ledger record";
 
 /// Parsed command line: commit budget override and batch deadline.
 struct Args {

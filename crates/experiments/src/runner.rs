@@ -61,9 +61,9 @@ fn env_u64(name: &str) -> Result<Option<u64>, String> {
 }
 
 /// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
-/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_FASTPATH`) without acting on any of
-/// them, so a binary can fail fast with one clear message before doing
-/// work.
+/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_FASTPATH`, `RF_PROFILE`) without
+/// acting on any of them, so a binary can fail fast with one clear
+/// message before doing work.
 ///
 /// # Errors
 ///
@@ -73,6 +73,7 @@ pub fn validate_env() -> Result<(), String> {
     SimPool::try_from_env()?;
     cache_env_mode()?;
     fastpath_env_mode()?;
+    rf_prof::env_mode()?;
     Ok(())
 }
 
@@ -478,8 +479,12 @@ fn try_simulate_cancellable(
         RunError::UnknownBenchmark { benchmark: spec.benchmark.clone() }
     })?;
     let gen_start = Instant::now();
-    let mut trace = TraceGenerator::new(&profile, spec.seed);
+    let mut trace = {
+        let _s = rf_prof::span("run.generate");
+        TraceGenerator::new(&profile, spec.seed)
+    };
     let gen_nanos = gen_start.elapsed().as_nanos() as u64;
+    let _sim_span = rf_prof::span("run.simulate");
     let sim_start = Instant::now();
     let mut pipeline = Pipeline::new(spec.machine_config());
     if let Some(token) = cancel {
@@ -1001,7 +1006,14 @@ impl SimPool {
         };
         let workers = self.jobs.min(tasks.len());
         if workers <= 1 && opts.deadline.is_none() {
-            return tasks.iter().enumerate().map(|(t, spec)| (t, run_one(spec))).collect();
+            return tasks
+                .iter()
+                .enumerate()
+                .map(|(t, spec)| {
+                    let _s = rf_prof::span("pool.task");
+                    (t, run_one(spec))
+                })
+                .collect();
         }
         let cursor = AtomicUsize::new(0);
         let mut done: Vec<(usize, Result<Arc<SimStats>, RunError>)> =
@@ -1033,16 +1045,25 @@ impl SimPool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let worker_span = rf_prof::span("pool.worker");
                         let mut mine = Vec::new();
                         loop {
                             let t = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(spec) = tasks.get(t) else { break };
+                            let _s = rf_prof::span("pool.task");
                             mine.push((t, run_one(spec)));
                         }
+                        drop(worker_span);
+                        // Scoped threads outlive their TLS destructors'
+                        // visibility to the parent: flush explicitly so
+                        // the worker's profile is merged before the
+                        // scope unblocks the caller.
+                        rf_prof::flush_thread();
                         mine
                     })
                 })
                 .collect();
+            let _merge = rf_prof::span("pool.merge");
             for handle in handles {
                 // Workers cannot panic — simulation panics are caught
                 // inside `try_simulate_cancellable` — so a join failure
@@ -1089,7 +1110,8 @@ pub fn harness_main(name: &str, run: fn(&Scale) -> String) -> std::process::Exit
          RF_JOBS        parallel simulation workers (default: all cores)\n  \
          RF_CACHE       0/off/false/no disables the shared run cache\n  \
          RF_CACHE_CAP   bound the run cache to N entries (LRU eviction)\n  \
-         RF_FASTPATH    0/off/false/no disables the event-driven cycle kernel"
+         RF_FASTPATH    0/off/false/no disables the event-driven cycle kernel\n  \
+         RF_PROFILE     1/on/true/yes enables the rf-prof self-profiler"
     );
     let mut commits: Option<u64> = None;
     for arg in std::env::args().skip(1) {

@@ -131,6 +131,7 @@ impl DataCache {
     /// Panics if called while [`can_accept`](DataCache::can_accept) is
     /// false (the scheduler must gate memory issue on it).
     pub fn load(&mut self, addr: u64, now: u64, tag: u64) -> LoadResult {
+        let _s = rf_prof::hot_span("cache.load");
         assert!(self.can_accept(now), "load issued while the cache is locked");
         self.stats.loads += 1;
         let hit_complete = now + self.config.hit_latency() + LOAD_DELAY_SLOT;
@@ -185,6 +186,7 @@ impl DataCache {
     /// Panics if called while [`can_accept`](DataCache::can_accept) is
     /// false.
     pub fn store(&mut self, addr: u64, now: u64) {
+        let _s = rf_prof::hot_span("cache.store");
         assert!(self.can_accept(now), "store issued while the cache is locked");
         self.stats.stores += 1;
         if self.org == CacheOrg::Perfect || self.tags.access(addr) {
@@ -197,6 +199,7 @@ impl DataCache {
     /// returning them so the core can (if it wants) cross-check register
     /// write-backs. Call once at the top of every cycle.
     pub fn drain_fills(&mut self, now: u64) -> Vec<CompletedFill> {
+        let _s = rf_prof::hot_span("cache.drain_fills");
         let done = self.mshr.drain(now);
         for fill in &done {
             if fill.install {

@@ -111,6 +111,7 @@ impl InvertedMshr {
 
     /// Removes and returns every fill whose block has returned by `now`.
     pub fn drain(&mut self, now: u64) -> Vec<CompletedFill> {
+        let _s = rf_prof::hot_span("cache.mshr_drain");
         let mut done = Vec::new();
         while let Some(front) = self.fills.front() {
             if front.return_cycle > now {

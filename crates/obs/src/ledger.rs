@@ -30,7 +30,14 @@ use std::path::Path;
 /// `cycles_skipped` and `wakeup_events` (both deterministic for a given
 /// set of executed simulations) plus the derived, volatile
 /// `cycles_per_second` throughput.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the self-profiler block per harness — `profile` is the
+/// `rf-prof` span tree (null when `RF_PROFILE` is off) — and the
+/// `cache_served` flag marking harnesses whose every simulation was a
+/// run-cache hit; their `sims`/`cycles` are legitimately zero and
+/// `cycles_per_second` renders null instead of a misleading `0`, so
+/// trend analysis skips them rather than averaging zeros.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -93,8 +100,15 @@ pub struct HarnessRecord {
     pub cycles_skipped: u64,
     /// Idle-skip jumps the kernel took.
     pub wakeup_events: u64,
+    /// Whether every simulation this harness asked for was served from
+    /// the run cache (`sims == 0` with no error): its execution counters
+    /// are legitimately zero and carry no throughput signal.
+    pub cache_served: bool,
     /// Phase timer breakdown.
     pub phase: PhaseRecord,
+    /// Self-profiler span tree for the harness (`RF_PROFILE=1` runs
+    /// only). Wall-time data: excluded from the determinism payload.
+    pub profile: Option<rf_prof::ProfileNode>,
     /// Traced-probe percentiles, when the harness attached one.
     pub probe: Option<ProbeRecord>,
     /// Failure message when the harness did not complete (its report was
@@ -248,11 +262,18 @@ fn harness_value(h: &HarnessRecord) -> Value {
         ("no_free_cycles".to_owned(), int(h.no_free_cycles)),
         ("cycles_skipped".to_owned(), int(h.cycles_skipped)),
         ("wakeup_events".to_owned(), int(h.wakeup_events)),
+        ("cache_served".to_owned(), Value::Bool(h.cache_served)),
         // Derived throughput; the `per_second` suffix marks it volatile,
-        // so the determinism payload drops it automatically.
+        // so the determinism payload drops it automatically. A harness
+        // that executed nothing (fully cache-served) has no throughput —
+        // null, not a zero that would poison rolling averages.
         (
             "cycles_per_second".to_owned(),
-            num(round6(if h.seconds > 0.0 { h.cycles as f64 / h.seconds } else { 0.0 })),
+            if h.sims == 0 || h.seconds <= 0.0 {
+                Value::Null
+            } else {
+                num(round6(h.cycles as f64 / h.seconds))
+            },
         ),
         (
             "phase_seconds".to_owned(),
@@ -286,6 +307,13 @@ fn harness_value(h: &HarnessRecord) -> Value {
                     ]),
                 ),
             ]),
+            None => Value::Null,
+        },
+    ));
+    members.push((
+        "profile".to_owned(),
+        match &h.profile {
+            Some(tree) => crate::profile::to_value(tree),
             None => Value::Null,
         },
     ));
@@ -372,6 +400,7 @@ pub fn unix_timestamp() -> u64 {
 fn is_volatile_key(key: &str) -> bool {
     key == "timestamp_unix"
         || key == "alloc"
+        || key == "profile"
         || key.contains("seconds")
         || key.ends_with("per_second")
 }
@@ -428,7 +457,19 @@ mod tests {
                 no_free_cycles: 5,
                 cycles_skipped: 30_000,
                 wakeup_events: 1_500,
+                cache_served: false,
                 phase: PhaseRecord { generate: 0.01, simulate: 0.4, aggregate: 0.09 },
+                profile: Some(rf_prof::ProfileNode {
+                    name: "all".to_owned(),
+                    total_ns: 500_000_000,
+                    count: 1,
+                    children: vec![rf_prof::ProfileNode {
+                        name: "run.simulate".to_owned(),
+                        total_ns: 400_000_000,
+                        count: 50,
+                        children: vec![],
+                    }],
+                }),
                 probe: Some(ProbeRecord {
                     bench: "gcc1".to_owned(),
                     cycles: 2_000,
@@ -460,6 +501,8 @@ mod tests {
         assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
         assert_eq!(h.get_f64("wakeup_events"), Some(1_500.0));
         assert_eq!(h.get_f64("cycles_per_second"), Some(90_000.0));
+        assert_eq!(h.get("cache_served"), Some(&Value::Bool(false)));
+        assert_eq!(h.get("profile").unwrap().get_str("name"), Some("all"));
         assert_eq!(h.get("phase_seconds").unwrap().get_f64("simulate"), Some(0.4));
         assert_eq!(h.get("probe").unwrap().get_str("bench"), Some("gcc1"));
         assert_eq!(h.get("error"), Some(&Value::Null));
@@ -474,6 +517,24 @@ mod tests {
             Some(2.68)
         );
         assert_eq!(v.get("alloc"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn cache_served_harness_renders_null_throughput() {
+        let mut rec = sample();
+        rec.harnesses[0].sims = 0;
+        rec.harnesses[0].cycles = 0;
+        rec.harnesses[0].cache_served = true;
+        rec.harnesses[0].profile = None;
+        let v = json::parse(&rec.to_line()).unwrap();
+        let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
+        assert_eq!(h.get("cache_served"), Some(&Value::Bool(true)));
+        assert_eq!(
+            h.get("cycles_per_second"),
+            Some(&Value::Null),
+            "no executed sims means no throughput, not a zero"
+        );
+        assert_eq!(h.get("profile"), Some(&Value::Null));
     }
 
     #[test]
@@ -525,6 +586,7 @@ mod tests {
         rec.total_seconds *= 3.0;
         rec.harnesses[0].seconds = 42.0;
         rec.harnesses[0].phase.simulate = 9.0;
+        rec.harnesses[0].profile.as_mut().unwrap().total_ns = 7;
         rec.alloc = Some(AllocRecord {
             allocations: 1,
             deallocations: 2,
@@ -546,7 +608,9 @@ mod tests {
         assert!(p.get("totals").unwrap().get("seconds").is_none());
         let h = &p.get("harnesses").unwrap().as_array().unwrap()[0];
         assert!(h.get("cycles_per_second").is_none(), "derived throughput is volatile");
+        assert!(h.get("profile").is_none(), "wall-time profile is volatile");
         assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
+        assert_eq!(h.get("cache_served"), Some(&Value::Bool(false)));
     }
 
     #[test]

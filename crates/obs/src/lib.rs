@@ -31,6 +31,10 @@
 //! - [`trend`] compares the latest ledger record against a baseline with
 //!   MAD-based noise thresholds and renders text / markdown / Prometheus
 //!   reports — the engine behind `rfstudy report [--check]`.
+//! - [`profile`] consumes `rf-prof` self-profile trees: the ledger's
+//!   JSON encoding, collapsed-stack flamegraph export, the text table
+//!   behind `rfstudy profile`, and the phase-share extraction feeding
+//!   the report's profile-drift section.
 //! - [`alloc`] is an optional counting global allocator for suite
 //!   self-profiling (installed behind `rf-experiments`'s `profile-alloc`
 //!   feature).
@@ -46,6 +50,7 @@ pub mod fidelity;
 pub mod json;
 pub mod ledger;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod report;
 pub mod trend;

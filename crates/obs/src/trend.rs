@@ -51,6 +51,13 @@ pub struct Options {
     /// Harnesses whose baseline is below this many seconds are not
     /// perf-gated (relative deltas on micro-times are all noise).
     pub min_seconds: f64,
+    /// Profile-drift handling: how a span's share of suite self time
+    /// shifting beyond the noise band affects the gate. Defaults to
+    /// `Warn` — wall-time shares are real signal but too noisy to block
+    /// CI by default.
+    pub profile_drift: FidelityMode,
+    /// Noise floor for profile-share drift, in percentage points.
+    pub profile_band_pp: f64,
 }
 
 impl Default for Options {
@@ -63,6 +70,8 @@ impl Default for Options {
             band_scale: 1.0,
             fidelity: FidelityMode::Gate,
             min_seconds: 0.05,
+            profile_drift: FidelityMode::Warn,
+            profile_band_pp: 2.0,
         }
     }
 }
@@ -83,6 +92,24 @@ pub struct PerfRow {
     pub threshold_pct: f64,
     /// Whether this row trips the perf gate.
     pub regressed: bool,
+}
+
+/// One profile-drift row: a span name's share of the suite's
+/// self-profiled time, latest vs the baseline window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftRow {
+    /// Span name (phase), e.g. `cycle.issue` or `cache.load`.
+    pub name: String,
+    /// Latest run's share of attributed self time, percent.
+    pub latest_pp: f64,
+    /// Baseline share (window median over profiled runs), if any.
+    pub baseline_pp: Option<f64>,
+    /// Shift vs baseline, percentage points (positive = grew).
+    pub delta_pp: Option<f64>,
+    /// Drift band applied to this row, percentage points.
+    pub band_pp: f64,
+    /// Whether the shift exceeds the band.
+    pub drifted: bool,
 }
 
 /// The full analysis of a ledger: everything the renderers and the
@@ -109,6 +136,11 @@ pub struct Analysis {
     pub scorecard: Vec<ScoreEntry>,
     /// Band scale the scorecard was judged with.
     pub band_scale: f64,
+    /// Profile-drift rows (empty when the latest record carries no
+    /// profile or profile drift is `Off`).
+    pub profile_drift: Vec<DriftRow>,
+    /// Baseline runs that carried profiles.
+    pub profile_runs: usize,
     /// Gate failures (perf regressions; fidelity when gating).
     pub failures: Vec<String>,
     /// Non-gating findings (fidelity drift under `Warn`, scale
@@ -150,6 +182,11 @@ fn harness_seconds(record: &Value) -> Vec<(String, f64)> {
         .and_then(Value::as_array)
         .map(|hs| {
             hs.iter()
+                // A fully cache-served harness executed nothing: its
+                // seconds measure cache lookups, not simulation, so it
+                // neither earns a perf row nor feeds a baseline window
+                // (averaging its near-zeros would poison the median).
+                .filter(|h| h.get("cache_served").and_then(Value::as_bool) != Some(true))
                 .filter_map(|h| {
                     Some((h.get_str("name")?.to_owned(), h.get_f64("seconds")?))
                 })
@@ -338,6 +375,75 @@ pub fn analyze(records: &[Value], opts: &Options) -> Result<Analysis, String> {
         }
     }
 
+    // Profile drift: each span name's share of suite self time vs the
+    // window of prior profiled runs. Same robust-band construction as
+    // perf, but in absolute percentage points (shares already are
+    // relative quantities).
+    let mut profile_drift = Vec::new();
+    let mut profile_runs = 0;
+    if opts.profile_drift != FidelityMode::Off {
+        if let Some(latest_prof) = crate::profile::suite_profile_of_record(latest) {
+            let window_shares: Vec<Vec<(String, f64)>> = window_records
+                .iter()
+                .filter_map(|r| crate::profile::suite_profile_of_record(r))
+                .map(|p| crate::profile::phase_shares(&p))
+                .collect();
+            profile_runs = window_shares.len();
+            for (name, share) in crate::profile::phase_shares(&latest_prof) {
+                if window_shares.is_empty() {
+                    profile_drift.push(DriftRow {
+                        name,
+                        latest_pp: share,
+                        baseline_pp: None,
+                        delta_pp: None,
+                        band_pp: opts.profile_band_pp,
+                        drifted: false,
+                    });
+                    continue;
+                }
+                // A span absent from a prior profile held 0% there.
+                let window: Vec<f64> = window_shares
+                    .iter()
+                    .map(|ws| {
+                        ws.iter().find(|(n, _)| *n == name).map_or(0.0, |(_, s)| *s)
+                    })
+                    .collect();
+                let mut sorted = window.clone();
+                let base = median(&mut sorted);
+                let band_pp = opts
+                    .profile_band_pp
+                    .max(opts.mad_k * 1.4826 * mad(&window, base));
+                let delta = share - base;
+                profile_drift.push(DriftRow {
+                    name,
+                    latest_pp: share,
+                    baseline_pp: Some(base),
+                    delta_pp: Some(delta),
+                    band_pp,
+                    drifted: delta.abs() > band_pp,
+                });
+            }
+        }
+    }
+    for row in &profile_drift {
+        if !row.drifted {
+            continue;
+        }
+        let finding = format!(
+            "profile: {} holds {:.1}% of self time vs baseline {:.1}% ({:+.1}pp beyond band {:.1}pp)",
+            row.name,
+            row.latest_pp,
+            row.baseline_pp.unwrap_or(0.0),
+            row.delta_pp.unwrap_or(0.0),
+            row.band_pp
+        );
+        match opts.profile_drift {
+            FidelityMode::Gate => failures.push(finding),
+            FidelityMode::Warn => warnings.push(finding),
+            FidelityMode::Off => unreachable!("rows empty when off"),
+        }
+    }
+
     Ok(Analysis {
         latest_rev: latest.get_str("git_rev").unwrap_or("unknown").to_owned(),
         latest_timestamp: latest.get_f64("timestamp_unix").unwrap_or(0.0) as u64,
@@ -349,6 +455,8 @@ pub fn analyze(records: &[Value], opts: &Options) -> Result<Analysis, String> {
         total,
         scorecard,
         band_scale: opts.band_scale,
+        profile_drift,
+        profile_runs,
         failures,
         warnings,
     })
@@ -417,6 +525,34 @@ pub fn render_text(a: &Analysis) -> String {
             );
         }
     }
+    if !a.profile_drift.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "profile drift (share of suite self time, {} profiled baseline run(s))",
+            a.profile_runs
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>8} {:>7}  status",
+            "span", "latest", "base", "delta", "band"
+        );
+        for row in &a.profile_drift {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>7.1}% {} {:>8} {:>6.1}pp  {}",
+                row.name,
+                row.latest_pp,
+                fmt_opt(row.baseline_pp, 7, 1) + "%",
+                match row.delta_pp {
+                    Some(d) => format!("{d:+.1}pp"),
+                    None => "-".to_owned(),
+                },
+                row.band_pp,
+                if row.drifted { "DRIFT" } else { "ok" }
+            );
+        }
+    }
     for w in &a.warnings {
         let _ = writeln!(out, "warning: {w}");
     }
@@ -481,6 +617,35 @@ pub fn render_markdown(a: &Analysis) -> String {
                 fmt_opt(entry.target.paper, 1, 4).trim().to_owned(),
                 fmt_delta(entry.deviation_vs_paper_pct()),
                 if entry.within(a.band_scale) { "ok" } else { "**DRIFT**" }
+            );
+        }
+    }
+    if !a.profile_drift.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "## Profile drift ({} profiled baseline run(s))",
+            a.profile_runs
+        );
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| span | latest | baseline | delta | band | status |");
+        let _ = writeln!(out, "|---|---:|---:|---:|---:|---|");
+        for row in &a.profile_drift {
+            let _ = writeln!(
+                out,
+                "| `{}` | {:.1}% | {} | {} | {:.1}pp | {} |",
+                row.name,
+                row.latest_pp,
+                match row.baseline_pp {
+                    Some(b) => format!("{b:.1}%"),
+                    None => "-".to_owned(),
+                },
+                match row.delta_pp {
+                    Some(d) => format!("{d:+.1}pp"),
+                    None => "-".to_owned(),
+                },
+                row.band_pp,
+                if row.drifted { "**DRIFT**" } else { "ok" }
             );
         }
     }
@@ -562,6 +727,18 @@ pub fn render_prometheus(a: &Analysis) -> String {
             );
         }
     }
+    if !a.profile_drift.is_empty() {
+        let _ = writeln!(out, "# HELP rf_profile_share_pct Span share of suite self time.");
+        let _ = writeln!(out, "# TYPE rf_profile_share_pct gauge");
+        for row in &a.profile_drift {
+            let _ = writeln!(
+                out,
+                "rf_profile_share_pct{{span=\"{}\"}} {}",
+                prom_escape(&row.name),
+                row.latest_pp
+            );
+        }
+    }
     let _ = writeln!(out, "# HELP rf_report_failures Gate findings in the latest report.");
     let _ = writeln!(out, "# TYPE rf_report_failures gauge");
     let _ = writeln!(out, "rf_report_failures {}", a.failures.len());
@@ -592,17 +769,21 @@ mod tests {
             .join(",");
         let doc = format!(
             concat!(
-                "{{\"schema\":3,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
+                "{{\"schema\":4,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
                 "\"config\":{{\"commits\":2000,\"jobs\":1,\"cache\":true,\"sanitize\":false}},",
                 "\"totals\":{{\"seconds\":{total},\"sims\":10,\"committed\":20000,",
                 "\"cycles\":9000,\"cache_hits\":1,\"cache_misses\":9}},",
                 "\"harnesses\":[",
                 "{{\"name\":\"fig3\",\"seconds\":{h1},\"sims\":5,\"committed\":1,\"cycles\":1,",
                 "\"stall_no_reg\":0,\"stall_dq_full\":0,\"no_free_cycles\":0,",
-                "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},\"probe\":null}},",
+                "\"cache_served\":false,",
+                "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},",
+                "\"probe\":null,\"profile\":null}},",
                 "{{\"name\":\"fig6\",\"seconds\":{h2},\"sims\":5,\"committed\":1,\"cycles\":1,",
                 "\"stall_no_reg\":0,\"stall_dq_full\":0,\"no_free_cycles\":0,",
-                "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},\"probe\":null}}",
+                "\"cache_served\":false,",
+                "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},",
+                "\"probe\":null,\"profile\":null}}",
                 "],\"headlines\":{{{heads}}},\"alloc\":null}}"
             ),
             rev = rev,
@@ -612,6 +793,64 @@ mod tests {
             heads = heads
         );
         json::parse(&doc).unwrap()
+    }
+
+    /// Marks the named harness as fully cache-served in a fixture.
+    fn mark_cache_served(record: &mut Value, harness: &str) {
+        let Value::Object(members) = record else { unreachable!() };
+        for (k, v) in members.iter_mut() {
+            if k != "harnesses" {
+                continue;
+            }
+            let Value::Array(hs) = v else { unreachable!() };
+            for h in hs {
+                if h.get_str("name") != Some(harness) {
+                    continue;
+                }
+                let Value::Object(fields) = h else { unreachable!() };
+                for (fk, fv) in fields.iter_mut() {
+                    if fk == "cache_served" {
+                        *fv = Value::Bool(true);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attaches a profile (`span name -> self ns` under the root) to the
+    /// fixture's fig3 harness.
+    fn attach_profile(record: &mut Value, spans: &[(&str, u64)]) {
+        let children: Vec<Value> = spans
+            .iter()
+            .map(|(name, ns)| {
+                Value::Object(vec![
+                    ("name".to_owned(), Value::String((*name).to_owned())),
+                    ("ns".to_owned(), Value::Number(*ns as f64)),
+                    ("n".to_owned(), Value::Number(1.0)),
+                    ("children".to_owned(), Value::Array(vec![])),
+                ])
+            })
+            .collect();
+        let total: u64 = spans.iter().map(|(_, ns)| ns).sum();
+        let tree = Value::Object(vec![
+            ("name".to_owned(), Value::String("all".to_owned())),
+            ("ns".to_owned(), Value::Number(total as f64)),
+            ("n".to_owned(), Value::Number(1.0)),
+            ("children".to_owned(), Value::Array(children)),
+        ]);
+        let Value::Object(members) = record else { unreachable!() };
+        for (k, v) in members.iter_mut() {
+            if k != "harnesses" {
+                continue;
+            }
+            let Value::Array(hs) = v else { unreachable!() };
+            let Value::Object(fields) = &mut hs[0] else { unreachable!() };
+            for (fk, fv) in fields.iter_mut() {
+                if fk == "profile" {
+                    *fv = tree.clone();
+                }
+            }
+        }
     }
 
     fn ledger_of(scales: &[f64]) -> Vec<Value> {
@@ -713,6 +952,104 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("fig5.cov100_fp_precise") && f.contains("missing")));
+    }
+
+    #[test]
+    fn cache_served_harnesses_are_skipped_not_averaged() {
+        // fig6 becomes fully cache-served in the latest run: near-zero
+        // seconds must not show up as a perf row, and a cache-served
+        // harness in a baseline record must not drag the window median.
+        let mut records = ledger_of(&[1.0, 1.0]);
+        let mut latest = record("latest", 1.0, &[]);
+        mark_cache_served(&mut latest, "fig6");
+        records.push(latest);
+        let a = analyze(&records, &Options::default()).unwrap();
+        assert_eq!(a.rows.len(), 1, "only fig3 earns a perf row");
+        assert_eq!(a.rows[0].name, "fig3");
+        assert!(a.passed(), "failures: {:?}", a.failures);
+
+        mark_cache_served(&mut records[0], "fig3");
+        let a = analyze(&records, &Options::default()).unwrap();
+        let fig3 = &a.rows[0];
+        assert_eq!(
+            fig3.baseline,
+            Some(1.0),
+            "window median comes from the one run that executed fig3"
+        );
+    }
+
+    #[test]
+    fn profile_drift_warns_by_default_and_gates_on_request() {
+        // Two baseline runs where the kill engine holds ~10% of self
+        // time, then a run where it balloons to ~40%.
+        let steady = [("cycle.issue", 700_u64), ("kill_engine", 100), ("cache.load", 200)];
+        let shifted = [("cycle.issue", 400_u64), ("kill_engine", 400), ("cache.load", 200)];
+        let mut records = Vec::new();
+        for (i, spans) in [&steady, &steady, &shifted].into_iter().enumerate() {
+            let mut r = record(&format!("rev{i}"), 1.0, &[]);
+            attach_profile(&mut r, spans);
+            records.push(r);
+        }
+        let a = analyze(&records, &Options::default()).unwrap();
+        assert_eq!(a.profile_runs, 2);
+        assert!(a.passed(), "warn by default: {:?}", a.failures);
+        assert!(
+            a.warnings.iter().any(|w| w.contains("profile: kill_engine")),
+            "warnings: {:?}",
+            a.warnings
+        );
+        let kill = a
+            .profile_drift
+            .iter()
+            .find(|r| r.name == "kill_engine")
+            .expect("kill_engine row");
+        assert!(kill.drifted);
+        assert!((kill.latest_pp - 40.0).abs() < 1e-9);
+        assert_eq!(kill.baseline_pp, Some(10.0));
+
+        let gate = Options { profile_drift: FidelityMode::Gate, ..Options::default() };
+        let a = analyze(&records, &gate).unwrap();
+        assert!(!a.passed());
+        assert!(a.failures.iter().any(|f| f.contains("profile: kill_engine")));
+
+        let off = Options { profile_drift: FidelityMode::Off, ..Options::default() };
+        let a = analyze(&records, &off).unwrap();
+        assert!(a.profile_drift.is_empty());
+        assert!(a.passed());
+
+        // A steady rerun stays inside the band.
+        let mut steady_records = Vec::new();
+        for (i, _) in [0; 3].iter().enumerate() {
+            let mut r = record(&format!("rev{i}"), 1.0, &[]);
+            attach_profile(&mut r, &steady);
+            steady_records.push(r);
+        }
+        let a = analyze(&steady_records, &Options::default()).unwrap();
+        assert!(a.profile_drift.iter().all(|r| !r.drifted));
+        assert!(a.warnings.iter().all(|w| !w.contains("profile:")));
+    }
+
+    #[test]
+    fn unprofiled_ledger_renders_no_drift_section() {
+        let records = ledger_of(&[1.0, 1.0]);
+        let a = analyze(&records, &Options::default()).unwrap();
+        assert!(a.profile_drift.is_empty());
+        assert!(!render_text(&a).contains("profile drift"));
+        assert!(!render_markdown(&a).contains("## Profile drift"));
+
+        // First profiled run: rows render with no baseline, no findings.
+        let mut records = ledger_of(&[1.0]);
+        let mut latest = record("p0", 1.0, &[]);
+        attach_profile(&mut latest, &[("cycle.issue", 900), ("cache.load", 100)]);
+        records.push(latest);
+        let a = analyze(&records, &Options::default()).unwrap();
+        assert_eq!(a.profile_runs, 0);
+        assert!(a.profile_drift.iter().all(|r| r.baseline_pp.is_none() && !r.drifted));
+        let text = render_text(&a);
+        assert!(text.contains("profile drift"), "{text}");
+        assert!(text.contains("cycle.issue"), "{text}");
+        let prom = render_prometheus(&a);
+        assert!(prom.contains("rf_profile_share_pct{span=\"cycle.issue\"} 90"), "{prom}");
     }
 
     #[test]

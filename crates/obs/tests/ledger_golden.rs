@@ -48,7 +48,32 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 0,
                 cycles_skipped: 750_000,
                 wakeup_events: 31_000,
+                cache_served: false,
                 phase: PhaseRecord { generate: 0.002, simulate: 10.25, aggregate: 0.248 },
+                profile: Some(rf_prof::ProfileNode {
+                    name: "all".to_owned(),
+                    total_ns: 10_500_000_000,
+                    count: 1,
+                    children: vec![rf_prof::ProfileNode {
+                        name: "run.simulate".to_owned(),
+                        total_ns: 10_250_000_000,
+                        count: 18,
+                        children: vec![
+                            rf_prof::ProfileNode {
+                                name: "cycle.insert".to_owned(),
+                                total_ns: 1_984_000_000,
+                                count: 23_437,
+                                children: vec![],
+                            },
+                            rf_prof::ProfileNode {
+                                name: "cycle.issue".to_owned(),
+                                total_ns: 4_096_000_000,
+                                count: 23_437,
+                                children: vec![],
+                            },
+                        ],
+                    }],
+                }),
                 probe: Some(ProbeRecord {
                     bench: "compress".to_owned(),
                     cycles: 2_048,
@@ -68,11 +93,32 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 13,
                 cycles_skipped: 0,
                 wakeup_events: 0,
+                cache_served: false,
                 phase: PhaseRecord { generate: 0.001, simulate: 0.6, aggregate: 0.149 },
+                profile: None,
                 probe: None,
                 error: Some(
                     "simulation of \"gcc1\" panicked: injected fault probe".to_owned(),
                 ),
+            },
+            // The fully cache-served shape: zero executed sims, null
+            // throughput, no error.
+            HarnessRecord {
+                name: "fig4".to_owned(),
+                seconds: 0.012,
+                sims: 0,
+                committed: 0,
+                cycles: 0,
+                stall_no_reg: 0,
+                stall_dq_full: 0,
+                no_free_cycles: 0,
+                cycles_skipped: 0,
+                wakeup_events: 0,
+                cache_served: true,
+                phase: PhaseRecord { generate: 0.0, simulate: 0.0, aggregate: 0.012 },
+                profile: None,
+                probe: None,
+                error: None,
             },
         ],
         headlines: vec![
@@ -164,8 +210,10 @@ fn golden_lines_parse_back_to_current_schema() {
                 "no_free_cycles",
                 "cycles_skipped",
                 "wakeup_events",
+                "cache_served",
                 "cycles_per_second",
                 "phase_seconds",
+                "profile",
                 "probe",
                 "error",
             ] {
@@ -188,6 +236,14 @@ fn full_golden_line_round_trips_through_the_parser() {
     assert_eq!(probe.get_str("bench"), Some("compress"));
     let p99 = &probe.get("insert_to_commit").unwrap().as_array().unwrap()[2];
     assert_eq!(p99.as_f64(), Some(55.0));
+    // The embedded profile decodes back to the tree we rendered.
+    let profile = rf_obs::profile::from_value(h.get("profile").unwrap()).unwrap();
+    assert_eq!(Some(profile), full_record().harnesses[0].profile);
+    // The cache-served harness carries null throughput and no profile.
+    let served = &v.get("harnesses").unwrap().as_array().unwrap()[2];
+    assert_eq!(served.get("cache_served"), Some(&Value::Bool(true)));
+    assert_eq!(served.get("cycles_per_second"), Some(&Value::Null));
+    assert_eq!(served.get("profile"), Some(&Value::Null));
     assert_eq!(v.get("alloc").unwrap().get_f64("allocated_bytes"), Some(64_000_000.0));
     let minimal = json::parse(GOLDEN.lines().nth(1).unwrap()).unwrap();
     assert_eq!(minimal.get("alloc"), Some(&Value::Null));

@@ -111,6 +111,31 @@ impl ReportFormat {
     }
 }
 
+/// Output format of the `profile` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileFormat {
+    /// Collapsed-stack text (flamegraph.pl / inferno / speedscope input).
+    Flame,
+    /// The ledger's JSON profile-tree encoding.
+    Json,
+    /// Aligned text table of the hottest spans.
+    Text,
+}
+
+impl ProfileFormat {
+    /// Parses a `--format` value.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "flame" => Ok(ProfileFormat::Flame),
+            "json" => Ok(ProfileFormat::Json),
+            "text" => Ok(ProfileFormat::Text),
+            other => Err(format!(
+                "unknown profile format {other:?} (expected flame, json, or text)"
+            )),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -216,6 +241,32 @@ pub enum Command {
         band_scale: f64,
         /// Fidelity gating mode.
         fidelity: rf_obs::trend::FidelityMode,
+        /// Profile-drift handling mode.
+        profile_drift: rf_obs::trend::FidelityMode,
+    },
+    /// Run an instrumented batch with the rf-prof self-profiler forced
+    /// on and render where the wall time went.
+    Profile {
+        /// Restrict to one benchmark (`None` = all nine).
+        bench: Option<String>,
+        /// Restrict to one issue width (`None` = 4 and 8).
+        width: Option<usize>,
+        /// Restrict to one exception model (`None` = precise and
+        /// imprecise).
+        exceptions: Option<ExceptionModel>,
+        /// Restrict to one register-file size (`None` = 2048 and 64).
+        regs: Option<usize>,
+        /// Commit budget per configuration (`None` = `RF_COMMITS` env or
+        /// 10000).
+        commits: Option<u64>,
+        /// Workload seed.
+        seed: u64,
+        /// Render format.
+        format: ProfileFormat,
+        /// Rows in the text table.
+        top: usize,
+        /// Output path (`None` = stdout).
+        out: Option<String>,
     },
     /// Register-file timing table.
     Timing {
@@ -284,6 +335,15 @@ fn parse_machine(opt: &str, value: Option<&str>, m: &mut MachineOpts) -> Result<
 
 fn parse_num<T: std::str::FromStr>(opt: &str, v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid value {v:?} for {opt}"))
+}
+
+fn parse_mode(opt: &str, v: &str) -> Result<rf_obs::trend::FidelityMode, String> {
+    match v {
+        "gate" => Ok(rf_obs::trend::FidelityMode::Gate),
+        "warn" => Ok(rf_obs::trend::FidelityMode::Warn),
+        "off" => Ok(rf_obs::trend::FidelityMode::Off),
+        other => Err(format!("unknown {opt} mode {other:?} (expected gate, warn, or off)")),
+    }
 }
 
 /// Parses a full argument vector (without the program name).
@@ -414,17 +474,33 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map_or(Ok(10.0), |v| parse_num("--max-regress-pct", &v))?,
             band_scale: take("--band-scale", &opts)
                 .map_or(Ok(1.0), |v| parse_num("--band-scale", &v))?,
-            fidelity: take("--fidelity", &opts).map_or(
-                Ok(rf_obs::trend::FidelityMode::Gate),
-                |v| match v.as_str() {
-                    "gate" => Ok(rf_obs::trend::FidelityMode::Gate),
-                    "warn" => Ok(rf_obs::trend::FidelityMode::Warn),
-                    "off" => Ok(rf_obs::trend::FidelityMode::Off),
-                    other => Err(format!(
-                        "unknown fidelity mode {other:?} (expected gate, warn, or off)"
-                    )),
-                },
-            )?,
+            fidelity: take("--fidelity", &opts)
+                .map_or(Ok(rf_obs::trend::FidelityMode::Gate), |v| {
+                    parse_mode("--fidelity", &v)
+                })?,
+            profile_drift: take("--profile-drift", &opts)
+                .map_or(Ok(rf_obs::trend::FidelityMode::Warn), |v| {
+                    parse_mode("--profile-drift", &v)
+                })?,
+        }),
+        "profile" => Ok(Command::Profile {
+            bench: take("--bench", &opts),
+            width: take("--width", &opts).map(|v| parse_num("--width", &v)).transpose()?,
+            exceptions: take("--exceptions", &opts)
+                .map(|v| match v.as_str() {
+                    "precise" => Ok(ExceptionModel::Precise),
+                    "imprecise" => Ok(ExceptionModel::Imprecise),
+                    "alpha-hybrid" => Ok(ExceptionModel::AlphaHybrid),
+                    other => Err(format!("unknown exception model {other:?}")),
+                })
+                .transpose()?,
+            regs: take("--regs", &opts).map(|v| parse_num("--regs", &v)).transpose()?,
+            commits: take("--commits", &opts).map(|v| parse_num("--commits", &v)).transpose()?,
+            seed: take("--seed", &opts).map_or(Ok(12), |v| parse_num("--seed", &v))?,
+            format: take("--format", &opts)
+                .map_or(Ok(ProfileFormat::Text), |v| ProfileFormat::parse(&v))?,
+            top: take("--top", &opts).map_or(Ok(20), |v| parse_num("--top", &v))?,
+            out: take("--out", &opts),
         }),
         "timing" => Ok(Command::Timing {
             width: take("--width", &opts).map_or(Ok(4), |v| parse_num("--width", &v))?,
@@ -455,7 +531,10 @@ USAGE:
   rfstudy report   [--ledger FILE] [--baseline REV | --window N]
                    [--format text|markdown] [--out FILE] [--prom FILE]
                    [--check] [--max-regress-pct P] [--band-scale S]
-                   [--fidelity gate|warn|off]
+                   [--fidelity gate|warn|off] [--profile-drift gate|warn|off]
+  rfstudy profile  [--bench NAME] [--width N] [--exceptions MODEL]
+                   [--regs N] [--commits N] [--seed N]
+                   [--format flame|json|text] [--top N] [--out FILE]
   rfstudy timing   [--width N]
   rfstudy dump     --trace FILE [--count N]
   rfstudy help
@@ -501,8 +580,21 @@ REPORT OPTIONS:
   --max-regress-pct (default 10, widened per-harness by run-to-run
   noise) or a fidelity drift outside the accepted band (scaled by
   --band-scale; --fidelity warn reports drift without gating, off
-  skips it). --prom FILE additionally writes a Prometheus text-format
+  skips it). When ledger records carry rf-prof self-profiles, a
+  profile-drift section tracks each span's share of suite self time
+  vs the baseline window; --profile-drift gate makes out-of-band
+  shifts fail the check (default warn; off skips the section).
+  --prom FILE additionally writes a Prometheus text-format
   exposition of the latest record and scorecard.
+
+PROFILE OPTIONS:
+  forces the rf-prof self-profiler on, runs the check matrix (same
+  pinnable dimensions as `rfstudy check`; --commits defaults to
+  RF_COMMITS or 10000), and renders where the wall time went:
+  --format text (default) is a table of the --top N hottest spans
+  plus a coverage line, flame is collapsed-stack text every standard
+  flamegraph renderer loads, json is the ledger's profile-tree
+  encoding. --out FILE writes the rendering instead of stdout.
 
 EXIT STATUS:
   0  success
@@ -640,6 +732,7 @@ mod tests {
                 max_regress_pct,
                 band_scale,
                 fidelity,
+                profile_drift,
             } => {
                 assert_eq!(ledger, rf_obs::ledger::LEDGER_PATH);
                 assert_eq!(baseline, None);
@@ -651,6 +744,7 @@ mod tests {
                 assert_eq!(max_regress_pct, 10.0);
                 assert_eq!(band_scale, 1.0);
                 assert_eq!(fidelity, rf_obs::trend::FidelityMode::Gate);
+                assert_eq!(profile_drift, rf_obs::trend::FidelityMode::Warn);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -661,7 +755,8 @@ mod tests {
         match parse(&argv(
             "report --ledger /tmp/l.jsonl --baseline abc123 --window 9 \
              --format markdown --out /tmp/r.md --prom /tmp/r.prom --check \
-             --max-regress-pct 25 --band-scale 3 --fidelity warn",
+             --max-regress-pct 25 --band-scale 3 --fidelity warn \
+             --profile-drift gate",
         ))
         .unwrap()
         {
@@ -676,6 +771,7 @@ mod tests {
                 max_regress_pct,
                 band_scale,
                 fidelity,
+                profile_drift,
             } => {
                 assert_eq!(ledger, "/tmp/l.jsonl");
                 assert_eq!(baseline.as_deref(), Some("abc123"));
@@ -687,12 +783,53 @@ mod tests {
                 assert_eq!(max_regress_pct, 25.0);
                 assert_eq!(band_scale, 3.0);
                 assert_eq!(fidelity, rf_obs::trend::FidelityMode::Warn);
+                assert_eq!(profile_drift, rf_obs::trend::FidelityMode::Gate);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("report --format xml")).is_err());
         assert!(parse(&argv("report --fidelity maybe")).is_err());
+        assert!(parse(&argv("report --profile-drift sometimes")).is_err());
         assert!(parse(&argv("report --window abc")).is_err());
+    }
+
+    #[test]
+    fn parses_profile_with_defaults_and_pins() {
+        match parse(&argv("profile")).unwrap() {
+            Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
+                assert_eq!(bench, None);
+                assert_eq!(width, None);
+                assert_eq!(exceptions, None);
+                assert_eq!(regs, None);
+                assert_eq!(commits, None);
+                assert_eq!(seed, 12);
+                assert_eq!(format, ProfileFormat::Text);
+                assert_eq!(top, 20);
+                assert_eq!(out, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "profile --bench tomcatv --width 8 --exceptions imprecise --regs 64 \
+             --commits 3000 --seed 5 --format flame --top 7 --out /tmp/p.folded",
+        ))
+        .unwrap()
+        {
+            Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
+                assert_eq!(bench.as_deref(), Some("tomcatv"));
+                assert_eq!(width, Some(8));
+                assert_eq!(exceptions, Some(ExceptionModel::Imprecise));
+                assert_eq!(regs, Some(64));
+                assert_eq!(commits, Some(3000));
+                assert_eq!(seed, 5);
+                assert_eq!(format, ProfileFormat::Flame);
+                assert_eq!(top, 7);
+                assert_eq!(out.as_deref(), Some("/tmp/p.folded"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("profile --format xml")).unwrap_err();
+        assert!(err.contains("flame, json, or text"), "{err}");
     }
 
     #[test]
@@ -747,8 +884,8 @@ mod tests {
     #[test]
     fn usage_lists_every_subcommand() {
         for sub in [
-            "list", "run", "trace", "record", "replay", "check", "dataflow", "report", "timing",
-            "dump",
+            "list", "run", "trace", "record", "replay", "check", "dataflow", "report",
+            "profile", "timing", "dump",
         ] {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }

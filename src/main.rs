@@ -1,7 +1,7 @@
 //! The `rfstudy` command-line simulator.
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
-//! `replay`, `check`, `dump`, `dataflow`, `report`, `timing`.
+//! `replay`, `check`, `profile`, `dump`, `dataflow`, `report`, `timing`.
 //!
 //! Exit status: 0 on success, 1 on a runtime failure (simulation error,
 //! sanitizer violation, failed gate, exceeded deadline), 2 on a usage
@@ -162,6 +162,9 @@ fn dispatch(cmd: Command) -> Result<(), String> {
         Command::Check { bench, width, exceptions, regs, commits, seed } => {
             run_check(bench, width, exceptions, regs, commits, seed)
         }
+        Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
+            run_profile(bench, width, exceptions, regs, commits, seed, format, top, out)
+        }
         Command::Report {
             ledger,
             baseline,
@@ -173,6 +176,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             max_regress_pct,
             band_scale,
             fidelity,
+            profile_drift,
         } => run_report(
             &ledger,
             baseline,
@@ -184,6 +188,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             max_regress_pct,
             band_scale,
             fidelity,
+            profile_drift,
         ),
         Command::Dataflow { bench, window, count } => {
             let profile =
@@ -317,6 +322,95 @@ fn run_check(
     }
 }
 
+/// The `profile` subcommand: forces the rf-prof self-profiler on, runs
+/// the requested slice of the check matrix through a single-worker pool
+/// (serial execution keeps wall time and attributed span time on the
+/// same clock, so the coverage line below is meaningful), and renders
+/// where the time went.
+#[allow(clippy::too_many_arguments)]
+fn run_profile(
+    bench: Option<String>,
+    width: Option<usize>,
+    exceptions: Option<ExceptionModel>,
+    regs: Option<usize>,
+    commits: Option<u64>,
+    seed: u64,
+    format: cli::ProfileFormat,
+    top: usize,
+    out: Option<String>,
+) -> Result<(), String> {
+    use rf_experiments::runner::{RunCache, RunSpec, SimPool};
+    let commits = commits
+        .or_else(|| std::env::var("RF_COMMITS").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(10_000);
+    let benches: Vec<String> = match bench {
+        Some(b) => {
+            spec92::by_name(&b).ok_or_else(|| format!("unknown benchmark {b:?}"))?;
+            vec![b]
+        }
+        None => spec92::all().into_iter().map(|p| p.name).collect(),
+    };
+    let widths = width.map_or_else(|| vec![4, 8], |w| vec![w]);
+    let models = exceptions
+        .map_or_else(|| vec![ExceptionModel::Precise, ExceptionModel::Imprecise], |m| vec![m]);
+    let reg_sizes = regs.map_or_else(|| vec![2048, 64], |r| vec![r]);
+
+    let mut specs = Vec::new();
+    for b in &benches {
+        for &w in &widths {
+            for &m in &models {
+                for &r in &reg_sizes {
+                    let mut spec =
+                        RunSpec::baseline(b, w).regs(r).exceptions(m).commits(commits);
+                    spec.seed = seed;
+                    specs.push(spec);
+                }
+            }
+        }
+    }
+
+    rf_prof::set_enabled(true);
+    let wall = std::time::Instant::now();
+    // A fresh disabled cache so every configuration actually simulates:
+    // cache hits would attribute near-zero time and skew the profile.
+    let results = SimPool::new(1).try_run_many_cached(&specs, &RunCache::disabled());
+    let wall_ns = wall.elapsed().as_nanos() as u64;
+    let root = rf_prof::collect();
+    rf_prof::set_enabled(false);
+    if let Some(err) = results.into_iter().find_map(Result::err) {
+        return Err(format!("profiled batch failed: {err}"));
+    }
+    let root = root.ok_or("profiler recorded no spans")?;
+
+    let attributed = root.attributed_ns();
+    let coverage_pct = 100.0 * attributed as f64 / wall_ns.max(1) as f64;
+    let rendered = match format {
+        cli::ProfileFormat::Flame => rf_obs::profile::collapsed(&root),
+        cli::ProfileFormat::Json => format!("{}\n", rf_obs::profile::to_value(&root)),
+        cli::ProfileFormat::Text => format!(
+            "{}attributed {:.1}% of {:.3}s wall time ({} configurations, {} commits each)\n",
+            rf_obs::profile::text_table(&root, top),
+            coverage_pct,
+            wall_ns as f64 / 1e9,
+            specs.len(),
+            commits,
+        ),
+    };
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &rendered)
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+            eprintln!(
+                "profile -> {path} ({} bytes, {:.1}% of wall time attributed)",
+                rendered.len(),
+                coverage_pct
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 /// The `report` subcommand: compares the latest run-history ledger
 /// record against a baseline and scores paper fidelity. With `--check`,
 /// returns `Err` (process exit code 1) when the analysis fails.
@@ -332,6 +426,7 @@ fn run_report(
     max_regress_pct: f64,
     band_scale: f64,
     fidelity: rf_obs::trend::FidelityMode,
+    profile_drift: rf_obs::trend::FidelityMode,
 ) -> Result<(), String> {
     let records = rf_obs::ledger::read_ledger(std::path::Path::new(ledger_path))
         .map_err(|e| format!("cannot read ledger: {e}"))?;
@@ -341,6 +436,7 @@ fn run_report(
         max_regress_pct,
         band_scale,
         fidelity,
+        profile_drift,
         ..rf_obs::trend::Options::default()
     };
     let analysis = rf_obs::trend::analyze(&records, &opts)?;

@@ -32,7 +32,9 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         no_free_cycles: 3,
         cycles_skipped: 64_000,
         wakeup_events: 2_000,
+        cache_served: false,
         phase: PhaseRecord { generate: 0.001, simulate: seconds * 0.9, aggregate: 0.0 },
+        profile: None,
         probe: None,
         error: None,
     };
