@@ -1,9 +1,9 @@
 //! Microbenchmarks for the event-driven cycle kernel: single-run latency
-//! on a fixed `RunSpec` with the kernel on and off, plus the raw
-//! per-cycle stepping rate of `Pipeline::step` without any run-loop
-//! bookkeeping. The on/off pair is the speedup the idle-skip kernel buys
-//! on a register-starved configuration; the step benchmark isolates the
-//! cost of one simulated cycle (issue scan, completion heap, accounting).
+//! on a register-starved and a roomy `RunSpec`, plus the raw per-cycle
+//! stepping rate of `Pipeline::step` without any run-loop bookkeeping.
+//! The starved/roomy pair brackets the kernel's idle-skip payoff (wide
+//! windows vs none); the step benchmark isolates the cost of one
+//! simulated cycle (issue scan, completion heap, accounting).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rf_core::Pipeline;
@@ -14,38 +14,32 @@ use std::hint::black_box;
 const COMMITS: u64 = 20_000;
 
 /// A register-starved sweep point: long no-free-register stalls give the
-/// kernel wide idle windows, so this spec shows the fastpath's best case
+/// kernel wide idle windows, so this spec shows the idle-skip's best case
 /// while staying a configuration the paper's figures actually visit.
 fn starved_spec() -> RunSpec {
     RunSpec::baseline("compress", 4).regs(40).commits(COMMITS)
 }
 
-/// A generously-sized baseline: few idle windows, so the fastpath's
-/// bookkeeping overhead (not its skipping) dominates the comparison.
+/// A generously-sized baseline: few idle windows, so the kernel's
+/// bookkeeping overhead (not its skipping) dominates the measurement.
 fn roomy_spec() -> RunSpec {
     RunSpec::baseline("espresso", 4).commits(COMMITS)
 }
 
-fn run_once(spec: &RunSpec, fastpath: bool) -> u64 {
+fn run_once(spec: &RunSpec) -> u64 {
     let mut trace = TraceGenerator::new(
         &spec92::by_name(&spec.benchmark).expect("known bench"),
         spec.seed,
     );
-    Pipeline::new(spec.machine_config())
-        .with_fastpath(fastpath)
-        .run(&mut trace, spec.commits)
-        .cycles
+    Pipeline::new(spec.machine_config()).run(&mut trace, spec.commits).cycles
 }
 
 fn bench_single_run(c: &mut Criterion) {
     for (label, spec) in [("starved", starved_spec()), ("roomy", roomy_spec())] {
         let mut group = c.benchmark_group(format!("kernel/single_run/{label}"));
         group.throughput(Throughput::Elements(COMMITS));
-        group.bench_function("legacy per-cycle loop", |b| {
-            b.iter(|| black_box(run_once(&spec, false)))
-        });
         group.bench_function("event-driven kernel", |b| {
-            b.iter(|| black_box(run_once(&spec, true)))
+            b.iter(|| black_box(run_once(&spec)))
         });
         group.finish();
     }
@@ -62,11 +56,11 @@ fn bench_profiler_overhead(c: &mut Criterion) {
     group.throughput(Throughput::Elements(COMMITS));
     group.bench_function("spans off", |b| {
         rf_prof::set_enabled(false);
-        b.iter(|| black_box(run_once(&spec, true)))
+        b.iter(|| black_box(run_once(&spec)))
     });
     group.bench_function("spans on, sampled 1/64", |b| {
         rf_prof::set_enabled(true);
-        b.iter(|| black_box(run_once(&spec, true)));
+        b.iter(|| black_box(run_once(&spec)));
         // Drain the accumulated tree so repeated iterations don't grow
         // an unbounded profile, and leave the process switch off.
         let _ = rf_prof::collect();

@@ -15,7 +15,7 @@
 
 use crate::oracle::{self, TraceOracle};
 use crate::sanitizer::Sanitizer;
-use rf_core::{ExceptionModel, LiveModel, MachineConfig, Pipeline, SimStats};
+use rf_core::{CancelToken, ExceptionModel, LiveModel, MachineConfig, Pipeline, SimStats};
 use rf_isa::RegClass;
 use rf_workload::{spec92, TraceGenerator};
 
@@ -160,8 +160,9 @@ impl CheckReport {
 }
 
 /// Builds the machine configuration for a set of check parameters.
-/// Public so equivalence tests (e.g. the fast-path sweep) can simulate
-/// exactly the configurations the check matrix covers.
+/// Public so other matrix consumers (e.g. the analytic-model
+/// cross-validation of `rfstudy model --check`) can simulate exactly
+/// the configurations the check matrix covers.
 pub fn config_for(p: &CheckParams) -> MachineConfig {
     MachineConfig::new(p.width)
         .dispatch_queue(8 * p.width)
@@ -175,6 +176,17 @@ pub fn config_for(p: &CheckParams) -> MachineConfig {
 /// parameters (unknown benchmark); check failures are reported via
 /// [`CheckReport::passed`].
 pub fn cross_validate(params: &CheckParams) -> Result<CheckReport, String> {
+    cross_validate_cancellable(params, None)
+}
+
+/// [`cross_validate`] with an optional cooperative cancel token (the
+/// `rfstudy check --deadline-secs` wall-clock budget): when the token
+/// fires mid-simulation, the run's partial state is discarded and an
+/// `Err` describing the cancellation is returned.
+pub fn cross_validate_cancellable(
+    params: &CheckParams,
+    cancel: Option<&CancelToken>,
+) -> Result<CheckReport, String> {
     let profile = spec92::by_name(&params.bench)
         .ok_or_else(|| format!("unknown benchmark '{}'", params.bench))?;
     let config = config_for(params);
@@ -183,8 +195,18 @@ pub fn cross_validate(params: &CheckParams) -> Result<CheckReport, String> {
     // Dynamic run, sanitizer riding the observer hooks.
     let sanitizer = Sanitizer::new(params.regs, params.exceptions);
     let mut trace = TraceGenerator::new(&profile, params.seed);
+    let mut pipeline = Pipeline::with_observer(config, sanitizer);
+    if let Some(token) = cancel {
+        pipeline = pipeline.with_cancel(token.clone());
+    }
     let (stats, sanitizer) =
-        Pipeline::with_observer(config, sanitizer).run_observed(&mut trace, params.commits);
+        pipeline.try_run_observed(&mut trace, params.commits).map_err(|c| {
+            format!(
+                "check {} width={} {} regs={} cancelled at cycle {} \
+                 (partial statistics discarded)",
+                params.bench, params.width, params.exceptions, params.regs, c.at_cycle
+            )
+        })?;
 
     // Static analysis of the committed prefix: commit is in-order and the
     // generator is deterministic, so the committed instructions are
@@ -360,6 +382,26 @@ mod tests {
         let text = r.render();
         assert!(text.contains("PASS"));
         assert!(text.contains("floor"));
+    }
+
+    #[test]
+    fn a_fired_token_cancels_cross_validation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let err = cross_validate_cancellable(
+            &params("compress", ExceptionModel::Precise, 64),
+            Some(&token),
+        )
+        .unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+        // An unfired token changes nothing.
+        let fresh = CancelToken::new();
+        let r = cross_validate_cancellable(
+            &params("compress", ExceptionModel::Precise, 64),
+            Some(&fresh),
+        )
+        .unwrap();
+        assert!(r.passed(), "{}", r.render());
     }
 
     #[test]

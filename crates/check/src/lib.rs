@@ -20,7 +20,10 @@
 //! configuration, reconciled against the static analysis of the same
 //! trace prefix, surfaced as the `rfstudy check` subcommand and as
 //! sanitized probe runs in the experiment suite. [`inject`] proves every
-//! sanitizer checker can actually fail.
+//! sanitizer checker can actually fail. [`wstats`] repackages the
+//! oracle together with the instruction mix and windowed dataflow
+//! limits as the schedule-independent workload summary the `rf-model`
+//! analytic estimator consumes.
 //!
 //! Nothing here perturbs measurement: the sanitizer only runs when
 //! explicitly requested ([`sanitize_enabled`]), and an unobserved
@@ -30,11 +33,13 @@ pub mod crosscheck;
 pub mod inject;
 pub mod oracle;
 pub mod sanitizer;
+pub mod wstats;
 
-pub use crosscheck::{config_for, cross_validate, default_matrix, suite_probe, CheckParams, CheckReport, SuiteSanitizer};
+pub use crosscheck::{config_for, cross_validate, cross_validate_cancellable, default_matrix, suite_probe, CheckParams, CheckReport, SuiteSanitizer};
 pub use inject::{Fault, FaultInjector};
 pub use oracle::{analyze, ClassOracle, TraceOracle};
 pub use sanitizer::{Sanitizer, Violation, ViolationKind};
+pub use wstats::{workload_stats, WorkloadStats, DATAFLOW_WINDOWS};
 
 /// Whether sanitized simulation was requested, either at compile time
 /// (the `sanitize` cargo feature) or at run time (`RF_SANITIZE` set to

@@ -45,39 +45,6 @@ pub fn skip_telemetry() -> (u64, u64) {
     (SKIPPED_CYCLES.load(Ordering::Relaxed), WAKEUP_EVENTS.load(Ordering::Relaxed))
 }
 
-/// Parses an `RF_FASTPATH`-style switch value (the spellings accepted by
-/// the experiment runner's `RF_CACHE`): `1/on/true/yes` or
-/// `0/off/false/no`, case-insensitive. `None` for anything else.
-fn parse_switch(value: &str) -> Option<bool> {
-    match value.to_ascii_lowercase().as_str() {
-        "1" | "on" | "true" | "yes" => Some(true),
-        "0" | "off" | "false" | "no" => Some(false),
-        _ => None,
-    }
-}
-
-/// Reads the `RF_FASTPATH` toggle: unset means enabled (the event-driven
-/// kernel is the default; the legacy per-cycle loop is kept behind
-/// `RF_FASTPATH=0` for one release as an equivalence escape hatch). The
-/// environment is consulted once per process — pipelines are constructed
-/// on every simulation, and the toggle is a launch-time decision, not a
-/// per-run one (tests override per pipeline with
-/// [`Pipeline::with_fastpath`] instead of mutating the environment).
-///
-/// # Panics
-///
-/// Panics on an unparsable value. The binaries pre-validate the
-/// environment and exit with a usage error before constructing pipelines.
-fn fastpath_from_env() -> bool {
-    static FASTPATH: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *FASTPATH.get_or_init(|| match std::env::var("RF_FASTPATH") {
-        Err(_) => true,
-        Ok(v) => parse_switch(&v).unwrap_or_else(|| {
-            panic!("invalid RF_FASTPATH value {v:?}: use 1/on/true/yes or 0/off/false/no")
-        }),
-    })
-}
-
 /// Why the issue phase could not issue a ready candidate this cycle.
 /// Recorded unconditionally (three flag writes) so the skip decision can
 /// tell which wake-up sources matter.
@@ -217,10 +184,6 @@ pub struct Pipeline<O: Observer = NullObserver> {
     waiters: [Vec<Vec<u64>>; 2],
     /// Cooperative cancellation flag, polled by the cycle loop.
     cancel: Option<CancelToken>,
-    /// Whether the event-driven kernel (idle-cycle skipping) is enabled.
-    /// Only consulted on unobserved runs; observed runs always take the
-    /// legacy per-cycle loop so every hook fires every cycle.
-    fastpath: bool,
     /// Why the most recent issue phase held back ready work.
     blocks: IssueBlocks,
     /// Cycles skipped and jumps taken by this run (flushed to the
@@ -321,7 +284,6 @@ impl<O: Observer> Pipeline<O> {
             load_hazards: HazardIndex::new_in(load_hazard_map),
             waiters,
             cancel: None,
-            fastpath: fastpath_from_env(),
             blocks: IssueBlocks::default(),
             skipped_cycles: 0,
             wakeup_events: 0,
@@ -340,16 +302,6 @@ impl<O: Observer> Pipeline<O> {
         } else {
             None
         }
-    }
-
-    /// Forces the event-driven kernel on or off for this pipeline,
-    /// overriding the `RF_FASTPATH` environment toggle. Both settings
-    /// produce byte-identical [`SimStats`]; the toggle exists so the
-    /// equivalence can be asserted (and the legacy loop reached) without
-    /// mutating the process environment.
-    pub fn with_fastpath(mut self, enabled: bool) -> Self {
-        self.fastpath = enabled;
-        self
     }
 
     /// Attaches a cooperative cancellation token. Once the token fires,
@@ -543,7 +495,7 @@ impl<O: Observer> Pipeline<O> {
             // nothing can happen, accounting for them in bulk. Observed
             // runs always take the per-cycle loop (`O::ACTIVE` is a
             // compile-time constant, so this folds away entirely).
-            if !O::ACTIVE && self.fastpath && self.stats.committed < n_commits {
+            if !O::ACTIVE && self.stats.committed < n_commits {
                 let _s = self.pspan("cycle.idle_skip");
                 let inserted = self.stats.inserted != inserted_before;
                 if let Some((wake, stall)) = self.idle_wake(inserted, last_progress.0) {
@@ -1683,57 +1635,6 @@ mod tests {
     }
 
     #[test]
-    fn switch_values_parse_strictly() {
-        for v in ["1", "on", "TRUE", "Yes"] {
-            assert_eq!(parse_switch(v), Some(true), "{v}");
-        }
-        for v in ["0", "off", "False", "NO"] {
-            assert_eq!(parse_switch(v), Some(false), "{v}");
-        }
-        for v in ["", "2", "yep", "enable", " 1"] {
-            assert_eq!(parse_switch(v), None, "{v:?}");
-        }
-    }
-
-    #[test]
-    fn fastpath_matches_the_legacy_loop_exactly() {
-        // Stall-heavy configurations (tiny register file, blocking cache,
-        // split queues, divide-heavy FP code) maximize the skip windows
-        // the kernel can take; the statistics must not move by one bit.
-        let cases = [
-            (
-                rf_workload::spec92::compress(),
-                MachineConfig::new(4).physical_regs(64).seed(11),
-            ),
-            (
-                rf_workload::spec92::ora(),
-                MachineConfig::new(8)
-                    .physical_regs(48)
-                    .split_dispatch_queues(true)
-                    .cache(rf_mem::CacheOrg::Lockup)
-                    .exceptions(ExceptionModel::Precise)
-                    .seed(11),
-            ),
-            (
-                rf_workload::spec92::tomcatv(),
-                MachineConfig::new(4)
-                    .physical_regs(40)
-                    .exceptions(ExceptionModel::AlphaHybrid)
-                    .seed(11),
-            ),
-        ];
-        for (profile, config) in cases {
-            let run = |fast: bool| {
-                let mut trace = rf_workload::TraceGenerator::new(&profile, 11);
-                Pipeline::new(config.clone())
-                    .with_fastpath(fast)
-                    .run(&mut trace, 5_000)
-            };
-            assert_eq!(run(false), run(true), "{}", profile.name);
-        }
-    }
-
-    #[test]
     fn skip_kernel_finds_idle_windows_under_pressure() {
         // A 34-register machine spends most cycles stalled on register
         // freeing; the kernel must prove at least one multi-cycle window.
@@ -1773,7 +1674,6 @@ mod tests {
         let start = std::time::Instant::now();
         let err = Pipeline::new(MachineConfig::new(4).physical_regs(33).seed(5))
             .with_cancel(token)
-            .with_fastpath(true)
             .try_run(&mut trace, u64::MAX)
             .unwrap_err();
         canceller.join().expect("canceller thread exits cleanly");

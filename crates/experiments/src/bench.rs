@@ -12,12 +12,12 @@
 //! structured progress line on stderr as it finishes.
 
 use crate::runner::{
-    instructions_committed, phase_telemetry, simulations_run, stall_telemetry, RunCache,
-    RunSpec, SimPool,
+    instructions_committed, phase_telemetry, runs_pruned, simulations_run, stall_telemetry,
+    RunCache, RunSpec, SimPool,
 };
 use rf_core::{skip_telemetry, NullObserver, Observer as _, Pipeline, StallCause};
 use rf_obs::ledger::{
-    AllocRecord, HarnessRecord, LedgerRecord, PhaseRecord, ProbeRecord,
+    AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
 };
 use rf_obs::Recorder;
 use rf_workload::{spec92, TraceGenerator};
@@ -33,6 +33,9 @@ pub struct Entry {
     pub seconds: f64,
     /// Simulations executed during the harness (cache hits excluded).
     pub sims: u64,
+    /// Sweep points the analytic-model prefilter pruned during the
+    /// harness (substituted, not simulated; 0 unless `RF_PREFILTER=1`).
+    pub pruned: u64,
     /// Instructions committed by those simulations.
     pub committed: u64,
     /// Cycles simulated by those simulations.
@@ -44,7 +47,7 @@ pub struct Entry {
     /// Cycles with an empty free list across those simulations.
     pub no_free_cycles: u64,
     /// Cycles the event-driven kernel bulk-accounted instead of
-    /// simulating (a subset of `cycles`; 0 with `RF_FASTPATH=0`).
+    /// simulating (a subset of `cycles`).
     pub cycles_skipped: u64,
     /// Idle-skip jumps the kernel took during those simulations.
     pub wakeup_events: u64,
@@ -211,6 +214,7 @@ pub struct SuiteBench {
     started: Instant,
     speedup: Option<f64>,
     sanitizer: Option<SanitizerStatus>,
+    model_error: Option<ModelErrorRecord>,
     log: LogMode,
 }
 
@@ -224,6 +228,7 @@ impl SuiteBench {
             started: Instant::now(),
             speedup: None,
             sanitizer: None,
+            model_error: None,
             log: LogMode::from_env(),
         }
     }
@@ -231,6 +236,12 @@ impl SuiteBench {
     /// Records the sanitized-probe outcome for the report.
     pub fn set_sanitizer(&mut self, status: SanitizerStatus) {
         self.sanitizer = Some(status);
+    }
+
+    /// Records the analytic-model cross-validation telemetry for the
+    /// ledger record (`rfstudy report` flags drift from it).
+    pub fn set_model_error(&mut self, record: ModelErrorRecord) {
+        self.model_error = Some(record);
     }
 
     /// Runs one harness, recording its wall-clock time, the number of
@@ -252,6 +263,7 @@ impl SuiteBench {
         harness: impl FnOnce() -> String,
     ) -> Result<String, String> {
         let sims0 = simulations_run();
+        let pruned0 = runs_pruned();
         let committed0 = instructions_committed();
         let (cycles0, no_reg0, dq_full0, no_free0) = stall_telemetry();
         let (gen0, sim0) = phase_telemetry();
@@ -271,6 +283,7 @@ impl SuiteBench {
             name: name.to_owned(),
             seconds: start.elapsed().as_secs_f64(),
             sims: simulations_run() - sims0,
+            pruned: runs_pruned() - pruned0,
             committed: instructions_committed() - committed0,
             cycles: cycles1 - cycles0,
             stall_no_reg: no_reg1 - no_reg0,
@@ -356,6 +369,8 @@ impl SuiteBench {
         let _ = writeln!(out, "  \"commits_per_run\": {},", self.commits);
         let _ = writeln!(out, "  \"total_seconds\": {total:.3},");
         let _ = writeln!(out, "  \"simulations\": {sims},");
+        let pruned: u64 = self.entries.iter().map(|e| e.pruned).sum();
+        let _ = writeln!(out, "  \"pruned\": {pruned},");
         let _ = writeln!(out, "  \"instructions_committed\": {committed},");
         let _ = writeln!(out, "  \"sims_per_second\": {:.3},", rate(sims as f64, harness_time));
         let _ = writeln!(
@@ -419,13 +434,14 @@ impl SuiteBench {
             let _ = write!(
                 out,
                 "    {{\"name\": \"{}\", \"seconds\": {:.3}, \"simulations\": {}, \
-                 \"instructions_committed\": {}, \"cycles\": {}, \
+                 \"pruned\": {}, \"instructions_committed\": {}, \"cycles\": {}, \
                  \"stall_no_reg\": {}, \"stall_dq_full\": {}, \"no_free_cycles\": {}, \
                  \"cycles_skipped\": {}, \"wakeup_events\": {}, \
                  \"cache_served\": {}, \"cycles_per_second\": {cps}",
                 e.name,
                 e.seconds,
                 e.sims,
+                e.pruned,
                 e.committed,
                 e.cycles,
                 e.stall_no_reg,
@@ -491,6 +507,7 @@ impl SuiteBench {
                 name: e.name.clone(),
                 seconds: e.seconds,
                 sims: e.sims,
+                pruned: e.pruned,
                 committed: e.committed,
                 cycles: e.cycles,
                 stall_no_reg: e.stall_no_reg,
@@ -542,6 +559,7 @@ impl SuiteBench {
             cache_resident_bytes: cache.resident_bytes(),
             harnesses,
             headlines,
+            model_error: self.model_error.clone(),
             alloc,
         }
     }
@@ -722,6 +740,7 @@ mod tests {
             name: "fig3".into(),
             seconds: 1.25,
             sims: 9,
+            pruned: 0,
             committed: 90_000,
             cycles: 30_000,
             stall_no_reg: 5,
@@ -749,6 +768,7 @@ mod tests {
             name: "x".into(),
             seconds: 2.0,
             sims: 1,
+            pruned: 0,
             committed: 1,
             cycles: 1,
             stall_no_reg: 0,

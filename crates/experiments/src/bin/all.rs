@@ -70,6 +70,9 @@ environment:
   RF_CACHE        0/off/false/no disables the shared run cache
   RF_CACHE_CAP    same as --cache-cap
   RF_LOG          text|json progress lines on stderr
+  RF_PREFILTER    1/on/true/yes lets the rf-model analytic prefilter
+                  prune saturated register-sweep points (substituted
+                  estimates; pruned counts land in the reports)
   RF_PROFILE      1/on/true/yes embeds rf-prof self-profiles in the
                   suite report and ledger record";
 
@@ -144,6 +147,57 @@ fn fault_target() -> Option<String> {
 #[cfg(not(feature = "fault-probe"))]
 fn fault_target() -> Option<String> {
     None
+}
+
+/// Cross-validates the analytic model against the simulator on the
+/// nine 4-wide baselines at the suite's commit budget (cache hits from
+/// the figure harnesses make the simulations nearly free) and returns
+/// the error telemetry for the ledger, so `rfstudy report` can flag
+/// drift when simulator changes leave the model's fitted constants
+/// behind. `None` if every comparison failed.
+fn model_error_probe(commits: u64) -> Option<ledger::ModelErrorRecord> {
+    use rf_experiments::runner::{RunSpec, SimPool};
+    if commits == 0 {
+        return None;
+    }
+    let specs: Vec<RunSpec> = rf_experiments::aggregate::all_names()
+        .iter()
+        .map(|n| RunSpec::baseline(n, 4).commits(commits))
+        .collect();
+    let results = SimPool::from_env().try_run_many(&specs);
+    let (mut sum, mut n, mut worst, mut worst_config) = (0.0f64, 0u64, 0.0f64, String::new());
+    for (spec, result) in specs.iter().zip(results) {
+        let Ok(stats) = result else { continue };
+        let sim_ipc = stats.commit_ipc();
+        if sim_ipc <= 0.0 {
+            continue;
+        }
+        let config = spec.machine_config();
+        let Some(summary) = rf_model::summarize(
+            &spec.benchmark,
+            spec.commits,
+            spec.seed,
+            config.effective_insert_bandwidth(),
+            config.cache_geometry(),
+            config.cache_org(),
+            config.predictor_kind(),
+        ) else {
+            continue;
+        };
+        let err = ((rf_model::evaluate(&summary, &config).ipc - sim_ipc) / sim_ipc * 100.0).abs();
+        sum += err;
+        n += 1;
+        if err > worst {
+            worst = err;
+            worst_config = format!("{} width=4 regs={}", spec.benchmark, spec.regs);
+        }
+    }
+    (n > 0).then(|| ledger::ModelErrorRecord {
+        configs: n,
+        mean_abs_pct_err: sum / n as f64,
+        worst_pct_err: worst,
+        worst_config,
+    })
 }
 
 /// Runs the injected fault through the real pool/cache path, so the
@@ -255,6 +309,13 @@ fn run_suite(scale: &Scale) -> std::io::Result<ExitCode> {
         violations: probe.violations,
     });
     println!("sanitizer: {} ({} probes, {} events)", probe.status(), probe.probes, probe.events);
+    if let Some(m) = model_error_probe(scale.commits) {
+        println!(
+            "model error: mean |IPC err| {:.1}% over {} baselines, worst {:.1}% ({})",
+            m.mean_abs_pct_err, m.configs, m.worst_pct_err, m.worst_config
+        );
+        bench.set_model_error(m);
+    }
     let json = bench.to_json();
     fs::write("results/BENCH_suite.json", &json)?;
     println!("== benchmark -> results/BENCH_suite.json\n{json}");

@@ -61,7 +61,7 @@ fn env_u64(name: &str) -> Result<Option<u64>, String> {
 }
 
 /// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
-/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_FASTPATH`, `RF_PROFILE`) without
+/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_PREFILTER`, `RF_PROFILE`) without
 /// acting on any of them, so a binary can fail fast with one clear
 /// message before doing work.
 ///
@@ -72,30 +72,103 @@ pub fn validate_env() -> Result<(), String> {
     Scale::try_from_env()?;
     SimPool::try_from_env()?;
     cache_env_mode()?;
-    fastpath_env_mode()?;
+    prefilter_env_mode()?;
     rf_prof::env_mode()?;
     Ok(())
 }
 
-/// Validates the `RF_FASTPATH` toggle for the event-driven cycle kernel
-/// and returns whether it is enabled (unset means enabled). This mirrors
-/// the parse `rf-core` performs at pipeline construction, so a binary
-/// that pre-validates here never hits the core's panic.
+/// Validates the `RF_PREFILTER` toggle for analytic-model sweep
+/// pre-filtering and returns whether it is enabled (unset means
+/// disabled — pruning substitutes model-backed estimates for dominated
+/// sweep points, so it is strictly opt-in).
 ///
 /// # Errors
 ///
 /// Returns a message naming the malformed value.
-pub fn fastpath_env_mode() -> Result<bool, String> {
-    match std::env::var("RF_FASTPATH") {
-        Err(_) => Ok(true),
+pub fn prefilter_env_mode() -> Result<bool, String> {
+    match std::env::var("RF_PREFILTER") {
+        Err(_) => Ok(false),
         Ok(raw) => match raw.to_ascii_lowercase().as_str() {
             "0" | "off" | "false" | "no" => Ok(false),
             "1" | "on" | "true" | "yes" => Ok(true),
             _ => Err(format!(
-                "RF_FASTPATH={raw:?} is not recognized (use 0/off/false/no or 1/on/true/yes)"
+                "RF_PREFILTER={raw:?} is not recognized (use 0/off/false/no or 1/on/true/yes)"
             )),
         },
     }
+}
+
+/// Computes the prefilter's pruning plan for one deduplicated batch:
+/// a map from pruned task index to the representative task index whose
+/// (simulated) result substitutes for it. Empty when `enabled` is
+/// false, when no group of tasks differs only in register count, or
+/// when the model finds fewer than two saturated members per group.
+/// Callers pass [`prefilter_env_mode`]'s verdict for `enabled`.
+fn prefilter_plan(tasks: &[&RunSpec], enabled: bool) -> HashMap<usize, usize> {
+    let mut plan = HashMap::new();
+    if !enabled || tasks.len() < 2 {
+        return plan;
+    }
+    let mut groups: HashMap<RunSpec, Vec<usize>> = HashMap::new();
+    for (t, spec) in tasks.iter().enumerate() {
+        let mut key = (*spec).clone();
+        key.regs = 0;
+        groups.entry(key).or_default().push(t);
+    }
+    for members in groups.into_values() {
+        if members.len() < 2 {
+            continue;
+        }
+        let lead = tasks[members[0]];
+        let insert_bw = lead.machine_config().effective_insert_bandwidth();
+        let Some(demand) = cached_demand(&lead.benchmark, lead.commits, lead.seed, insert_bw)
+        else {
+            continue;
+        };
+        let threshold = rf_model::saturation_regs(demand, lead.width);
+        let regs: Vec<usize> = members.iter().map(|&t| tasks[t].regs).collect();
+        if let Some((rep, pruned)) = rf_model::plan_regs_sweep(&regs, threshold) {
+            for p in pruned {
+                plan.insert(members[p], members[rep]);
+            }
+        }
+    }
+    plan
+}
+
+/// Memoized [`rf_model::demand_profile`]: the oracle pass is cheap
+/// relative to a simulation but not to a cache hit, and sweep harnesses
+/// re-plan the same workload for every batch.
+fn cached_demand(
+    bench: &str,
+    commits: u64,
+    seed: u64,
+    insert_bw: usize,
+) -> Option<[usize; 2]> {
+    type DemandKey = (String, u64, u64, usize);
+    static DEMANDS: OnceLock<Mutex<HashMap<DemandKey, Option<[usize; 2]>>>> = OnceLock::new();
+    let memo = DEMANDS.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (bench.to_owned(), commits, seed, insert_bw);
+    if let Some(found) = memo.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        return *found;
+    }
+    let demand = rf_model::demand_profile(bench, commits, seed, insert_bw);
+    memo.lock().unwrap_or_else(PoisonError::into_inner).insert(key, demand);
+    demand
+}
+
+/// Builds the stand-in statistics for a pruned sweep point from its
+/// representative's measured run: identical counters, with the liveness
+/// histograms zero-padded out to the pruned point's (larger) register
+/// file so downstream percentile code sees the expected bin count.
+fn substitute_stats(rep: &SimStats, regs: usize) -> SimStats {
+    let mut stats = rep.clone();
+    for hist in stats.live_hist.iter_mut().chain(stats.live_hist_imprecise.iter_mut()) {
+        if hist.len() < regs + 1 {
+            hist.resize(regs + 1, 0);
+        }
+    }
+    stats
 }
 
 impl Scale {
@@ -315,6 +388,9 @@ static SIM_NO_FREE_CYCLES: AtomicU64 = AtomicU64::new(0);
 static PHASE_GEN_NANOS: AtomicU64 = AtomicU64::new(0);
 /// Nanoseconds spent inside `Pipeline::run`, summed over workers.
 static PHASE_SIM_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Sweep points pruned by the analytic-model prefilter (`RF_PREFILTER=1`)
+/// instead of simulated, process-wide.
+static PRUNED_RUNS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of simulations actually executed so far in this process
 /// (run-cache hits do not count).
@@ -326,6 +402,13 @@ pub fn simulations_run() -> u64 {
 /// this process.
 pub fn instructions_committed() -> u64 {
     SIM_COMMITS.load(Ordering::Relaxed)
+}
+
+/// Sweep points the analytic-model prefilter pruned (substituted with a
+/// model-backed estimate instead of simulating) so far in this process.
+/// Always 0 unless `RF_PREFILTER=1`.
+pub fn runs_pruned() -> u64 {
+    PRUNED_RUNS.load(Ordering::Relaxed)
 }
 
 /// Process-wide stall attribution accumulated from every executed
@@ -961,15 +1044,42 @@ impl SimPool {
             }
         }
 
+        // Analytic-model sweep pre-filtering (`RF_PREFILTER=1`): tasks
+        // identical except for their register count whose files the
+        // model proves saturated collapse onto the smallest saturated
+        // member; the rest are pruned and substituted below. A
+        // malformed RF_PREFILTER panics here; binaries pre-validate
+        // with `validate_env` to report it cleanly instead.
+        let prefilter = prefilter_env_mode().unwrap_or_else(|e| panic!("{e}"));
+        let pruned_to_rep = prefilter_plan(&tasks, prefilter);
+        let exec_idx: Vec<usize> =
+            (0..tasks.len()).filter(|t| !pruned_to_rep.contains_key(t)).collect();
+        let exec_tasks: Vec<&RunSpec> = exec_idx.iter().map(|&t| tasks[t]).collect();
+
         // Insert into the cache in task order (not worker completion
         // order) so LRU stamps — and therefore evictions under a bounded
-        // cache — are deterministic across worker counts.
-        let mut executed = self.execute(&tasks, opts);
-        executed.sort_unstable_by_key(|(t, _)| *t);
-        for (t, outcome) in executed {
+        // cache — are deterministic across worker counts. Substituted
+        // results never enter the cache: they are estimates, and must
+        // not masquerade as measurements for later non-prefilter runs.
+        let mut executed = self.execute(&exec_tasks, opts);
+        executed.sort_unstable_by_key(|(e, _)| *e);
+        let mut outcomes: Vec<Option<Result<Arc<SimStats>, RunError>>> =
+            vec![None; tasks.len()];
+        for (e, outcome) in executed {
+            let t = exec_idx[e];
             if let Ok(stats) = &outcome {
                 cache.insert(tasks[t].clone(), Arc::clone(stats));
             }
+            outcomes[t] = Some(outcome);
+        }
+        for (&t, &rep) in &pruned_to_rep {
+            let outcome = outcomes[rep].clone().expect("representative executed");
+            PRUNED_RUNS.fetch_add(needers[t].len() as u64, Ordering::Relaxed);
+            outcomes[t] =
+                Some(outcome.map(|stats| Arc::new(substitute_stats(&stats, tasks[t].regs))));
+        }
+        for (t, outcome) in outcomes.into_iter().enumerate() {
+            let outcome = outcome.expect("every task resolved");
             for &i in &needers[t] {
                 results[i] = Some(outcome.clone());
             }
@@ -1110,7 +1220,7 @@ pub fn harness_main(name: &str, run: fn(&Scale) -> String) -> std::process::Exit
          RF_JOBS        parallel simulation workers (default: all cores)\n  \
          RF_CACHE       0/off/false/no disables the shared run cache\n  \
          RF_CACHE_CAP   bound the run cache to N entries (LRU eviction)\n  \
-         RF_FASTPATH    0/off/false/no disables the event-driven cycle kernel\n  \
+         RF_PREFILTER   1/on/true/yes prunes model-dominated sweep points\n  \
          RF_PROFILE     1/on/true/yes enables the rf-prof self-profiler"
     );
     let mut commits: Option<u64> = None;
@@ -1393,11 +1503,8 @@ mod tests {
     fn strict_env_parsing_rejects_malformed_values() {
         // Env mutation is process-global, so this test owns all five
         // variables for its duration and restores them at the end; it is
-        // the only test in this binary that touches them. (`rf-core`
-        // reads RF_FASTPATH once per process through a OnceLock, so the
-        // malformed window here cannot poison concurrent pipeline
-        // constructions.)
-        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP", "RF_FASTPATH"];
+        // the only test in this binary that touches them.
+        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP", "RF_PREFILTER"];
         let saved: Vec<Option<String>> =
             vars.iter().map(|v| std::env::var(v).ok()).collect();
         let cases: [(&str, &str, &str); 8] = [
@@ -1407,8 +1514,8 @@ mod tests {
             ("RF_CACHE", "maybe", "RF_CACHE"),
             ("RF_CACHE_CAP", "-1", "RF_CACHE_CAP"),
             ("RF_CACHE_CAP", "0", "RF_CACHE_CAP=0"),
-            ("RF_FASTPATH", "fast", "RF_FASTPATH"),
-            ("RF_FASTPATH", "2", "RF_FASTPATH"),
+            ("RF_PREFILTER", "fast", "RF_PREFILTER"),
+            ("RF_PREFILTER", "2", "RF_PREFILTER"),
         ];
         for (var, value, needle) in cases {
             for v in vars {
@@ -1427,18 +1534,62 @@ mod tests {
             assert!(validate_env().is_ok(), "RF_CACHE={ok} should be accepted");
         }
         for ok in ["0", "OFF", "false", "No", "1", "on", "TRUE", "yes"] {
-            std::env::set_var("RF_FASTPATH", ok);
-            assert!(validate_env().is_ok(), "RF_FASTPATH={ok} should be accepted");
+            std::env::set_var("RF_PREFILTER", ok);
+            assert!(validate_env().is_ok(), "RF_PREFILTER={ok} should be accepted");
         }
         std::env::remove_var("RF_CACHE");
-        std::env::remove_var("RF_FASTPATH");
+        std::env::remove_var("RF_PREFILTER");
         assert_eq!(cache_env_mode(), Ok((true, None)));
-        assert_eq!(fastpath_env_mode(), Ok(true));
+        assert_eq!(prefilter_env_mode(), Ok(false));
         for (var, value) in vars.iter().zip(saved) {
             match value {
                 Some(v) => std::env::set_var(var, v),
                 None => std::env::remove_var(var),
             }
+        }
+    }
+
+    #[test]
+    fn prefilter_plan_prunes_only_saturated_regs_groups() {
+        // compress's ideal demand is far below 600, so 600 (smallest
+        // saturated) represents 1024 and 2048; 40 stays simulated.
+        let group: Vec<RunSpec> = [40, 2048, 600, 1024]
+            .map(|r| RunSpec::baseline("compress", 4).regs(r).commits(2_000))
+            .into();
+        let other = RunSpec::baseline("espresso", 4).commits(2_000);
+        let mut tasks: Vec<&RunSpec> = group.iter().collect();
+        tasks.push(&other);
+
+        // Disabled: no plan regardless of structure.
+        assert!(prefilter_plan(&tasks, false).is_empty());
+
+        let plan = prefilter_plan(&tasks, true);
+        // 2048 (index 1) and 1024 (index 3) collapse onto 600 (index 2).
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.get(&1), Some(&2));
+        assert_eq!(plan.get(&3), Some(&2));
+        // The ungrouped espresso spec and the unsaturated point survive.
+        assert!(!plan.contains_key(&0) && !plan.contains_key(&4));
+
+        // A width change splits the group: nothing left to prune.
+        let wide = RunSpec::baseline("compress", 8).regs(2_048).commits(2_000);
+        let split: Vec<&RunSpec> = vec![&group[0], &wide];
+        assert!(prefilter_plan(&split, true).is_empty());
+    }
+
+    #[test]
+    fn substituted_stats_pad_histograms_and_keep_counters() {
+        let rep_spec = RunSpec::baseline("compress", 4).regs(600).commits(2_000);
+        let rep = simulate(&rep_spec);
+        let sub = substitute_stats(&rep, 2_048);
+        assert_eq!(sub.commit_ipc(), rep.commit_ipc());
+        assert_eq!(sub.cycles, rep.cycles);
+        for hist in sub.live_hist.iter().chain(sub.live_hist_imprecise.iter()) {
+            assert_eq!(hist.len(), 2_049);
+        }
+        // The padding is pure zeros: bin sums are unchanged.
+        for (s, r) in sub.live_hist.iter().zip(rep.live_hist.iter()) {
+            assert_eq!(s.iter().sum::<u64>(), r.iter().sum::<u64>());
         }
     }
 

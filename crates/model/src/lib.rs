@@ -1,0 +1,35 @@
+//! `rf-model`: a static analytic estimator for the rfstudy machine.
+//!
+//! The simulator answers the paper's sizing questions by running every
+//! configuration cycle by cycle. This crate answers the same questions
+//! *analytically*, in microseconds: given a machine shape
+//! ([`rf_core::MachineConfig`]) and a schedule-independent summary of
+//! the workload ([`WorkloadSummary`]), [`evaluate`] predicts committed
+//! IPC, functional-unit and dispatch-queue occupancy, and the mean /
+//! peak register pressure, without executing a single simulated cycle.
+//!
+//! The model is an M/G/c-flavoured bound hierarchy in the style of
+//! Carroll & Lin (arXiv 1807.08586): throughput is the minimum of the
+//! issue-width, insert-bandwidth, dataflow-critical-path, finite-window
+//! and per-pool service bounds, then degraded by additive CPI
+//! corrections for branch mispredictions and cache-miss stalls (the
+//! memory-level-parallelism divisor follows Diavastos & Carlson, arXiv
+//! 2109.03112). Register pressure comes from Little's law over the
+//! static oracle's lifetime decomposition ([`rf_check::oracle`]), and
+//! every peak estimate is clamped into the oracle's sound
+//! `[floor, ceiling]` bracket, so the cross-validation gate of
+//! `rfstudy model --check` holds by construction.
+//!
+//! [`prefilter`] reuses the same machinery to let sweep harnesses skip
+//! register-file sizes the model proves saturated (`RF_PREFILTER=1`):
+//! once every class's ideal-schedule demand plus a wrong-path margin
+//! fits, larger register files are predicted — and observed — to change
+//! nothing.
+
+pub mod estimate;
+pub mod prefilter;
+pub mod summary;
+
+pub use estimate::{evaluate, ModelEstimate};
+pub use prefilter::{demand_profile, plan_regs_sweep, saturation_regs};
+pub use summary::{summarize, summarize_profile, WorkloadSummary};

@@ -1,0 +1,121 @@
+//! Sweep pre-filtering: skip register-file sizes the model proves
+//! saturated.
+//!
+//! A register sweep (the paper's Figures 3–7 walk 64 → 2048 physical
+//! registers) spends most of its simulation time on the flat tail of
+//! the curve: once the file holds every register the ideal schedule can
+//! keep live — plus a margin for wrong-path allocations — the headline
+//! numbers stop changing. [`demand_profile`] computes that demand from
+//! the static oracle alone (one pass, no dataflow sweeps),
+//! [`saturation_regs`] adds the wrong-path margin, and
+//! [`plan_regs_sweep`] partitions a sweep group into one
+//! *representative* saturated point (which is simulated) and the
+//! *pruned* saturated points (whose results are substituted from the
+//! representative). Points below the saturation threshold are always
+//! simulated.
+//!
+//! Pruned points are estimates, not measurements: the substitution is
+//! exact only insofar as the saturation argument holds, which is why
+//! the harnesses record pruned counts in their reports and the ledger.
+
+use rf_check::oracle;
+use rf_isa::Instruction;
+use rf_workload::{spec92, TraceGenerator};
+
+/// Wrong-path register margin per unit of issue width: inserted but
+/// never-committed instructions can each hold one register, and the
+/// front end runs at most a squash-shadow's worth of them ahead.
+const MARGIN_PER_WIDTH: usize = 8;
+
+/// Per-class ideal-schedule peak register demand (including the 31
+/// architectural mappings) of the first `commits` instructions of
+/// `bench`, paced at `insert_bw`. One oracle pass — cheap enough to run
+/// once per sweep group. Returns `None` for an unknown benchmark.
+pub fn demand_profile(
+    bench: &str,
+    commits: u64,
+    seed: u64,
+    insert_bw: usize,
+) -> Option<[usize; 2]> {
+    let profile = spec92::by_name(bench)?;
+    let insts: Vec<Instruction> =
+        TraceGenerator::new(&profile, seed).take(commits as usize).collect();
+    let o = oracle::analyze(&insts, insert_bw);
+    Some([o.classes[0].ideal_demand, o.classes[1].ideal_demand])
+}
+
+/// The smallest per-class register-file size at which the model
+/// declares the file saturated for a machine of the given width: the
+/// worst class's ideal-schedule demand plus a wrong-path margin.
+pub fn saturation_regs(demand: [usize; 2], width: usize) -> usize {
+    let peak = demand[0].max(demand[1]);
+    peak + MARGIN_PER_WIDTH * width.max(1)
+}
+
+/// Partitions one sweep group (configurations identical except for
+/// their register-file size) into a simulated representative and
+/// pruned points.
+///
+/// `regs[i]` is the register count of group member `i`. Members at or
+/// above `threshold` are saturated; the smallest saturated member
+/// becomes the representative and every *other* saturated member is
+/// pruned (its result substituted from the representative's). Returns
+/// `None` when fewer than two members are saturated — nothing to
+/// prune.
+pub fn plan_regs_sweep(regs: &[usize], threshold: usize) -> Option<(usize, Vec<usize>)> {
+    let representative = regs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &r)| r >= threshold)
+        .min_by_key(|&(_, &r)| r)
+        .map(|(i, _)| i)?;
+    let pruned: Vec<usize> = regs
+        .iter()
+        .enumerate()
+        .filter(|&(i, &r)| r >= threshold && i != representative)
+        .map(|(i, _)| i)
+        .collect();
+    if pruned.is_empty() {
+        return None;
+    }
+    Some((representative, pruned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_profile_knows_the_benches() {
+        let d = demand_profile("compress", 2_000, 12, 6).expect("known bench");
+        assert!(d[0] >= 31, "int demand includes the architectural mappings: {d:?}");
+        assert!(demand_profile("nope", 2_000, 12, 6).is_none());
+    }
+
+    #[test]
+    fn saturation_threshold_scales_with_width() {
+        assert!(saturation_regs([80, 40], 8) > saturation_regs([80, 40], 4));
+        assert_eq!(saturation_regs([80, 40], 4), 80 + 32);
+    }
+
+    #[test]
+    fn plan_keeps_the_smallest_saturated_point() {
+        // 64 and 80 are below threshold; 128 is the representative,
+        // 256 and 2048 are pruned.
+        let (rep, pruned) = plan_regs_sweep(&[64, 80, 128, 256, 2048], 100).expect("plannable");
+        assert_eq!(rep, 2);
+        assert_eq!(pruned, vec![3, 4]);
+    }
+
+    #[test]
+    fn plan_declines_degenerate_groups() {
+        // Only one saturated point: nothing to prune.
+        assert!(plan_regs_sweep(&[64, 128], 100).is_none());
+        // Nothing saturated at all.
+        assert!(plan_regs_sweep(&[40, 48, 64], 100).is_none());
+        // Order independence: representative is by value, not position.
+        let (rep, pruned) = plan_regs_sweep(&[2048, 128, 256], 100).expect("plannable");
+        assert_eq!(rep, 1);
+        assert_eq!(pruned, vec![0, 2]);
+    }
+}

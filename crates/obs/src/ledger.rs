@@ -37,7 +37,13 @@ use std::path::Path;
 /// run-cache hit; their `sims`/`cycles` are legitimately zero and
 /// `cycles_per_second` renders null instead of a misleading `0`, so
 /// trend analysis skips them rather than averaging zeros.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the analytic-model block: per-harness `pruned` (sweep
+/// points the `RF_PREFILTER=1` model prefilter substituted instead of
+/// simulating) and the top-level `model_error` cross-validation
+/// telemetry (mean/worst absolute IPC error of `rf-model` against the
+/// simulator, null when the suite did not measure it).
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -85,6 +91,9 @@ pub struct HarnessRecord {
     pub seconds: f64,
     /// Simulations executed (cache hits excluded).
     pub sims: u64,
+    /// Sweep points the analytic-model prefilter pruned (substituted,
+    /// not simulated; 0 unless `RF_PREFILTER=1`).
+    pub pruned: u64,
     /// Instructions committed by those simulations.
     pub committed: u64,
     /// Cycles simulated.
@@ -96,7 +105,7 @@ pub struct HarnessRecord {
     /// Cycles with an empty free list.
     pub no_free_cycles: u64,
     /// Cycles the event-driven kernel bulk-accounted instead of
-    /// simulating (a subset of `cycles`; 0 when `RF_FASTPATH=0`).
+    /// simulating (a subset of `cycles`).
     pub cycles_skipped: u64,
     /// Idle-skip jumps the kernel took.
     pub wakeup_events: u64,
@@ -115,6 +124,23 @@ pub struct HarnessRecord {
     /// not written); `None` for a successful harness. The counters above
     /// still cover whatever the harness executed before failing.
     pub error: Option<String>,
+}
+
+/// Cross-validation telemetry for the `rf-model` analytic estimator:
+/// how far its IPC predictions sat from the simulator on this run's
+/// configuration matrix. Carried in the ledger so `rfstudy report` can
+/// flag model drift when simulator changes leave the fitted constants
+/// behind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelErrorRecord {
+    /// Configurations compared.
+    pub configs: u64,
+    /// Mean absolute IPC error, percent.
+    pub mean_abs_pct_err: f64,
+    /// Worst absolute IPC error, percent.
+    pub worst_pct_err: f64,
+    /// Label of the worst configuration.
+    pub worst_config: String,
 }
 
 /// Allocation counters for the whole run (only present when the suite
@@ -169,6 +195,9 @@ pub struct LedgerRecord {
     /// Headline numbers extracted from the figure harnesses
     /// (`fidelity::Target` id → measured value, extraction order).
     pub headlines: Vec<(String, f64)>,
+    /// Analytic-model cross-validation telemetry (`None` when the suite
+    /// did not measure it).
+    pub model_error: Option<ModelErrorRecord>,
     /// Allocation profile, when the counting allocator is installed.
     pub alloc: Option<AllocRecord>,
 }
@@ -231,6 +260,18 @@ impl LedgerRecord {
             ),
         ];
         root.push((
+            "model_error".to_owned(),
+            match &self.model_error {
+                Some(m) => Value::Object(vec![
+                    ("configs".to_owned(), int(m.configs)),
+                    ("mean_abs_pct_err".to_owned(), num(round6(m.mean_abs_pct_err))),
+                    ("worst_pct_err".to_owned(), num(round6(m.worst_pct_err))),
+                    ("worst_config".to_owned(), Value::String(m.worst_config.clone())),
+                ]),
+                None => Value::Null,
+            },
+        ));
+        root.push((
             "alloc".to_owned(),
             match &self.alloc {
                 Some(a) => Value::Object(vec![
@@ -255,6 +296,7 @@ fn harness_value(h: &HarnessRecord) -> Value {
         ("name".to_owned(), Value::String(h.name.clone())),
         ("seconds".to_owned(), num(round6(h.seconds))),
         ("sims".to_owned(), int(h.sims)),
+        ("pruned".to_owned(), int(h.pruned)),
         ("committed".to_owned(), int(h.committed)),
         ("cycles".to_owned(), int(h.cycles)),
         ("stall_no_reg".to_owned(), int(h.stall_no_reg)),
@@ -401,6 +443,7 @@ fn is_volatile_key(key: &str) -> bool {
     key == "timestamp_unix"
         || key == "alloc"
         || key == "profile"
+        || key == "model_error"
         || key.contains("seconds")
         || key.ends_with("per_second")
 }
@@ -450,6 +493,7 @@ mod tests {
                 name: "fig3".to_owned(),
                 seconds: 0.5,
                 sims: 50,
+                pruned: 4,
                 committed: 100_000,
                 cycles: 45_000,
                 stall_no_reg: 10,
@@ -479,6 +523,12 @@ mod tests {
                 error: None,
             }],
             headlines: vec![("fig3.commit_ipc.4way_dq32".to_owned(), 2.68)],
+            model_error: Some(ModelErrorRecord {
+                configs: 72,
+                mean_abs_pct_err: 9.5,
+                worst_pct_err: 27.25,
+                worst_config: "mdljdp2 width=4 precise regs=64".to_owned(),
+            }),
             alloc: None,
         }
     }
@@ -498,6 +548,7 @@ mod tests {
         assert_eq!(v.get("totals").unwrap().get_f64("sims"), Some(100.0));
         let h = &v.get("harnesses").unwrap().as_array().unwrap()[0];
         assert_eq!(h.get_str("name"), Some("fig3"));
+        assert_eq!(h.get_f64("pruned"), Some(4.0));
         assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
         assert_eq!(h.get_f64("wakeup_events"), Some(1_500.0));
         assert_eq!(h.get_f64("cycles_per_second"), Some(90_000.0));
@@ -517,6 +568,19 @@ mod tests {
             Some(2.68)
         );
         assert_eq!(v.get("alloc"), Some(&Value::Null));
+        let m = v.get("model_error").unwrap();
+        assert_eq!(m.get_f64("configs"), Some(72.0));
+        assert_eq!(m.get_f64("mean_abs_pct_err"), Some(9.5));
+        assert_eq!(m.get_f64("worst_pct_err"), Some(27.25));
+        assert_eq!(m.get_str("worst_config"), Some("mdljdp2 width=4 precise regs=64"));
+    }
+
+    #[test]
+    fn model_error_renders_null_when_unmeasured() {
+        let mut rec = sample();
+        rec.model_error = None;
+        let v = json::parse(&rec.to_line()).unwrap();
+        assert_eq!(v.get("model_error"), Some(&Value::Null));
     }
 
     #[test]
@@ -592,6 +656,9 @@ mod tests {
             deallocations: 2,
             allocated_bytes: 3,
         });
+        // Model error is derived cross-validation telemetry, not a
+        // simulation metric: it must not perturb the determinism payload.
+        rec.model_error.as_mut().unwrap().mean_abs_pct_err = 99.0;
         let b = rec.to_value();
         assert_ne!(a.to_string(), b.to_string());
         assert_eq!(
@@ -609,6 +676,8 @@ mod tests {
         let h = &p.get("harnesses").unwrap().as_array().unwrap()[0];
         assert!(h.get("cycles_per_second").is_none(), "derived throughput is volatile");
         assert!(h.get("profile").is_none(), "wall-time profile is volatile");
+        assert!(p.get("model_error").is_none(), "model-error block is stripped");
+        assert_eq!(h.get_f64("pruned"), Some(4.0), "pruned counts are deterministic");
         assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
         assert_eq!(h.get("cache_served"), Some(&Value::Bool(false)));
     }

@@ -58,6 +58,11 @@ pub struct Options {
     pub profile_drift: FidelityMode,
     /// Noise floor for profile-share drift, in percentage points.
     pub profile_band_pp: f64,
+    /// Noise floor for analytic-model error drift, in percentage
+    /// points of mean |IPC error|. Model-error growth is always a
+    /// warning, never a gate: a drifting model needs recalibration,
+    /// it does not mean the simulator regressed.
+    pub model_band_pp: f64,
 }
 
 impl Default for Options {
@@ -72,6 +77,7 @@ impl Default for Options {
             min_seconds: 0.05,
             profile_drift: FidelityMode::Warn,
             profile_band_pp: 2.0,
+            model_band_pp: 3.0,
         }
     }
 }
@@ -112,6 +118,28 @@ pub struct DriftRow {
     pub drifted: bool,
 }
 
+/// The latest run's analytic-model calibration, compared against the
+/// baseline window's runs that also measured it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelRow {
+    /// Configurations the model-vs-sim probe covered.
+    pub configs: u64,
+    /// Latest mean |IPC error|, percent.
+    pub mean_pct: f64,
+    /// Latest worst single-config |IPC error|, percent.
+    pub worst_pct: f64,
+    /// The configuration behind `worst_pct`.
+    pub worst_config: String,
+    /// Window median of prior runs' mean errors, if any measured it.
+    pub baseline_mean_pct: Option<f64>,
+    /// Growth vs baseline, percentage points (positive = model worse).
+    pub delta_pp: Option<f64>,
+    /// Drift band applied, percentage points.
+    pub band_pp: f64,
+    /// Whether the growth exceeds the band (warning-only).
+    pub drifted: bool,
+}
+
 /// The full analysis of a ledger: everything the renderers and the
 /// check gate need.
 #[derive(Debug, Clone)]
@@ -141,6 +169,9 @@ pub struct Analysis {
     pub profile_drift: Vec<DriftRow>,
     /// Baseline runs that carried profiles.
     pub profile_runs: usize,
+    /// Analytic-model error telemetry (absent when the latest record
+    /// carries no `model_error` block).
+    pub model: Option<ModelRow>,
     /// Gate failures (perf regressions; fidelity when gating).
     pub failures: Vec<String>,
     /// Non-gating findings (fidelity drift under `Warn`, scale
@@ -444,6 +475,51 @@ pub fn analyze(records: &[Value], opts: &Options) -> Result<Analysis, String> {
         }
     }
 
+    // Analytic-model calibration: the static model's mean |IPC error|
+    // against this run's simulations, compared to the window median of
+    // prior runs that measured it. Same robust-band construction as
+    // profile drift, but warnings-only — the model drifting out of
+    // calibration is a maintenance signal, not a simulator regression.
+    let model = latest.get("model_error").and_then(|me| {
+        let configs = me.get_f64("configs")? as u64;
+        let mean_pct = me.get_f64("mean_abs_pct_err")?;
+        let worst_pct = me.get_f64("worst_pct_err")?;
+        let window: Vec<f64> = window_records
+            .iter()
+            .filter_map(|r| r.get("model_error")?.get_f64("mean_abs_pct_err"))
+            .collect();
+        let baseline_mean_pct = (!window.is_empty()).then(|| {
+            let mut sorted = window.clone();
+            median(&mut sorted)
+        });
+        let band_pp = baseline_mean_pct.map_or(opts.model_band_pp, |b| {
+            opts.model_band_pp.max(opts.mad_k * 1.4826 * mad(&window, b))
+        });
+        let delta_pp = baseline_mean_pct.map(|b| mean_pct - b);
+        Some(ModelRow {
+            configs,
+            mean_pct,
+            worst_pct,
+            worst_config: me.get_str("worst_config").unwrap_or("unknown").to_owned(),
+            baseline_mean_pct,
+            delta_pp,
+            band_pp,
+            drifted: delta_pp.is_some_and(|d| d > band_pp),
+        })
+    });
+    if let Some(m) = &model {
+        if m.drifted {
+            warnings.push(format!(
+                "model: mean |IPC error| {:.1}% vs baseline {:.1}% ({:+.1}pp beyond band \
+                 {:.1}pp); the analytic model wants recalibration",
+                m.mean_pct,
+                m.baseline_mean_pct.unwrap_or(0.0),
+                m.delta_pp.unwrap_or(0.0),
+                m.band_pp
+            ));
+        }
+    }
+
     Ok(Analysis {
         latest_rev: latest.get_str("git_rev").unwrap_or("unknown").to_owned(),
         latest_timestamp: latest.get_f64("timestamp_unix").unwrap_or(0.0) as u64,
@@ -457,6 +533,7 @@ pub fn analyze(records: &[Value], opts: &Options) -> Result<Analysis, String> {
         band_scale: opts.band_scale,
         profile_drift,
         profile_runs,
+        model,
         failures,
         warnings,
     })
@@ -552,6 +629,28 @@ pub fn render_text(a: &Analysis) -> String {
                 if row.drifted { "DRIFT" } else { "ok" }
             );
         }
+    }
+    if let Some(m) = &a.model {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "analytic model: mean |IPC error| {:.1}% over {} config(s), worst {:.1}% ({}); \
+             baseline {} ({}, band {:.1}pp)  {}",
+            m.mean_pct,
+            m.configs,
+            m.worst_pct,
+            m.worst_config,
+            match m.baseline_mean_pct {
+                Some(b) => format!("{b:.1}%"),
+                None => "-".to_owned(),
+            },
+            match m.delta_pp {
+                Some(d) => format!("{d:+.1}pp"),
+                None => "-".to_owned(),
+            },
+            m.band_pp,
+            if m.drifted { "DRIFT" } else { "ok" }
+        );
     }
     for w in &a.warnings {
         let _ = writeln!(out, "warning: {w}");
@@ -649,6 +748,31 @@ pub fn render_markdown(a: &Analysis) -> String {
             );
         }
     }
+    if let Some(m) = &a.model {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## Analytic model");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "| configs | mean err | worst err | worst config | baseline | delta | band | status |");
+        let _ = writeln!(out, "|---:|---:|---:|---|---:|---:|---:|---|");
+        let _ = writeln!(
+            out,
+            "| {} | {:.1}% | {:.1}% | `{}` | {} | {} | {:.1}pp | {} |",
+            m.configs,
+            m.mean_pct,
+            m.worst_pct,
+            m.worst_config,
+            match m.baseline_mean_pct {
+                Some(b) => format!("{b:.1}%"),
+                None => "-".to_owned(),
+            },
+            match m.delta_pp {
+                Some(d) => format!("{d:+.1}pp"),
+                None => "-".to_owned(),
+            },
+            m.band_pp,
+            if m.drifted { "**DRIFT**" } else { "ok" }
+        );
+    }
     if !a.warnings.is_empty() {
         let _ = writeln!(out);
         let _ = writeln!(out, "## Warnings");
@@ -739,6 +863,14 @@ pub fn render_prometheus(a: &Analysis) -> String {
             );
         }
     }
+    if let Some(m) = &a.model {
+        let _ = writeln!(out, "# HELP rf_model_mean_abs_err_pct Analytic-model mean |IPC error|.");
+        let _ = writeln!(out, "# TYPE rf_model_mean_abs_err_pct gauge");
+        let _ = writeln!(out, "rf_model_mean_abs_err_pct {}", m.mean_pct);
+        let _ = writeln!(out, "# HELP rf_model_worst_err_pct Analytic-model worst config |IPC error|.");
+        let _ = writeln!(out, "# TYPE rf_model_worst_err_pct gauge");
+        let _ = writeln!(out, "rf_model_worst_err_pct {}", m.worst_pct);
+    }
     let _ = writeln!(out, "# HELP rf_report_failures Gate findings in the latest report.");
     let _ = writeln!(out, "# TYPE rf_report_failures gauge");
     let _ = writeln!(out, "rf_report_failures {}", a.failures.len());
@@ -769,7 +901,7 @@ mod tests {
             .join(",");
         let doc = format!(
             concat!(
-                "{{\"schema\":4,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
+                "{{\"schema\":5,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
                 "\"config\":{{\"commits\":2000,\"jobs\":1,\"cache\":true,\"sanitize\":false}},",
                 "\"totals\":{{\"seconds\":{total},\"sims\":10,\"committed\":20000,",
                 "\"cycles\":9000,\"cache_hits\":1,\"cache_misses\":9}},",
@@ -784,7 +916,7 @@ mod tests {
                 "\"cache_served\":false,",
                 "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},",
                 "\"probe\":null,\"profile\":null}}",
-                "],\"headlines\":{{{heads}}},\"alloc\":null}}"
+                "],\"headlines\":{{{heads}}},\"model_error\":null,\"alloc\":null}}"
             ),
             rev = rev,
             total = 3.0 * scale,
@@ -849,6 +981,24 @@ mod tests {
                 if fk == "profile" {
                     *fv = tree.clone();
                 }
+            }
+        }
+    }
+
+    /// Replaces the fixture's null `model_error` with a measured block.
+    fn attach_model_error(record: &mut Value, mean_pct: f64, worst_pct: f64) {
+        let Value::Object(members) = record else { unreachable!() };
+        for (k, v) in members.iter_mut() {
+            if k == "model_error" {
+                *v = Value::Object(vec![
+                    ("configs".to_owned(), Value::Number(72.0)),
+                    ("mean_abs_pct_err".to_owned(), Value::Number(mean_pct)),
+                    ("worst_pct_err".to_owned(), Value::Number(worst_pct)),
+                    (
+                        "worst_config".to_owned(),
+                        Value::String("mdljdp2 width=4 precise regs=64".to_owned()),
+                    ),
+                ]);
             }
         }
     }
@@ -1050,6 +1200,57 @@ mod tests {
         assert!(text.contains("cycle.issue"), "{text}");
         let prom = render_prometheus(&a);
         assert!(prom.contains("rf_profile_share_pct{span=\"cycle.issue\"} 90"), "{prom}");
+    }
+
+    #[test]
+    fn model_error_growth_warns_but_never_gates() {
+        // Two baseline runs with a well-calibrated model, then one where
+        // the mean error balloons: warn, never fail.
+        let mut records = Vec::new();
+        for (i, mean) in [8.0, 8.2, 19.0].into_iter().enumerate() {
+            let mut r = record(&format!("rev{i}"), 1.0, &[]);
+            attach_model_error(&mut r, mean, mean + 15.0);
+            records.push(r);
+        }
+        let a = analyze(&records, &Options::default()).unwrap();
+        assert!(a.passed(), "model drift must not gate: {:?}", a.failures);
+        let m = a.model.as_ref().expect("model row");
+        assert!(m.drifted, "{m:?}");
+        assert_eq!(m.configs, 72);
+        assert_eq!(m.baseline_mean_pct, Some(8.1));
+        assert!(a.warnings.iter().any(|w| w.contains("recalibration")), "{:?}", a.warnings);
+        let text = render_text(&a);
+        assert!(text.contains("analytic model"), "{text}");
+        assert!(text.contains("DRIFT"), "{text}");
+        assert!(render_markdown(&a).contains("## Analytic model"));
+        assert!(render_prometheus(&a).contains("rf_model_mean_abs_err_pct 19"));
+
+        // A steady rerun stays quiet.
+        let mut steady = Vec::new();
+        for i in 0..3 {
+            let mut r = record(&format!("rev{i}"), 1.0, &[]);
+            attach_model_error(&mut r, 8.0, 23.0);
+            steady.push(r);
+        }
+        let a = analyze(&steady, &Options::default()).unwrap();
+        assert!(!a.model.as_ref().unwrap().drifted);
+        assert!(a.warnings.iter().all(|w| !w.contains("model:")));
+
+        // First measured run: a row with no baseline, no warning.
+        let mut records = ledger_of(&[1.0]);
+        let mut latest = record("m0", 1.0, &[]);
+        attach_model_error(&mut latest, 9.0, 27.0);
+        records.push(latest);
+        let a = analyze(&records, &Options::default()).unwrap();
+        let m = a.model.as_ref().unwrap();
+        assert!(m.baseline_mean_pct.is_none() && !m.drifted);
+
+        // An unmeasured ledger carries no row and renders no section.
+        let a = analyze(&ledger_of(&[1.0, 1.0]), &Options::default()).unwrap();
+        assert!(a.model.is_none());
+        assert!(!render_text(&a).contains("analytic model"));
+        assert!(!render_markdown(&a).contains("## Analytic model"));
+        assert!(!render_prometheus(&a).contains("rf_model_mean_abs_err_pct"));
     }
 
     #[test]

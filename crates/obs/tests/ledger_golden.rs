@@ -13,7 +13,8 @@
 
 use rf_obs::json::{self, Value};
 use rf_obs::ledger::{
-    AllocRecord, HarnessRecord, LedgerRecord, PhaseRecord, ProbeRecord, SCHEMA_VERSION,
+    AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
+    SCHEMA_VERSION,
 };
 
 const GOLDEN: &str = include_str!("golden/ledger_record.jsonl");
@@ -48,6 +49,7 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 0,
                 cycles_skipped: 750_000,
                 wakeup_events: 31_000,
+                pruned: 6,
                 cache_served: false,
                 phase: PhaseRecord { generate: 0.002, simulate: 10.25, aggregate: 0.248 },
                 profile: Some(rf_prof::ProfileNode {
@@ -93,6 +95,7 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 13,
                 cycles_skipped: 0,
                 wakeup_events: 0,
+                pruned: 0,
                 cache_served: false,
                 phase: PhaseRecord { generate: 0.001, simulate: 0.6, aggregate: 0.149 },
                 profile: None,
@@ -114,6 +117,7 @@ fn full_record() -> LedgerRecord {
                 no_free_cycles: 0,
                 cycles_skipped: 0,
                 wakeup_events: 0,
+                pruned: 0,
                 cache_served: true,
                 phase: PhaseRecord { generate: 0.0, simulate: 0.0, aggregate: 0.012 },
                 profile: None,
@@ -125,6 +129,12 @@ fn full_record() -> LedgerRecord {
             ("table1.commit_ipc_mean.4way".to_owned(), 2.6833),
             ("fig10.bips_ratio_precise".to_owned(), 1.055),
         ],
+        model_error: Some(ModelErrorRecord {
+            configs: 72,
+            mean_abs_pct_err: 7.8125,
+            worst_pct_err: 27.25,
+            worst_config: "mdljdp2 width=4 precise regs=64".to_owned(),
+        }),
         alloc: Some(AllocRecord {
             allocations: 1_000_000,
             deallocations: 999_999,
@@ -153,6 +163,7 @@ fn minimal_record() -> LedgerRecord {
         cache_resident_bytes: 0,
         harnesses: Vec::new(),
         headlines: Vec::new(),
+        model_error: None,
         alloc: None,
     }
 }
@@ -178,7 +189,15 @@ fn golden_lines_parse_back_to_current_schema() {
         let v = json::parse(line).unwrap_or_else(|e| panic!("golden line {}: {e}", i + 1));
         assert_eq!(v.get_f64("schema"), Some(SCHEMA_VERSION as f64));
         // Every top-level member the report layer relies on is present.
-        for key in ["timestamp_unix", "git_rev", "config", "totals", "harnesses", "headlines"] {
+        for key in [
+            "timestamp_unix",
+            "git_rev",
+            "config",
+            "totals",
+            "harnesses",
+            "headlines",
+            "model_error",
+        ] {
             assert!(v.get(key).is_some(), "line {} missing {key}", i + 1);
         }
         let config = v.get("config").unwrap();
@@ -210,6 +229,7 @@ fn golden_lines_parse_back_to_current_schema() {
                 "no_free_cycles",
                 "cycles_skipped",
                 "wakeup_events",
+                "pruned",
                 "cache_served",
                 "cycles_per_second",
                 "phase_seconds",
@@ -245,6 +265,11 @@ fn full_golden_line_round_trips_through_the_parser() {
     assert_eq!(served.get("cycles_per_second"), Some(&Value::Null));
     assert_eq!(served.get("profile"), Some(&Value::Null));
     assert_eq!(v.get("alloc").unwrap().get_f64("allocated_bytes"), Some(64_000_000.0));
+    // The model-error telemetry block survives the round trip.
+    let model = v.get("model_error").unwrap();
+    assert_eq!(model.get_f64("configs"), Some(72.0));
+    assert_eq!(model.get_str("worst_config"), Some("mdljdp2 width=4 precise regs=64"));
     let minimal = json::parse(GOLDEN.lines().nth(1).unwrap()).unwrap();
     assert_eq!(minimal.get("alloc"), Some(&Value::Null));
+    assert_eq!(minimal.get("model_error"), Some(&Value::Null));
 }

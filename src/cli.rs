@@ -136,6 +136,93 @@ impl ProfileFormat {
     }
 }
 
+/// Output format of the `model` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFormat {
+    /// Aligned text table, one configuration per line.
+    Text,
+    /// JSON array of per-configuration estimate objects.
+    Json,
+}
+
+impl ModelFormat {
+    /// Parses a `--format` value.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "text" => Ok(ModelFormat::Text),
+            "json" => Ok(ModelFormat::Json),
+            other => Err(format!("unknown model format {other:?} (expected text or json)")),
+        }
+    }
+}
+
+/// The check-style configuration matrix pinning shared by `check`,
+/// `profile`, and `model`: without options the full default matrix
+/// (all nine benchmarks × widths 4 and 8 × precise and imprecise
+/// exceptions × 2048 and 64 registers); each option pins one
+/// dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixPins {
+    /// Restrict to one benchmark (`None` = all nine).
+    pub bench: Option<String>,
+    /// Restrict to one issue width (`None` = 4 and 8).
+    pub width: Option<usize>,
+    /// Restrict to one exception model (`None` = precise and
+    /// imprecise).
+    pub exceptions: Option<ExceptionModel>,
+    /// Restrict to one register-file size (`None` = 2048 and 64).
+    pub regs: Option<usize>,
+    /// Commit budget per configuration (`None` = `RF_COMMITS` env or
+    /// 10000).
+    pub commits: Option<u64>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl MatrixPins {
+    /// Expands the pins into the cross-product of configurations,
+    /// validating the benchmark name and resolving the commit default
+    /// (`RF_COMMITS` environment variable, else 10000).
+    pub fn expand(&self) -> Result<Vec<rf_check::CheckParams>, String> {
+        let commits = self
+            .commits
+            .or_else(|| std::env::var("RF_COMMITS").ok().and_then(|v| v.parse().ok()))
+            .unwrap_or(10_000);
+        let benches: Vec<String> = match &self.bench {
+            Some(b) => {
+                rf_workload::spec92::by_name(b)
+                    .ok_or_else(|| format!("unknown benchmark {b:?}"))?;
+                vec![b.clone()]
+            }
+            None => rf_workload::spec92::all().into_iter().map(|p| p.name).collect(),
+        };
+        let widths = self.width.map_or_else(|| vec![4, 8], |w| vec![w]);
+        let models = self.exceptions.map_or_else(
+            || vec![ExceptionModel::Precise, ExceptionModel::Imprecise],
+            |m| vec![m],
+        );
+        let reg_sizes = self.regs.map_or_else(|| vec![2048, 64], |r| vec![r]);
+        let mut params = Vec::new();
+        for b in &benches {
+            for &w in &widths {
+                for &m in &models {
+                    for &r in &reg_sizes {
+                        params.push(rf_check::CheckParams {
+                            bench: b.clone(),
+                            width: w,
+                            exceptions: m,
+                            regs: r,
+                            commits,
+                            seed: self.seed,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(params)
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -193,20 +280,24 @@ pub enum Command {
     /// Cross-validate the simulator against the static dataflow oracle
     /// with the invariant sanitizer attached.
     Check {
-        /// Restrict to one benchmark (`None` = all nine).
-        bench: Option<String>,
-        /// Restrict to one issue width (`None` = 4 and 8).
-        width: Option<usize>,
-        /// Restrict to one exception model (`None` = precise and
-        /// imprecise).
-        exceptions: Option<ExceptionModel>,
-        /// Restrict to one register-file size (`None` = 2048 and 64).
-        regs: Option<usize>,
-        /// Commit budget per configuration (`None` = `RF_COMMITS` env or
-        /// 10000).
-        commits: Option<u64>,
-        /// Workload seed.
-        seed: u64,
+        /// Configuration matrix pinning.
+        pins: MatrixPins,
+        /// Wall-clock budget in seconds for the whole matrix (`None` =
+        /// unbounded); an overrunning run is cancelled cooperatively
+        /// and the process exits 1.
+        deadline_secs: Option<f64>,
+    },
+    /// Evaluate the static analytic model over the configuration
+    /// matrix, or cross-validate it against the simulator (`--check`).
+    Model {
+        /// Configuration matrix pinning.
+        pins: MatrixPins,
+        /// Run model-vs-simulator cross-validation and gate on the
+        /// error bands.
+        check: bool,
+        /// Output format (estimates only; `--check` always renders
+        /// check-style text).
+        format: ModelFormat,
     },
     /// Dataflow ILP-limit analysis.
     Dataflow {
@@ -247,20 +338,8 @@ pub enum Command {
     /// Run an instrumented batch with the rf-prof self-profiler forced
     /// on and render where the wall time went.
     Profile {
-        /// Restrict to one benchmark (`None` = all nine).
-        bench: Option<String>,
-        /// Restrict to one issue width (`None` = 4 and 8).
-        width: Option<usize>,
-        /// Restrict to one exception model (`None` = precise and
-        /// imprecise).
-        exceptions: Option<ExceptionModel>,
-        /// Restrict to one register-file size (`None` = 2048 and 64).
-        regs: Option<usize>,
-        /// Commit budget per configuration (`None` = `RF_COMMITS` env or
-        /// 10000).
-        commits: Option<u64>,
-        /// Workload seed.
-        seed: u64,
+        /// Configuration matrix pinning.
+        pins: MatrixPins,
         /// Render format.
         format: ProfileFormat,
         /// Rows in the text table.
@@ -337,6 +416,45 @@ fn parse_num<T: std::str::FromStr>(opt: &str, v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("invalid value {v:?} for {opt}"))
 }
 
+/// Parses the pinnable matrix dimensions of `check` / `profile` /
+/// `model` out of the collected option pairs.
+fn parse_pins(opts: &[(String, Option<String>)]) -> Result<MatrixPins, String> {
+    let take = |name: &str| -> Option<String> {
+        opts.iter().find(|(o, _)| o == name).and_then(|(_, v)| v.clone())
+    };
+    Ok(MatrixPins {
+        bench: take("--bench"),
+        width: take("--width").map(|v| parse_num("--width", &v)).transpose()?,
+        exceptions: take("--exceptions")
+            .map(|v| match v.as_str() {
+                "precise" => Ok(ExceptionModel::Precise),
+                "imprecise" => Ok(ExceptionModel::Imprecise),
+                "alpha-hybrid" => Ok(ExceptionModel::AlphaHybrid),
+                other => Err(format!("unknown exception model {other:?}")),
+            })
+            .transpose()?,
+        regs: take("--regs").map(|v| parse_num("--regs", &v)).transpose()?,
+        commits: take("--commits").map(|v| parse_num("--commits", &v)).transpose()?,
+        seed: take("--seed").map_or(Ok(12), |v| parse_num("--seed", &v))?,
+    })
+}
+
+/// Parses a `--deadline-secs` value (shared by `run` and `check`).
+fn parse_deadline(opts: &[(String, Option<String>)]) -> Result<Option<f64>, String> {
+    opts.iter()
+        .find(|(o, _)| o == "--deadline-secs")
+        .and_then(|(_, v)| v.clone())
+        .map(|v| {
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .ok_or_else(|| {
+                    format!("--deadline-secs {v:?} is not a positive number of seconds")
+                })
+        })
+        .transpose()
+}
+
 fn parse_mode(opt: &str, v: &str) -> Result<rf_obs::trend::FidelityMode, String> {
     match v {
         "gate" => Ok(rf_obs::trend::FidelityMode::Gate),
@@ -381,16 +499,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             let bench = take("--bench", &opts).ok_or("run requires --bench")?;
             let commits =
                 take("--commits", &opts).map_or(Ok(200_000), |v| parse_num("--commits", &v))?;
-            let deadline_secs = take("--deadline-secs", &opts)
-                .map(|v| {
-                    v.parse::<f64>()
-                        .ok()
-                        .filter(|s| s.is_finite() && *s > 0.0)
-                        .ok_or_else(|| {
-                            format!("--deadline-secs {v:?} is not a positive number of seconds")
-                        })
-                })
-                .transpose()?;
+            let deadline_secs = parse_deadline(&opts)?;
             let mut machine = MachineOpts::default();
             for (o, v) in &opts {
                 if matches!(o.as_str(), "--bench" | "--commits" | "--deadline-secs") {
@@ -439,19 +548,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Ok(Command::Replay { trace, commits, machine })
         }
         "check" => Ok(Command::Check {
-            bench: take("--bench", &opts),
-            width: take("--width", &opts).map(|v| parse_num("--width", &v)).transpose()?,
-            exceptions: take("--exceptions", &opts)
-                .map(|v| match v.as_str() {
-                    "precise" => Ok(ExceptionModel::Precise),
-                    "imprecise" => Ok(ExceptionModel::Imprecise),
-                    "alpha-hybrid" => Ok(ExceptionModel::AlphaHybrid),
-                    other => Err(format!("unknown exception model {other:?}")),
-                })
-                .transpose()?,
-            regs: take("--regs", &opts).map(|v| parse_num("--regs", &v)).transpose()?,
-            commits: take("--commits", &opts).map(|v| parse_num("--commits", &v)).transpose()?,
-            seed: take("--seed", &opts).map_or(Ok(12), |v| parse_num("--seed", &v))?,
+            pins: parse_pins(&opts)?,
+            deadline_secs: parse_deadline(&opts)?,
+        }),
+        "model" => Ok(Command::Model {
+            pins: parse_pins(&opts)?,
+            check: opts.iter().any(|(o, _)| o == "--check"),
+            format: take("--format", &opts)
+                .map_or(Ok(ModelFormat::Text), |v| ModelFormat::parse(&v))?,
         }),
         "dataflow" => Ok(Command::Dataflow {
             bench: take("--bench", &opts).ok_or("dataflow requires --bench")?,
@@ -484,19 +588,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 })?,
         }),
         "profile" => Ok(Command::Profile {
-            bench: take("--bench", &opts),
-            width: take("--width", &opts).map(|v| parse_num("--width", &v)).transpose()?,
-            exceptions: take("--exceptions", &opts)
-                .map(|v| match v.as_str() {
-                    "precise" => Ok(ExceptionModel::Precise),
-                    "imprecise" => Ok(ExceptionModel::Imprecise),
-                    "alpha-hybrid" => Ok(ExceptionModel::AlphaHybrid),
-                    other => Err(format!("unknown exception model {other:?}")),
-                })
-                .transpose()?,
-            regs: take("--regs", &opts).map(|v| parse_num("--regs", &v)).transpose()?,
-            commits: take("--commits", &opts).map(|v| parse_num("--commits", &v)).transpose()?,
-            seed: take("--seed", &opts).map_or(Ok(12), |v| parse_num("--seed", &v))?,
+            pins: parse_pins(&opts)?,
             format: take("--format", &opts)
                 .map_or(Ok(ProfileFormat::Text), |v| ProfileFormat::parse(&v))?,
             top: take("--top", &opts).map_or(Ok(20), |v| parse_num("--top", &v))?,
@@ -526,7 +618,10 @@ USAGE:
   rfstudy record   --bench NAME --out FILE [--count N] [--seed N]
   rfstudy replay   --trace FILE [--commits N] [machine options]
   rfstudy check    [--bench NAME] [--width N] [--exceptions MODEL]
-                   [--regs N] [--commits N] [--seed N]
+                   [--regs N] [--commits N] [--seed N] [--deadline-secs S]
+  rfstudy model    [--bench NAME] [--width N] [--exceptions MODEL]
+                   [--regs N] [--commits N] [--seed N] [--check]
+                   [--format text|json]
   rfstudy dataflow --bench NAME [--window N] [--count N]
   rfstudy report   [--ledger FILE] [--baseline REV | --window N]
                    [--format text|markdown] [--out FILE] [--prom FILE]
@@ -568,7 +663,19 @@ CHECK OPTIONS:
   without options, checks all nine benchmarks at widths 4 and 8, precise
   and imprecise exceptions, 2048 and 64 registers; each option pins one
   dimension. --commits defaults to the RF_COMMITS environment variable,
-  or 10000. Exits non-zero if any invariant or static bound is violated.
+  or 10000. --deadline-secs bounds the wall time of the whole matrix
+  (an overrunning run is cancelled and rfstudy exits 1). Exits non-zero
+  if any invariant or static bound is violated.
+
+MODEL OPTIONS:
+  evaluates the static analytic model (rf-model) over the same pinnable
+  matrix as `rfstudy check` — no simulation, microseconds per
+  configuration. --format text (default) prints one line per
+  configuration; json prints an array of estimate objects. With
+  --check, every configuration is additionally simulated and the model
+  prediction is compared against the measurement: exits non-zero when
+  the mean absolute IPC error, any single configuration's error, or a
+  register-pressure bracket leaves the accepted bands.
 
 REPORT OPTIONS:
   reads the run-history ledger written by the `all` suite binary
@@ -689,13 +796,14 @@ mod tests {
     #[test]
     fn parses_check_with_and_without_options() {
         match parse(&argv("check")).unwrap() {
-            Command::Check { bench, width, exceptions, regs, commits, seed } => {
-                assert_eq!(bench, None);
-                assert_eq!(width, None);
-                assert_eq!(exceptions, None);
-                assert_eq!(regs, None);
-                assert_eq!(commits, None);
-                assert_eq!(seed, 12);
+            Command::Check { pins, deadline_secs } => {
+                assert_eq!(pins.bench, None);
+                assert_eq!(pins.width, None);
+                assert_eq!(pins.exceptions, None);
+                assert_eq!(pins.regs, None);
+                assert_eq!(pins.commits, None);
+                assert_eq!(pins.seed, 12);
+                assert_eq!(deadline_secs, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -705,17 +813,98 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Check { bench, width, exceptions, regs, commits, seed } => {
-                assert_eq!(bench.as_deref(), Some("compress"));
-                assert_eq!(width, Some(8));
-                assert_eq!(exceptions, Some(ExceptionModel::Imprecise));
-                assert_eq!(regs, Some(64));
-                assert_eq!(commits, Some(2000));
-                assert_eq!(seed, 7);
+            Command::Check { pins, .. } => {
+                assert_eq!(pins.bench.as_deref(), Some("compress"));
+                assert_eq!(pins.width, Some(8));
+                assert_eq!(pins.exceptions, Some(ExceptionModel::Imprecise));
+                assert_eq!(pins.regs, Some(64));
+                assert_eq!(pins.commits, Some(2000));
+                assert_eq!(pins.seed, 7);
             }
             other => panic!("unexpected {other:?}"),
         }
         assert!(parse(&argv("check --exceptions bogus")).is_err());
+    }
+
+    #[test]
+    fn check_parses_a_deadline_and_rejects_malformed_ones() {
+        match parse(&argv("check --bench ora --deadline-secs 2.5")).unwrap() {
+            Command::Check { deadline_secs, .. } => assert_eq!(deadline_secs, Some(2.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in ["0", "-2", "nan", "inf", "abc"] {
+            let err = parse(&argv(&format!("check --deadline-secs {bad}"))).unwrap_err();
+            assert!(err.contains("positive number of seconds"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_model_with_pins_check_and_format() {
+        match parse(&argv("model")).unwrap() {
+            Command::Model { pins, check, format } => {
+                assert_eq!(pins.bench, None);
+                assert_eq!(pins.seed, 12);
+                assert!(!check);
+                assert_eq!(format, ModelFormat::Text);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "model --bench tomcatv --width 8 --exceptions imprecise --regs 64 \
+             --commits 3000 --seed 5 --check --format json",
+        ))
+        .unwrap()
+        {
+            Command::Model { pins, check, format } => {
+                assert_eq!(pins.bench.as_deref(), Some("tomcatv"));
+                assert_eq!(pins.width, Some(8));
+                assert_eq!(pins.exceptions, Some(ExceptionModel::Imprecise));
+                assert_eq!(pins.regs, Some(64));
+                assert_eq!(pins.commits, Some(3000));
+                assert_eq!(pins.seed, 5);
+                assert!(check);
+                assert_eq!(format, ModelFormat::Json);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv("model --format xml")).unwrap_err();
+        assert!(err.contains("text or json"), "{err}");
+    }
+
+    #[test]
+    fn matrix_pins_expand_the_shared_check_matrix() {
+        // Unpinned: the full 9 x 2 x 2 x 2 matrix, in bench-major order.
+        let pins = MatrixPins {
+            bench: None,
+            width: None,
+            exceptions: None,
+            regs: None,
+            commits: Some(500),
+            seed: 12,
+        };
+        let params = pins.expand().unwrap();
+        assert_eq!(params.len(), 72);
+        assert!(params.iter().all(|p| p.commits == 500 && p.seed == 12));
+        assert_eq!(params[0].width, 4);
+        assert_eq!(params[0].regs, 2048);
+        // Pinning every dimension yields exactly one configuration.
+        let pinned = MatrixPins {
+            bench: Some("compress".into()),
+            width: Some(8),
+            exceptions: Some(ExceptionModel::Imprecise),
+            regs: Some(64),
+            commits: Some(100),
+            seed: 3,
+        };
+        let params = pinned.expand().unwrap();
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].bench, "compress");
+        assert_eq!(params[0].width, 8);
+        assert_eq!(params[0].exceptions, ExceptionModel::Imprecise);
+        assert_eq!(params[0].regs, 64);
+        // Unknown benchmarks are rejected at expansion time.
+        let bogus = MatrixPins { bench: Some("nope".into()), ..pinned };
+        assert!(bogus.expand().is_err());
     }
 
     #[test]
@@ -796,13 +985,13 @@ mod tests {
     #[test]
     fn parses_profile_with_defaults_and_pins() {
         match parse(&argv("profile")).unwrap() {
-            Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
-                assert_eq!(bench, None);
-                assert_eq!(width, None);
-                assert_eq!(exceptions, None);
-                assert_eq!(regs, None);
-                assert_eq!(commits, None);
-                assert_eq!(seed, 12);
+            Command::Profile { pins, format, top, out } => {
+                assert_eq!(pins.bench, None);
+                assert_eq!(pins.width, None);
+                assert_eq!(pins.exceptions, None);
+                assert_eq!(pins.regs, None);
+                assert_eq!(pins.commits, None);
+                assert_eq!(pins.seed, 12);
                 assert_eq!(format, ProfileFormat::Text);
                 assert_eq!(top, 20);
                 assert_eq!(out, None);
@@ -815,13 +1004,13 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
-                assert_eq!(bench.as_deref(), Some("tomcatv"));
-                assert_eq!(width, Some(8));
-                assert_eq!(exceptions, Some(ExceptionModel::Imprecise));
-                assert_eq!(regs, Some(64));
-                assert_eq!(commits, Some(3000));
-                assert_eq!(seed, 5);
+            Command::Profile { pins, format, top, out } => {
+                assert_eq!(pins.bench.as_deref(), Some("tomcatv"));
+                assert_eq!(pins.width, Some(8));
+                assert_eq!(pins.exceptions, Some(ExceptionModel::Imprecise));
+                assert_eq!(pins.regs, Some(64));
+                assert_eq!(pins.commits, Some(3000));
+                assert_eq!(pins.seed, 5);
                 assert_eq!(format, ProfileFormat::Flame);
                 assert_eq!(top, 7);
                 assert_eq!(out.as_deref(), Some("/tmp/p.folded"));
@@ -884,8 +1073,8 @@ mod tests {
     #[test]
     fn usage_lists_every_subcommand() {
         for sub in [
-            "list", "run", "trace", "record", "replay", "check", "dataflow", "report",
-            "profile", "timing", "dump",
+            "list", "run", "trace", "record", "replay", "check", "model", "dataflow",
+            "report", "profile", "timing", "dump",
         ] {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }

@@ -1,7 +1,8 @@
 //! The `rfstudy` command-line simulator.
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
-//! `replay`, `check`, `profile`, `dump`, `dataflow`, `report`, `timing`.
+//! `replay`, `check`, `model`, `profile`, `dump`, `dataflow`, `report`,
+//! `timing`.
 //!
 //! Exit status: 0 on success, 1 on a runtime failure (simulation error,
 //! sanitizer violation, failed gate, exceeded deadline), 2 on a usage
@@ -12,7 +13,8 @@ mod cli;
 use cli::{Command, MachineOpts, TraceFormat};
 use rf_check::{CheckParams, Sanitizer};
 use rf_core::dataflow::analyze;
-use rf_core::{CancelToken, Cancelled, ExceptionModel, LiveModel, Pipeline, SimStats};
+use rf_core::{CancelToken, Cancelled, LiveModel, Pipeline, SimStats};
+use std::collections::HashMap;
 use rf_obs::Recorder;
 use rf_isa::RegClass;
 use rf_timing::{RegFileGeometry, TimingModel};
@@ -159,12 +161,9 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             let target = if commits == 0 { n } else { commits.min(n) };
             run_replay(&trace, insts, target, &machine)
         }
-        Command::Check { bench, width, exceptions, regs, commits, seed } => {
-            run_check(bench, width, exceptions, regs, commits, seed)
-        }
-        Command::Profile { bench, width, exceptions, regs, commits, seed, format, top, out } => {
-            run_profile(bench, width, exceptions, regs, commits, seed, format, top, out)
-        }
+        Command::Check { pins, deadline_secs } => run_check(&pins, deadline_secs),
+        Command::Model { pins, check, format } => run_model(&pins, check, format),
+        Command::Profile { pins, format, top, out } => run_profile(&pins, format, top, out),
         Command::Report {
             ledger,
             baseline,
@@ -263,55 +262,34 @@ fn run_replay(
 /// The `check` subcommand: cross-validates the simulator against the
 /// static oracle over the requested configuration matrix (the full
 /// default matrix when no dimension is pinned).
-fn run_check(
-    bench: Option<String>,
-    width: Option<usize>,
-    exceptions: Option<ExceptionModel>,
-    regs: Option<usize>,
-    commits: Option<u64>,
-    seed: u64,
-) -> Result<(), String> {
-    let commits = commits
-        .or_else(|| std::env::var("RF_COMMITS").ok().and_then(|v| v.parse().ok()))
-        .unwrap_or(10_000);
-    let benches: Vec<String> = match bench {
-        Some(b) => {
-            spec92::by_name(&b).ok_or_else(|| format!("unknown benchmark {b:?}"))?;
-            vec![b]
-        }
-        None => spec92::all().into_iter().map(|p| p.name).collect(),
-    };
-    let widths = width.map_or_else(|| vec![4, 8], |w| vec![w]);
-    let models = exceptions
-        .map_or_else(|| vec![ExceptionModel::Precise, ExceptionModel::Imprecise], |m| vec![m]);
-    let reg_sizes = regs.map_or_else(|| vec![2048, 64], |r| vec![r]);
+fn run_check(pins: &cli::MatrixPins, deadline_secs: Option<f64>) -> Result<(), String> {
+    let matrix = pins.expand()?;
+    // Same watchdog shape as `run`: a detached thread fires the token
+    // after the wall budget; every cross-validation pipeline polls it
+    // cooperatively, so the deadline covers the whole matrix, not each
+    // configuration separately.
+    let cancel = deadline_secs.map(|secs| {
+        let token = CancelToken::new();
+        let armed = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+            armed.cancel();
+        });
+        token
+    });
 
     let mut failures = 0u64;
     let mut runs = 0u64;
-    for b in &benches {
-        for &w in &widths {
-            for &m in &models {
-                for &r in &reg_sizes {
-                    let params = CheckParams {
-                        bench: b.clone(),
-                        width: w,
-                        exceptions: m,
-                        regs: r,
-                        commits,
-                        seed,
-                    };
-                    let report = rf_check::cross_validate(&params)?;
-                    runs += 1;
-                    if report.passed() {
-                        // One summary line per clean configuration.
-                        print!("{}", report.render().lines().next().unwrap_or(""));
-                        println!();
-                    } else {
-                        failures += 1;
-                        print!("{}", report.render());
-                    }
-                }
-            }
+    for params in &matrix {
+        let report = rf_check::cross_validate_cancellable(params, cancel.as_ref())?;
+        runs += 1;
+        if report.passed() {
+            // One summary line per clean configuration.
+            print!("{}", report.render().lines().next().unwrap_or(""));
+            println!();
+        } else {
+            failures += 1;
+            print!("{}", report.render());
         }
     }
     println!("check: {runs} configurations, {failures} failed");
@@ -322,52 +300,216 @@ fn run_check(
     }
 }
 
+/// The simulator run spec matching one check-matrix point.
+fn spec_for(p: &CheckParams) -> rf_experiments::runner::RunSpec {
+    let mut spec = rf_experiments::runner::RunSpec::baseline(&p.bench, p.width)
+        .regs(p.regs)
+        .exceptions(p.exceptions)
+        .commits(p.commits);
+    spec.seed = p.seed;
+    spec
+}
+
+/// Per-configuration cap on the model's absolute IPC error in
+/// `model --check`; individual configurations may sit in the curve's
+/// hardest corners, so this is looser than the matrix-wide mean gate.
+const MODEL_CONFIG_ERR_CAP_PCT: f64 = 40.0;
+/// Matrix-wide mean absolute IPC error gate for `model --check`.
+const MODEL_MEAN_ERR_CAP_PCT: f64 = 15.0;
+
+/// The `model` subcommand: evaluates the static analytic estimator over
+/// the requested slice of the check matrix without simulating. Workload
+/// summaries depend only on (benchmark, width) — the machine knobs that
+/// change inside a matrix slice (registers, exception model) enter only
+/// at evaluation time — so they are memoized and each configuration is
+/// a microsecond-scale closed-form evaluation on a cached summary.
+fn run_model(pins: &cli::MatrixPins, check: bool, format: cli::ModelFormat) -> Result<(), String> {
+    let matrix = pins.expand()?;
+    let extract = std::time::Instant::now();
+    let mut summaries: HashMap<(String, usize), rf_model::WorkloadSummary> = HashMap::new();
+    for p in &matrix {
+        let config = rf_check::config_for(p);
+        summaries.entry((p.bench.clone(), p.width)).or_insert_with(|| {
+            rf_model::summarize(
+                &p.bench,
+                p.commits,
+                p.seed,
+                config.effective_insert_bandwidth(),
+                config.cache_geometry(),
+                config.cache_org(),
+                config.predictor_kind(),
+            )
+            .expect("benchmark validated by MatrixPins::expand")
+        });
+    }
+    let extract_ns = extract.elapsed().as_nanos() as u64;
+    let eval = std::time::Instant::now();
+    let estimates: Vec<rf_model::ModelEstimate> = matrix
+        .iter()
+        .map(|p| {
+            let config = rf_check::config_for(p);
+            rf_model::evaluate(&summaries[&(p.bench.clone(), p.width)], &config)
+        })
+        .collect();
+    let eval_ns = eval.elapsed().as_nanos() as u64;
+
+    if check {
+        return model_check(&matrix, &summaries, &estimates, extract_ns, eval_ns);
+    }
+    match format {
+        cli::ModelFormat::Json => {
+            use rf_obs::json::Value;
+            let arr: Vec<Value> = matrix
+                .iter()
+                .zip(&estimates)
+                .map(|(p, e)| {
+                    Value::Object(vec![
+                        ("bench".into(), Value::String(p.bench.clone())),
+                        ("width".into(), Value::Number(p.width as f64)),
+                        ("exceptions".into(), Value::String(p.exceptions.to_string())),
+                        ("regs".into(), Value::Number(p.regs as f64)),
+                        ("commits".into(), Value::Number(p.commits as f64)),
+                        ("seed".into(), Value::Number(p.seed as f64)),
+                        ("ipc".into(), Value::Number(e.ipc)),
+                        ("fu_occupancy".into(), Value::Number(e.fu_occupancy)),
+                        ("dq_occupancy".into(), Value::Number(e.dq_occupancy)),
+                        ("regs_live_committed".into(), Value::Number(e.regs_live_committed)),
+                        ("regs_live_awaiting".into(), Value::Number(e.regs_live_awaiting)),
+                        ("regs_live_exec".into(), Value::Number(e.regs_live_exec)),
+                        ("regs_peak_int".into(), Value::Number(e.regs_peak[0] as f64)),
+                        ("regs_peak_fp".into(), Value::Number(e.regs_peak[1] as f64)),
+                    ])
+                })
+                .collect();
+            println!("{}", Value::Array(arr));
+        }
+        cli::ModelFormat::Text => {
+            for (p, e) in matrix.iter().zip(&estimates) {
+                println!(
+                    "model {} width={} {} regs={} commits={} seed={}: \
+                     ipc {:.2} fu {:.2} dq {:.1} live c/a/e {:.1}/{:.1}/{:.1} peak int/fp {}/{}",
+                    p.bench,
+                    p.width,
+                    p.exceptions,
+                    p.regs,
+                    p.commits,
+                    p.seed,
+                    e.ipc,
+                    e.fu_occupancy,
+                    e.dq_occupancy,
+                    e.regs_live_committed,
+                    e.regs_live_awaiting,
+                    e.regs_live_exec,
+                    e.regs_peak[0],
+                    e.regs_peak[1],
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `model --check`: one simulation per configuration, reconciled
+/// against the analytic estimate. Gates: per-configuration |IPC error|
+/// within [`MODEL_CONFIG_ERR_CAP_PCT`], matrix-wide mean within
+/// [`MODEL_MEAN_ERR_CAP_PCT`], and every register-pressure peak inside
+/// the static oracle's [floor, ceiling] bracket (the same bracket
+/// `rfstudy check` holds the simulator to).
+fn model_check(
+    matrix: &[CheckParams],
+    summaries: &HashMap<(String, usize), rf_model::WorkloadSummary>,
+    estimates: &[rf_model::ModelEstimate],
+    extract_ns: u64,
+    eval_ns: u64,
+) -> Result<(), String> {
+    use rf_experiments::runner::{RunCache, SimPool};
+    let specs: Vec<_> = matrix.iter().map(spec_for).collect();
+    let sim_wall = std::time::Instant::now();
+    let results = SimPool::from_env().try_run_many_cached(&specs, &RunCache::disabled());
+    let sim_ns = sim_wall.elapsed().as_nanos() as u64;
+
+    let mut failures = 0u64;
+    let mut sum_abs = 0.0;
+    let mut worst: (f64, String) = (0.0, String::from("-"));
+    for ((p, e), result) in matrix.iter().zip(estimates).zip(results) {
+        let stats = result.map_err(|err| format!("simulation failed: {err}"))?;
+        let sim_ipc = stats.commit_ipc();
+        let err_pct =
+            if sim_ipc > 0.0 { 100.0 * (e.ipc - sim_ipc) / sim_ipc } else { 0.0 };
+        sum_abs += err_pct.abs();
+        let label =
+            format!("{} width={} {} regs={}", p.bench, p.width, p.exceptions, p.regs);
+        if err_pct.abs() > worst.0 {
+            worst = (err_pct.abs(), label.clone());
+        }
+        let oracle = &summaries[&(p.bench.clone(), p.width)].stats.oracle;
+        let slack = stats.inserted.saturating_sub(stats.committed);
+        let mut brackets_ok = true;
+        for class in [RegClass::Int, RegClass::Fp] {
+            let ceiling = oracle.upper_bound(class, p.regs, slack);
+            let floor = oracle.classes[class.index()].floor.min(ceiling);
+            let peak = e.regs_peak[class.index()];
+            if peak < floor || peak > ceiling {
+                brackets_ok = false;
+            }
+        }
+        let pass = err_pct.abs() <= MODEL_CONFIG_ERR_CAP_PCT && brackets_ok;
+        if !pass {
+            failures += 1;
+        }
+        println!(
+            "model {label} commits={} seed={}: model {:.2} sim {:.2} err {:+.1}% brackets {}: {}",
+            p.commits,
+            p.seed,
+            e.ipc,
+            sim_ipc,
+            err_pct,
+            if brackets_ok { "ok" } else { "VIOLATED" },
+            if pass { "PASS" } else { "FAIL" },
+        );
+    }
+    let n = matrix.len().max(1);
+    let mean = sum_abs / n as f64;
+    let per_eval_ns = eval_ns / n as u64;
+    let per_sim_ns = sim_ns / n as u64;
+    println!(
+        "model check: {} configurations, mean |IPC error| {mean:.1}% (gate {MODEL_MEAN_ERR_CAP_PCT:.0}%), worst {:.1}% ({}), {failures} failed",
+        matrix.len(),
+        worst.0,
+        worst.1,
+    );
+    println!(
+        "model cost: {:.1}ms extraction (once per bench/width), {per_eval_ns}ns/config evaluation vs {:.2}ms/config simulation ({:.0}x)",
+        extract_ns as f64 / 1e6,
+        per_sim_ns as f64 / 1e6,
+        per_sim_ns as f64 / per_eval_ns.max(1) as f64,
+    );
+    if failures > 0 {
+        return Err(format!("{failures} configuration(s) exceeded the model error gates"));
+    }
+    if mean > MODEL_MEAN_ERR_CAP_PCT {
+        return Err(format!(
+            "mean |IPC error| {mean:.1}% exceeds the {MODEL_MEAN_ERR_CAP_PCT:.0}% gate"
+        ));
+    }
+    Ok(())
+}
+
 /// The `profile` subcommand: forces the rf-prof self-profiler on, runs
 /// the requested slice of the check matrix through a single-worker pool
 /// (serial execution keeps wall time and attributed span time on the
 /// same clock, so the coverage line below is meaningful), and renders
 /// where the time went.
-#[allow(clippy::too_many_arguments)]
 fn run_profile(
-    bench: Option<String>,
-    width: Option<usize>,
-    exceptions: Option<ExceptionModel>,
-    regs: Option<usize>,
-    commits: Option<u64>,
-    seed: u64,
+    pins: &cli::MatrixPins,
     format: cli::ProfileFormat,
     top: usize,
     out: Option<String>,
 ) -> Result<(), String> {
-    use rf_experiments::runner::{RunCache, RunSpec, SimPool};
-    let commits = commits
-        .or_else(|| std::env::var("RF_COMMITS").ok().and_then(|v| v.parse().ok()))
-        .unwrap_or(10_000);
-    let benches: Vec<String> = match bench {
-        Some(b) => {
-            spec92::by_name(&b).ok_or_else(|| format!("unknown benchmark {b:?}"))?;
-            vec![b]
-        }
-        None => spec92::all().into_iter().map(|p| p.name).collect(),
-    };
-    let widths = width.map_or_else(|| vec![4, 8], |w| vec![w]);
-    let models = exceptions
-        .map_or_else(|| vec![ExceptionModel::Precise, ExceptionModel::Imprecise], |m| vec![m]);
-    let reg_sizes = regs.map_or_else(|| vec![2048, 64], |r| vec![r]);
-
-    let mut specs = Vec::new();
-    for b in &benches {
-        for &w in &widths {
-            for &m in &models {
-                for &r in &reg_sizes {
-                    let mut spec =
-                        RunSpec::baseline(b, w).regs(r).exceptions(m).commits(commits);
-                    spec.seed = seed;
-                    specs.push(spec);
-                }
-            }
-        }
-    }
+    use rf_experiments::runner::{RunCache, SimPool};
+    let matrix = pins.expand()?;
+    let commits = matrix.first().map_or(0, |p| p.commits);
+    let specs: Vec<_> = matrix.iter().map(spec_for).collect();
 
     rf_prof::set_enabled(true);
     let wall = std::time::Instant::now();

@@ -36,6 +36,7 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         phase: PhaseRecord { generate: 0.001, simulate: seconds * 0.9, aggregate: 0.0 },
         profile: None,
         probe: None,
+        pruned: 0,
         error: None,
     };
     LedgerRecord {
@@ -56,6 +57,7 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         cache_resident_bytes: 0,
         harnesses: vec![harness("fig3", 1.0 * scale), harness("fig6", 2.0 * scale)],
         headlines,
+        model_error: None,
         alloc: None,
     }
 }
