@@ -18,6 +18,7 @@ use crate::runner::{
 use rf_core::{skip_telemetry, NullObserver, Observer as _, Pipeline, StallCause};
 use rf_obs::ledger::{
     AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
+    TelemetryRecord,
 };
 use rf_obs::Recorder;
 use rf_workload::{spec92, TraceGenerator};
@@ -150,34 +151,50 @@ impl LogMode {
 }
 
 /// Renders one harness progress line in the chosen mode (`None` = off).
-fn progress_line(mode: LogMode, done: usize, entry: &Entry) -> Option<String> {
+/// `eta` is the ledger-informed estimate of remaining suite seconds
+/// (`None` when no history is available — rendered as a JSON null and
+/// omitted from the text form, never faked as zero).
+fn progress_line(mode: LogMode, done: usize, entry: &Entry, eta: Option<f64>) -> Option<String> {
     match mode {
         LogMode::Off => None,
-        LogMode::Text => Some(format!(
-            "[rfstudy] harness={} n={done} seconds={:.3} sims={} committed={} \
-             cycles={} stall_no_reg={} stall_dq_full={} no_free_cycles={}",
-            entry.name,
-            entry.seconds,
-            entry.sims,
-            entry.committed,
-            entry.cycles,
-            entry.stall_no_reg,
-            entry.stall_dq_full,
-            entry.no_free_cycles,
-        )),
-        LogMode::Json => Some(format!(
-            "{{\"event\":\"harness\",\"name\":\"{}\",\"n\":{done},\"seconds\":{:.3},\
-             \"simulations\":{},\"instructions_committed\":{},\"cycles\":{},\
-             \"stall_no_reg\":{},\"stall_dq_full\":{},\"no_free_cycles\":{}}}",
-            entry.name,
-            entry.seconds,
-            entry.sims,
-            entry.committed,
-            entry.cycles,
-            entry.stall_no_reg,
-            entry.stall_dq_full,
-            entry.no_free_cycles,
-        )),
+        LogMode::Text => {
+            let mut line = format!(
+                "[rfstudy] harness={} n={done} seconds={:.3} sims={} committed={} \
+                 cycles={} stall_no_reg={} stall_dq_full={} no_free_cycles={}",
+                entry.name,
+                entry.seconds,
+                entry.sims,
+                entry.committed,
+                entry.cycles,
+                entry.stall_no_reg,
+                entry.stall_dq_full,
+                entry.no_free_cycles,
+            );
+            if let Some(eta) = eta {
+                let _ = write!(line, " eta_s={eta:.1}");
+            }
+            Some(line)
+        }
+        LogMode::Json => {
+            let eta = match eta {
+                Some(eta) => format!("{eta:.1}"),
+                None => "null".to_owned(),
+            };
+            Some(format!(
+                "{{\"event\":\"harness\",\"name\":\"{}\",\"n\":{done},\"seconds\":{:.3},\
+                 \"simulations\":{},\"instructions_committed\":{},\"cycles\":{},\
+                 \"stall_no_reg\":{},\"stall_dq_full\":{},\"no_free_cycles\":{},\
+                 \"eta_s\":{eta}}}",
+                entry.name,
+                entry.seconds,
+                entry.sims,
+                entry.committed,
+                entry.cycles,
+                entry.stall_no_reg,
+                entry.stall_dq_full,
+                entry.no_free_cycles,
+            ))
+        }
     }
 }
 
@@ -215,6 +232,13 @@ pub struct SuiteBench {
     speedup: Option<f64>,
     sanitizer: Option<SanitizerStatus>,
     model_error: Option<ModelErrorRecord>,
+    telemetry: Option<TelemetryRecord>,
+    /// Harness names the suite intends to run, in order; entries past
+    /// `entries.len()` are the remaining work the ETA weighs.
+    plan: Vec<String>,
+    /// Per-harness median wall seconds from the run-history ledger
+    /// (comparable runs only); empty when there is no usable history.
+    medians: Vec<(String, f64)>,
     log: LogMode,
 }
 
@@ -229,6 +253,9 @@ impl SuiteBench {
             speedup: None,
             sanitizer: None,
             model_error: None,
+            telemetry: None,
+            plan: Vec::new(),
+            medians: Vec::new(),
             log: LogMode::from_env(),
         }
     }
@@ -242,6 +269,46 @@ impl SuiteBench {
     /// ledger record (`rfstudy report` flags drift from it).
     pub fn set_model_error(&mut self, record: ModelErrorRecord) {
         self.model_error = Some(record);
+    }
+
+    /// Records the live-telemetry summary (sampler config, snapshot
+    /// count, final-counter digest) for the ledger record.
+    pub fn set_telemetry(&mut self, record: TelemetryRecord) {
+        self.telemetry = Some(record);
+    }
+
+    /// Declares the harnesses this suite run intends to execute, in
+    /// order, and the ledger-derived per-harness median seconds used to
+    /// weight the remaining ones. Both feed the `eta_s` member of
+    /// `RF_LOG` progress lines; with no history the ETA stays `None`.
+    pub fn set_plan(&mut self, names: &[&str], medians: Vec<(String, f64)>) {
+        self.plan = names.iter().map(|n| (*n).to_owned()).collect();
+        self.medians = medians;
+    }
+
+    /// The estimated remaining suite seconds: the sum of ledger median
+    /// wall times over not-yet-run planned harnesses, with harnesses
+    /// absent from history charged the median of the known medians.
+    /// `None` when no plan or no history was provided — an honest "no
+    /// estimate", not a zero.
+    pub fn eta_seconds(&self) -> Option<f64> {
+        if self.plan.is_empty() || self.medians.is_empty() {
+            return None;
+        }
+        let mut known: Vec<f64> = self.medians.iter().map(|(_, s)| *s).collect();
+        known.sort_by(f64::total_cmp);
+        let fallback = median_of_sorted(&known)?;
+        let remaining = self.plan.get(self.entries.len()..).unwrap_or(&[]);
+        let eta = remaining
+            .iter()
+            .map(|name| {
+                self.medians
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(fallback, |(_, s)| *s)
+            })
+            .sum();
+        Some(eta)
     }
 
     /// Runs one harness, recording its wall-clock time, the number of
@@ -262,6 +329,7 @@ impl SuiteBench {
         name: &str,
         harness: impl FnOnce() -> String,
     ) -> Result<String, String> {
+        rf_obs::live::harness_started(name);
         let sims0 = simulations_run();
         let pruned0 = runs_pruned();
         let committed0 = instructions_committed();
@@ -297,8 +365,13 @@ impl SuiteBench {
             profile,
             error: outcome.as_ref().err().cloned(),
         });
-        if let Some(line) = progress_line(self.log, self.entries.len(), self.entries.last().unwrap())
-        {
+        rf_obs::live::harness_finished();
+        if let Some(line) = progress_line(
+            self.log,
+            self.entries.len(),
+            self.entries.last().unwrap(),
+            self.eta_seconds(),
+        ) {
             eprintln!("{line}");
         }
         outcome
@@ -561,6 +634,7 @@ impl SuiteBench {
             headlines,
             model_error: self.model_error.clone(),
             alloc,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -601,6 +675,16 @@ fn rate(amount: f64, seconds: f64) -> f64 {
         amount / seconds
     } else {
         0.0
+    }
+}
+
+/// The median of an ascending-sorted slice (even lengths average the two
+/// middle values); `None` on empty input.
+fn median_of_sorted(sorted: &[f64]) -> Option<f64> {
+    match sorted.len() {
+        0 => None,
+        n if n % 2 == 1 => Some(sorted[n / 2]),
+        n => Some((sorted[n / 2 - 1] + sorted[n / 2]) / 2.0),
     }
 }
 
@@ -754,12 +838,39 @@ mod tests {
             profile: None,
             error: None,
         };
-        assert_eq!(progress_line(LogMode::Off, 1, &entry), None);
-        let text = progress_line(LogMode::Text, 1, &entry).unwrap();
+        assert_eq!(progress_line(LogMode::Off, 1, &entry, Some(9.0)), None);
+        let text = progress_line(LogMode::Text, 1, &entry, None).unwrap();
         assert!(text.contains("harness=fig3") && text.contains("stall_dq_full=7"), "{text}");
-        let json = progress_line(LogMode::Json, 3, &entry).unwrap();
+        assert!(!text.contains("eta_s"), "no fabricated ETA without history: {text}");
+        let text = progress_line(LogMode::Text, 1, &entry, Some(12.34)).unwrap();
+        assert!(text.ends_with("eta_s=12.3"), "{text}");
+        let json = progress_line(LogMode::Json, 3, &entry, None).unwrap();
         rf_obs::json::validate(&json).expect("json progress line must parse");
         assert!(json.contains("\"name\":\"fig3\"") && json.contains("\"n\":3"), "{json}");
+        assert!(json.contains("\"eta_s\":null"), "{json}");
+        let json = progress_line(LogMode::Json, 3, &entry, Some(7.06)).unwrap();
+        rf_obs::json::validate(&json).expect("json progress line with eta must parse");
+        assert!(json.contains("\"eta_s\":7.1"), "{json}");
+    }
+
+    #[test]
+    fn eta_weighs_remaining_harnesses_by_ledger_medians() {
+        let mut bench = SuiteBench::start(500);
+        // No plan / no history: no estimate, never a fake zero.
+        assert_eq!(bench.eta_seconds(), None);
+        bench.set_plan(
+            &["fig3", "fig4", "mystery"],
+            vec![("fig3".to_owned(), 1.0), ("fig4".to_owned(), 3.0)],
+        );
+        // Nothing run yet: fig3 + fig4 by their medians, the harness
+        // with no history at the median-of-medians (2.0).
+        assert!((bench.eta_seconds().unwrap() - 6.0).abs() < 1e-12);
+        let _ = bench.time("fig3", String::new);
+        assert!((bench.eta_seconds().unwrap() - 5.0).abs() < 1e-12);
+        let _ = bench.time("fig4", String::new);
+        let _ = bench.time("mystery", String::new);
+        // Plan exhausted: nothing remains.
+        assert_eq!(bench.eta_seconds(), Some(0.0));
     }
 
     #[test]

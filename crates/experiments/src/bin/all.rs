@@ -74,7 +74,14 @@ environment:
                   prune saturated register-sweep points (substituted
                   estimates; pruned counts land in the reports)
   RF_PROFILE      1/on/true/yes embeds rf-prof self-profiles in the
-                  suite report and ledger record";
+                  suite report and ledger record
+  RF_TELEMETRY    1/on/true/yes streams live counter snapshots to
+                  results/telemetry/live.jsonl while the suite runs
+                  (attach with `rfstudy top`); off-runs are unaffected
+  RF_TELEMETRY_INTERVAL_MS
+                  sampler period in milliseconds (default 250)
+  RF_METRICS_ADDR host:port for a live Prometheus /metrics endpoint
+                  (port 0 picks a free port; bound address is printed)";
 
 /// Parsed command line: commit budget override and batch deadline.
 struct Args {
@@ -150,13 +157,18 @@ fn fault_target() -> Option<String> {
 }
 
 /// Cross-validates the analytic model against the simulator on the
-/// nine 4-wide baselines at the suite's commit budget (cache hits from
-/// the figure harnesses make the simulations nearly free) and returns
-/// the error telemetry for the ledger, so `rfstudy report` can flag
-/// drift when simulator changes leave the model's fitted constants
-/// behind. `None` if every comparison failed.
+/// nine 4-wide baselines at the suite's commit budget and returns the
+/// error telemetry for the ledger, so `rfstudy report` can flag drift
+/// when simulator changes leave the model's fitted constants behind.
+///
+/// The baselines were already simulated by the figure harnesses, so the
+/// probe *peeks* at the shared run cache instead of re-running them:
+/// a non-counting read that leaves the cache hit/miss/eviction totals —
+/// which must reconcile exactly with the final live-telemetry snapshot —
+/// untouched. Baselines absent from the cache (or the whole probe,
+/// under `RF_CACHE=0`) are skipped; `None` if nothing was comparable.
 fn model_error_probe(commits: u64) -> Option<ledger::ModelErrorRecord> {
-    use rf_experiments::runner::{RunSpec, SimPool};
+    use rf_experiments::runner::{RunCache, RunSpec};
     if commits == 0 {
         return None;
     }
@@ -164,10 +176,10 @@ fn model_error_probe(commits: u64) -> Option<ledger::ModelErrorRecord> {
         .iter()
         .map(|n| RunSpec::baseline(n, 4).commits(commits))
         .collect();
-    let results = SimPool::from_env().try_run_many(&specs);
+    let cache = RunCache::global();
     let (mut sum, mut n, mut worst, mut worst_config) = (0.0f64, 0u64, 0.0f64, String::new());
-    for (spec, result) in specs.iter().zip(results) {
-        let Ok(stats) = result else { continue };
+    for spec in &specs {
+        let Some(stats) = cache.peek(spec) else { continue };
         let sim_ipc = stats.commit_ipc();
         if sim_ipc <= 0.0 {
             continue;
@@ -264,6 +276,22 @@ fn run_suite(scale: &Scale) -> std::io::Result<ExitCode> {
     ];
     let fault = fault_target();
     let mut bench = SuiteBench::start(scale.commits);
+    // Ledger-informed ETA for RF_LOG progress lines: weight the
+    // remaining harnesses by their historical median wall time at this
+    // commit budget. Best-effort — no history, no estimate.
+    let names: Vec<&str> = experiments.iter().map(|(n, _, _)| *n).collect();
+    let medians = ledger::read_ledger(Path::new(ledger::LEDGER_PATH))
+        .map(|records| ledger::harness_median_seconds(&records, Some(scale.commits)))
+        .unwrap_or_default();
+    bench.set_plan(&names, medians);
+    // Live telemetry (RF_TELEMETRY=1): sampler + optional /metrics
+    // endpoint over the harness loop; `finalize` below stops it before
+    // the out-of-band calibration passes so the final snapshot's
+    // counters reconcile exactly with the BENCH_suite.json totals.
+    if let Some(cfg) = rf_obs::live::env_config().expect("telemetry env validated in main") {
+        let jobs = rf_experiments::runner::SimPool::from_env().jobs() as u64;
+        rf_obs::live::start(&cfg, scale.commits, jobs, experiments.len() as u64)?;
+    }
     let mut headlines: Vec<(String, f64)> = Vec::new();
     let mut failures: Vec<(String, String)> = Vec::new();
     for (name, run, probe_bench) in experiments {
@@ -296,6 +324,23 @@ fn run_suite(scale: &Scale) -> std::io::Result<ExitCode> {
                 failures.push((name.to_owned(), message));
             }
         }
+    }
+    // Stop the sampler while the suite's measured work is complete and
+    // the run cache is quiescent: the speedup calibration and sanitizer
+    // probes below are out-of-band re-measurements, not suite work.
+    if let Some(t) = rf_obs::live::finalize() {
+        println!(
+            "telemetry: {} snapshots @ {}ms -> {} (digest {})",
+            t.snapshots,
+            t.interval_ms,
+            rf_obs::live::LIVE_PATH,
+            t.digest
+        );
+        bench.set_telemetry(ledger::TelemetryRecord {
+            interval_ms: t.interval_ms,
+            snapshots: t.snapshots,
+            digest: t.digest,
+        });
     }
     let speedup = bench.measure_speedup(scale.commits.min(10_000));
     println!("parallel speedup vs 1 worker: {speedup:.2}x");

@@ -61,9 +61,10 @@ fn env_u64(name: &str) -> Result<Option<u64>, String> {
 }
 
 /// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
-/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_PREFILTER`, `RF_PROFILE`) without
-/// acting on any of them, so a binary can fail fast with one clear
-/// message before doing work.
+/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_PREFILTER`, `RF_PROFILE`,
+/// `RF_TELEMETRY`, `RF_TELEMETRY_INTERVAL_MS`, `RF_METRICS_ADDR`)
+/// without acting on any of them, so a binary can fail fast with one
+/// clear message before doing work.
 ///
 /// # Errors
 ///
@@ -74,6 +75,7 @@ pub fn validate_env() -> Result<(), String> {
     cache_env_mode()?;
     prefilter_env_mode()?;
     rf_prof::env_mode()?;
+    rf_obs::live::env_config()?;
     Ok(())
 }
 
@@ -545,6 +547,7 @@ fn try_simulate_cancellable(
     cancel: Option<&CancelToken>,
     deadline_ms: u64,
 ) -> Result<SimStats, RunError> {
+    rf_obs::live::sim_started();
     #[cfg(any(test, feature = "fault-probe"))]
     if spec.benchmark == FAULT_BENCHMARK {
         // The probe panics *inside* the isolation boundary, like a real
@@ -553,12 +556,14 @@ fn try_simulate_cancellable(
             panic!("injected fault probe");
         });
         let payload = caught.expect_err("probe always panics");
+        rf_obs::live::sim_failed();
         return Err(RunError::WorkerPanic {
             benchmark: spec.benchmark.clone(),
             payload: payload_text(payload.as_ref()),
         });
     }
     let profile = spec92::by_name(&spec.benchmark).ok_or_else(|| {
+        rf_obs::live::sim_failed();
         RunError::UnknownBenchmark { benchmark: spec.benchmark.clone() }
     })?;
     let gen_start = Instant::now();
@@ -582,16 +587,18 @@ fn try_simulate_cancellable(
     let stats = match caught {
         Ok(Ok(stats)) => stats,
         Ok(Err(_cancelled)) => {
+            rf_obs::live::sim_failed();
             return Err(RunError::DeadlineExceeded {
                 benchmark: spec.benchmark.clone(),
                 deadline_ms,
-            })
+            });
         }
         Err(payload) => {
+            rf_obs::live::sim_failed();
             return Err(RunError::WorkerPanic {
                 benchmark: spec.benchmark.clone(),
                 payload: payload_text(payload.as_ref()),
-            })
+            });
         }
     };
     PHASE_GEN_NANOS.fetch_add(gen_nanos, Ordering::Relaxed);
@@ -602,6 +609,7 @@ fn try_simulate_cancellable(
     SIM_STALL_NO_REG.fetch_add(stats.insert_stall_no_reg, Ordering::Relaxed);
     SIM_STALL_DQ_FULL.fetch_add(stats.insert_stall_dq_full, Ordering::Relaxed);
     SIM_NO_FREE_CYCLES.fetch_add(stats.no_free_any_cycles, Ordering::Relaxed);
+    rf_obs::live::sim_completed(stats.committed, stats.cycles);
     Ok(stats)
 }
 
@@ -716,6 +724,12 @@ pub struct RunCache {
     disabled: bool,
     /// Maximum resident entries (`None` = unbounded).
     cap: Option<usize>,
+    /// Whether lookups and evictions also feed the live-telemetry
+    /// counters ([`rf_obs::live`]). Only the global instance reports:
+    /// the suite's final snapshot must reconcile exactly with the
+    /// `BENCH_suite.json` cache totals, which come from the global
+    /// cache alone, and private/test caches would skew them.
+    report_live: bool,
 }
 
 impl RunCache {
@@ -748,11 +762,13 @@ impl RunCache {
         static GLOBAL: OnceLock<RunCache> = OnceLock::new();
         GLOBAL.get_or_init(|| {
             let (enabled, cap) = cache_env_mode().unwrap_or_else(|e| panic!("{e}"));
-            match (enabled, cap) {
+            let mut cache = match (enabled, cap) {
                 (false, _) => RunCache::disabled(),
                 (true, Some(cap)) => RunCache::bounded(cap),
                 (true, None) => RunCache::new(),
-            }
+            };
+            cache.report_live = true;
+            cache
         })
     }
 
@@ -782,6 +798,9 @@ impl RunCache {
     pub fn get(&self, spec: &RunSpec) -> Option<Arc<SimStats>> {
         if self.disabled {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            if self.report_live {
+                rf_obs::live::cache_miss();
+            }
             return None;
         }
         let mut inner = self.inner();
@@ -793,10 +812,32 @@ impl RunCache {
         });
         drop(inner);
         match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.report_live {
+                    rf_obs::live::cache_hit();
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if self.report_live {
+                    rf_obs::live::cache_miss();
+                }
+            }
+        }
         found
+    }
+
+    /// Looks up a spec *without* counting a hit or miss and without
+    /// refreshing the entry's LRU stamp — a pure read for post-run
+    /// probes (the model-error check re-reads suite results already in
+    /// the cache) that must not perturb cache telemetry or eviction
+    /// order. A disabled cache peeks as empty.
+    pub fn peek(&self, spec: &RunSpec) -> Option<Arc<SimStats>> {
+        if self.disabled {
+            return None;
+        }
+        self.inner().map.get(spec).map(|entry| Arc::clone(&entry.stats))
     }
 
     /// Stores a result (no-op when disabled), evicting
@@ -825,6 +866,9 @@ impl RunCache {
             let evicted = inner.map.remove(&victim).expect("victim just found");
             inner.bytes -= evicted.bytes;
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            if self.report_live {
+                rf_obs::live::cache_evicted(1);
+            }
         }
     }
 
@@ -1075,6 +1119,7 @@ impl SimPool {
         for (&t, &rep) in &pruned_to_rep {
             let outcome = outcomes[rep].clone().expect("representative executed");
             PRUNED_RUNS.fetch_add(needers[t].len() as u64, Ordering::Relaxed);
+            rf_obs::live::sims_pruned(needers[t].len() as u64);
             outcomes[t] =
                 Some(outcome.map(|stats| Arc::new(substitute_stats(&stats, tasks[t].regs))));
         }
@@ -1121,7 +1166,12 @@ impl SimPool {
                 .enumerate()
                 .map(|(t, spec)| {
                     let _s = rf_prof::span("pool.task");
-                    (t, run_one(spec))
+                    let t0 = rf_obs::live::is_enabled().then(Instant::now);
+                    let outcome = run_one(spec);
+                    if let Some(t0) = t0 {
+                        rf_obs::live::worker_task(0, t0.elapsed().as_nanos() as u64);
+                    }
+                    (t, outcome)
                 })
                 .collect();
         }
@@ -1152,16 +1202,47 @@ impl SimPool {
                     }
                 });
             }
+            if workers <= 1 {
+                // A deadline with a single worker: run inline on the
+                // calling thread (the watchdog above still enforces the
+                // deadline via the cancel token). A dedicated worker
+                // thread here would make the profiler attribute both the
+                // worker's tasks and the caller's blocking join against
+                // the same wall time, double-counting coverage.
+                for (t, spec) in tasks.iter().enumerate() {
+                    let _s = rf_prof::span("pool.task");
+                    let t0 = rf_obs::live::is_enabled().then(Instant::now);
+                    let outcome = run_one(spec);
+                    if let Some(t0) = t0 {
+                        rf_obs::live::worker_task(0, t0.elapsed().as_nanos() as u64);
+                    }
+                    done.push((t, outcome));
+                }
+                let (lock, cvar) = &parker;
+                *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+                cvar.notify_all();
+                return;
+            }
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let cursor = &cursor;
+                    let run_one = &run_one;
+                    scope.spawn(move || {
                         let worker_span = rf_prof::span("pool.worker");
                         let mut mine = Vec::new();
                         loop {
                             let t = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(spec) = tasks.get(t) else { break };
                             let _s = rf_prof::span("pool.task");
-                            mine.push((t, run_one(spec)));
+                            let t0 = rf_obs::live::is_enabled().then(Instant::now);
+                            let outcome = run_one(spec);
+                            if let Some(t0) = t0 {
+                                rf_obs::live::worker_task(
+                                    w,
+                                    t0.elapsed().as_nanos() as u64,
+                                );
+                            }
+                            mine.push((t, outcome));
                         }
                         drop(worker_span);
                         // Scoped threads outlive their TLS destructors'
@@ -1501,13 +1582,22 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_malformed_values() {
-        // Env mutation is process-global, so this test owns all five
+        // Env mutation is process-global, so this test owns all eight
         // variables for its duration and restores them at the end; it is
         // the only test in this binary that touches them.
-        let vars = ["RF_COMMITS", "RF_JOBS", "RF_CACHE", "RF_CACHE_CAP", "RF_PREFILTER"];
+        let vars = [
+            "RF_COMMITS",
+            "RF_JOBS",
+            "RF_CACHE",
+            "RF_CACHE_CAP",
+            "RF_PREFILTER",
+            "RF_TELEMETRY",
+            "RF_TELEMETRY_INTERVAL_MS",
+            "RF_METRICS_ADDR",
+        ];
         let saved: Vec<Option<String>> =
             vars.iter().map(|v| std::env::var(v).ok()).collect();
-        let cases: [(&str, &str, &str); 8] = [
+        let cases: [(&str, &str, &str); 13] = [
             ("RF_COMMITS", "200k", "RF_COMMITS"),
             ("RF_JOBS", "abc", "RF_JOBS"),
             ("RF_JOBS", "0", "RF_JOBS=0"),
@@ -1516,6 +1606,11 @@ mod tests {
             ("RF_CACHE_CAP", "0", "RF_CACHE_CAP=0"),
             ("RF_PREFILTER", "fast", "RF_PREFILTER"),
             ("RF_PREFILTER", "2", "RF_PREFILTER"),
+            ("RF_TELEMETRY", "maybe", "RF_TELEMETRY"),
+            ("RF_TELEMETRY_INTERVAL_MS", "fast", "RF_TELEMETRY_INTERVAL_MS"),
+            ("RF_TELEMETRY_INTERVAL_MS", "0", "RF_TELEMETRY_INTERVAL_MS value '0'"),
+            ("RF_METRICS_ADDR", "localhost", "RF_METRICS_ADDR"),
+            ("RF_METRICS_ADDR", "9090", "RF_METRICS_ADDR"),
         ];
         for (var, value, needle) in cases {
             for v in vars {

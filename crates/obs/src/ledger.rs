@@ -43,7 +43,13 @@ use std::path::Path;
 /// simulating) and the top-level `model_error` cross-validation
 /// telemetry (mean/worst absolute IPC error of `rf-model` against the
 /// simulator, null when the suite did not measure it).
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6 added the top-level `telemetry` block for `RF_TELEMETRY=1` runs:
+/// the live-sampler configuration (`interval_ms`), the number of
+/// snapshots streamed to `results/telemetry/live.jsonl`, and the
+/// FNV digest of the final snapshot's counter set — tying the ledger
+/// record to its telemetry stream (null when telemetry was off).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -155,6 +161,20 @@ pub struct AllocRecord {
     pub allocated_bytes: u64,
 }
 
+/// Live-telemetry summary for a run that streamed snapshots
+/// (`RF_TELEMETRY=1`): the sampler configuration plus the digest of the
+/// final `live.jsonl` snapshot, so a ledger record and its telemetry
+/// stream can be matched up after the fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// Sampler period (`RF_TELEMETRY_INTERVAL_MS`).
+    pub interval_ms: u64,
+    /// Snapshot records written to `live.jsonl`, including the final one.
+    pub snapshots: u64,
+    /// [`crate::live::digest_counters`] of the final counter set.
+    pub digest: String,
+}
+
 /// One suite run: the unit the ledger appends.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LedgerRecord {
@@ -200,6 +220,8 @@ pub struct LedgerRecord {
     pub model_error: Option<ModelErrorRecord>,
     /// Allocation profile, when the counting allocator is installed.
     pub alloc: Option<AllocRecord>,
+    /// Live-telemetry summary (`None` when `RF_TELEMETRY` was off).
+    pub telemetry: Option<TelemetryRecord>,
 }
 
 /// Rounds to microsecond precision so seconds fields stay compact.
@@ -278,6 +300,17 @@ impl LedgerRecord {
                     ("allocations".to_owned(), int(a.allocations)),
                     ("deallocations".to_owned(), int(a.deallocations)),
                     ("allocated_bytes".to_owned(), int(a.allocated_bytes)),
+                ]),
+                None => Value::Null,
+            },
+        ));
+        root.push((
+            "telemetry".to_owned(),
+            match &self.telemetry {
+                Some(t) => Value::Object(vec![
+                    ("interval_ms".to_owned(), int(t.interval_ms)),
+                    ("snapshots".to_owned(), int(t.snapshots)),
+                    ("digest".to_owned(), Value::String(t.digest.clone())),
                 ]),
                 None => Value::Null,
             },
@@ -410,6 +443,52 @@ pub fn read_ledger(path: &Path) -> Result<Vec<Value>, String> {
     Ok(records)
 }
 
+/// Per-harness median wall seconds over parsed ledger records — the
+/// honest per-harness weights the suite ETA (`RF_LOG` progress lines)
+/// and `rfstudy top` use. Only comparable harness entries contribute:
+/// same commit budget as `commits` (when given), not cache-served, and
+/// error-free — a fully deduplicated or failed harness says nothing
+/// about how long real work takes. The harness fields involved have
+/// been stable across schema versions, so older records still inform
+/// the estimate. Returns `(name, median_seconds)` sorted by name.
+pub fn harness_median_seconds(records: &[Value], commits: Option<u64>) -> Vec<(String, f64)> {
+    let mut by_name: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for rec in records {
+        if let Some(want) = commits {
+            let got = rec.get("config").and_then(|c| c.get_f64("commits"));
+            if got.map(|c| c as u64) != Some(want) {
+                continue;
+            }
+        }
+        let Some(harnesses) = rec.get("harnesses").and_then(Value::as_array) else {
+            continue;
+        };
+        for h in harnesses {
+            let (Some(name), Some(seconds)) = (h.get_str("name"), h.get_f64("seconds"))
+            else {
+                continue;
+            };
+            if h.get("cache_served").and_then(Value::as_bool) == Some(true)
+                || matches!(h.get("error"), Some(Value::String(_)))
+                || seconds <= 0.0
+            {
+                continue;
+            }
+            by_name.entry(name.to_owned()).or_default().push(seconds);
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, mut xs)| {
+            xs.sort_by(f64::total_cmp);
+            let mid = xs.len() / 2;
+            let median =
+                if xs.len() % 2 == 1 { xs[mid] } else { (xs[mid - 1] + xs[mid]) / 2.0 };
+            (name, median)
+        })
+        .collect()
+}
+
 /// The working tree's git revision: `RF_GIT_REV` if set, else
 /// `git rev-parse --short=12 HEAD`, else `"unknown"`.
 pub fn git_rev() -> String {
@@ -444,6 +523,7 @@ fn is_volatile_key(key: &str) -> bool {
         || key == "alloc"
         || key == "profile"
         || key == "model_error"
+        || key == "telemetry"
         || key.contains("seconds")
         || key.ends_with("per_second")
 }
@@ -530,6 +610,11 @@ mod tests {
                 worst_config: "mdljdp2 width=4 precise regs=64".to_owned(),
             }),
             alloc: None,
+            telemetry: Some(TelemetryRecord {
+                interval_ms: 250,
+                snapshots: 9,
+                digest: "00ff00ff00ff00ff".to_owned(),
+            }),
         }
     }
 
@@ -573,6 +658,18 @@ mod tests {
         assert_eq!(m.get_f64("mean_abs_pct_err"), Some(9.5));
         assert_eq!(m.get_f64("worst_pct_err"), Some(27.25));
         assert_eq!(m.get_str("worst_config"), Some("mdljdp2 width=4 precise regs=64"));
+        let t = v.get("telemetry").unwrap();
+        assert_eq!(t.get_f64("interval_ms"), Some(250.0));
+        assert_eq!(t.get_f64("snapshots"), Some(9.0));
+        assert_eq!(t.get_str("digest"), Some("00ff00ff00ff00ff"));
+    }
+
+    #[test]
+    fn telemetry_renders_null_when_off() {
+        let mut rec = sample();
+        rec.telemetry = None;
+        let v = json::parse(&rec.to_line()).unwrap();
+        assert_eq!(v.get("telemetry"), Some(&Value::Null));
     }
 
     #[test]
@@ -659,6 +756,9 @@ mod tests {
         // Model error is derived cross-validation telemetry, not a
         // simulation metric: it must not perturb the determinism payload.
         rec.model_error.as_mut().unwrap().mean_abs_pct_err = 99.0;
+        // Snapshot counts depend on wall-clock timing; the whole live
+        // telemetry block is likewise volatile.
+        rec.telemetry.as_mut().unwrap().snapshots = 777;
         let b = rec.to_value();
         assert_ne!(a.to_string(), b.to_string());
         assert_eq!(
@@ -677,9 +777,42 @@ mod tests {
         assert!(h.get("cycles_per_second").is_none(), "derived throughput is volatile");
         assert!(h.get("profile").is_none(), "wall-time profile is volatile");
         assert!(p.get("model_error").is_none(), "model-error block is stripped");
+        assert!(p.get("telemetry").is_none(), "live-telemetry block is stripped");
         assert_eq!(h.get_f64("pruned"), Some(4.0), "pruned counts are deterministic");
         assert_eq!(h.get_f64("cycles_skipped"), Some(30_000.0));
         assert_eq!(h.get("cache_served"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn harness_medians_skip_incomparable_entries() {
+        let mut fast = sample(); // fig3 at 0.5s, commits=2000
+        fast.harnesses[0].seconds = 0.3;
+        let mut slow = sample();
+        slow.harnesses[0].seconds = 0.9;
+        let mut served = sample(); // cache-served: no timing signal
+        served.harnesses[0].seconds = 0.001;
+        served.harnesses[0].cache_served = true;
+        let mut failed = sample();
+        failed.harnesses[0].error = Some("boom".to_owned());
+        let mut smoke = sample(); // different commit budget
+        smoke.commits = 300;
+        smoke.harnesses[0].seconds = 0.002;
+        let records: Vec<Value> = [&fast, &slow, &served, &failed, &smoke]
+            .iter()
+            .map(|r| json::parse(&r.to_line()).unwrap())
+            .collect();
+
+        let med = harness_median_seconds(&records, Some(2_000));
+        assert_eq!(med.len(), 1);
+        assert_eq!(med[0].0, "fig3");
+        assert!(
+            (med[0].1 - 0.6).abs() < 1e-9,
+            "median of 0.3 and 0.9, ignoring served/failed/smoke: {}",
+            med[0].1
+        );
+        // Without a commit filter the smoke record contributes too.
+        let any = harness_median_seconds(&records, None);
+        assert!((any[0].1 - 0.3).abs() < 1e-9, "median of 0.3/0.9/0.002: {}", any[0].1);
     }
 
     #[test]

@@ -38,6 +38,10 @@
 //! - [`alloc`] is an optional counting global allocator for suite
 //!   self-profiling (installed behind `rf-experiments`'s `profile-alloc`
 //!   feature).
+//! - [`live`] is the real-time layer: a lock-free counter runtime the
+//!   pool/cache/runner hooks feed, drained by a sampler thread into
+//!   `results/telemetry/live.jsonl`, an optional Prometheus `/metrics`
+//!   endpoint, and the `rfstudy top` terminal view.
 //!
 //! A traced run is driven through `Pipeline::with_observer` +
 //! `run_observed`; because the observer only receives copies of pipeline
@@ -49,6 +53,7 @@ pub mod chrome;
 pub mod fidelity;
 pub mod json;
 pub mod ledger;
+pub mod live;
 pub mod metrics;
 pub mod profile;
 pub mod recorder;

@@ -901,7 +901,7 @@ mod tests {
             .join(",");
         let doc = format!(
             concat!(
-                "{{\"schema\":5,\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
+                "{{\"schema\":{schema},\"timestamp_unix\":100,\"git_rev\":\"{rev}\",",
                 "\"config\":{{\"commits\":2000,\"jobs\":1,\"cache\":true,\"sanitize\":false}},",
                 "\"totals\":{{\"seconds\":{total},\"sims\":10,\"committed\":20000,",
                 "\"cycles\":9000,\"cache_hits\":1,\"cache_misses\":9}},",
@@ -916,8 +916,10 @@ mod tests {
                 "\"cache_served\":false,",
                 "\"phase_seconds\":{{\"generate\":0,\"simulate\":0,\"aggregate\":0}},",
                 "\"probe\":null,\"profile\":null}}",
-                "],\"headlines\":{{{heads}}},\"model_error\":null,\"alloc\":null}}"
+                "],\"headlines\":{{{heads}}},\"model_error\":null,\"alloc\":null,",
+                "\"telemetry\":null}}"
             ),
+            schema = crate::ledger::SCHEMA_VERSION,
             rev = rev,
             total = 3.0 * scale,
             h1 = 1.0 * scale,

@@ -14,7 +14,7 @@
 use rf_obs::json::{self, Value};
 use rf_obs::ledger::{
     AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
-    SCHEMA_VERSION,
+    TelemetryRecord, SCHEMA_VERSION,
 };
 
 const GOLDEN: &str = include_str!("golden/ledger_record.jsonl");
@@ -140,6 +140,11 @@ fn full_record() -> LedgerRecord {
             deallocations: 999_999,
             allocated_bytes: 64_000_000,
         }),
+        telemetry: Some(TelemetryRecord {
+            interval_ms: 250,
+            snapshots: 338,
+            digest: "9d2c5e7f01a3b486".to_owned(),
+        }),
     }
 }
 
@@ -165,6 +170,7 @@ fn minimal_record() -> LedgerRecord {
         headlines: Vec::new(),
         model_error: None,
         alloc: None,
+        telemetry: None,
     }
 }
 
@@ -197,6 +203,7 @@ fn golden_lines_parse_back_to_current_schema() {
             "harnesses",
             "headlines",
             "model_error",
+            "telemetry",
         ] {
             assert!(v.get(key).is_some(), "line {} missing {key}", i + 1);
         }
@@ -269,7 +276,13 @@ fn full_golden_line_round_trips_through_the_parser() {
     let model = v.get("model_error").unwrap();
     assert_eq!(model.get_f64("configs"), Some(72.0));
     assert_eq!(model.get_str("worst_config"), Some("mdljdp2 width=4 precise regs=64"));
+    // The live-telemetry block survives the round trip.
+    let telemetry = v.get("telemetry").unwrap();
+    assert_eq!(telemetry.get_f64("interval_ms"), Some(250.0));
+    assert_eq!(telemetry.get_f64("snapshots"), Some(338.0));
+    assert_eq!(telemetry.get_str("digest"), Some("9d2c5e7f01a3b486"));
     let minimal = json::parse(GOLDEN.lines().nth(1).unwrap()).unwrap();
     assert_eq!(minimal.get("alloc"), Some(&Value::Null));
     assert_eq!(minimal.get("model_error"), Some(&Value::Null));
+    assert_eq!(minimal.get("telemetry"), Some(&Value::Null));
 }

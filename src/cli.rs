@@ -298,6 +298,11 @@ pub enum Command {
         /// Output format (estimates only; `--check` always renders
         /// check-style text).
         format: ModelFormat,
+        /// Wall-clock budget in seconds for the `--check` simulation
+        /// batch (`None` = unbounded); overrunning configurations fail
+        /// and the process exits 1. Ignored without `--check` (the
+        /// model alone takes microseconds).
+        deadline_secs: Option<f64>,
     },
     /// Dataflow ILP-limit analysis.
     Dataflow {
@@ -346,6 +351,26 @@ pub enum Command {
         top: usize,
         /// Output path (`None` = stdout).
         out: Option<String>,
+        /// Wall-clock budget in seconds for the instrumented batch
+        /// (`None` = unbounded); an overrunning run is cancelled
+        /// cooperatively and the process exits 1.
+        deadline_secs: Option<f64>,
+    },
+    /// Attach to a running (or finished) telemetry stream and render a
+    /// live terminal view of the suite.
+    Top {
+        /// Telemetry stream path (default
+        /// `results/telemetry/live.jsonl`).
+        file: String,
+        /// Run-history ledger path used for the ETA medians (default
+        /// `results/history/suite.jsonl`).
+        ledger: String,
+        /// Refresh period in milliseconds.
+        interval_ms: u64,
+        /// Render one frame and exit instead of following the stream.
+        once: bool,
+        /// Spawn the suite binary with RF_TELEMETRY=1 and attach to it.
+        spawn: bool,
     },
     /// Register-file timing table.
     Timing {
@@ -482,7 +507,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         if !opt.starts_with("--") {
             return Err(format!("unexpected argument {opt:?}"));
         }
-        let value = if opt == "--split-queues" || opt == "--check" {
+        let value = if matches!(opt, "--split-queues" | "--check" | "--once" | "--spawn") {
             None
         } else {
             it.next().map(str::to_owned)
@@ -556,6 +581,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             check: opts.iter().any(|(o, _)| o == "--check"),
             format: take("--format", &opts)
                 .map_or(Ok(ModelFormat::Text), |v| ModelFormat::parse(&v))?,
+            deadline_secs: parse_deadline(&opts)?,
         }),
         "dataflow" => Ok(Command::Dataflow {
             bench: take("--bench", &opts).ok_or("dataflow requires --bench")?,
@@ -593,7 +619,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .map_or(Ok(ProfileFormat::Text), |v| ProfileFormat::parse(&v))?,
             top: take("--top", &opts).map_or(Ok(20), |v| parse_num("--top", &v))?,
             out: take("--out", &opts),
+            deadline_secs: parse_deadline(&opts)?,
         }),
+        "top" => {
+            let interval_ms: u64 = take("--interval-ms", &opts)
+                .map_or(Ok(500), |v| parse_num("--interval-ms", &v))?;
+            if interval_ms == 0 {
+                return Err("--interval-ms must be a positive number of milliseconds".into());
+            }
+            Ok(Command::Top {
+                file: take("--file", &opts)
+                    .unwrap_or_else(|| rf_obs::live::LIVE_PATH.to_owned()),
+                ledger: take("--ledger", &opts)
+                    .unwrap_or_else(|| rf_obs::ledger::LEDGER_PATH.to_owned()),
+                interval_ms,
+                once: opts.iter().any(|(o, _)| o == "--once"),
+                spawn: opts.iter().any(|(o, _)| o == "--spawn"),
+            })
+        }
         "timing" => Ok(Command::Timing {
             width: take("--width", &opts).map_or(Ok(4), |v| parse_num("--width", &v))?,
         }),
@@ -621,7 +664,7 @@ USAGE:
                    [--regs N] [--commits N] [--seed N] [--deadline-secs S]
   rfstudy model    [--bench NAME] [--width N] [--exceptions MODEL]
                    [--regs N] [--commits N] [--seed N] [--check]
-                   [--format text|json]
+                   [--format text|json] [--deadline-secs S]
   rfstudy dataflow --bench NAME [--window N] [--count N]
   rfstudy report   [--ledger FILE] [--baseline REV | --window N]
                    [--format text|markdown] [--out FILE] [--prom FILE]
@@ -630,6 +673,9 @@ USAGE:
   rfstudy profile  [--bench NAME] [--width N] [--exceptions MODEL]
                    [--regs N] [--commits N] [--seed N]
                    [--format flame|json|text] [--top N] [--out FILE]
+                   [--deadline-secs S]
+  rfstudy top      [--file FILE] [--ledger FILE] [--interval-ms N]
+                   [--once] [--spawn]
   rfstudy timing   [--width N]
   rfstudy dump     --trace FILE [--count N]
   rfstudy help
@@ -675,7 +721,9 @@ MODEL OPTIONS:
   --check, every configuration is additionally simulated and the model
   prediction is compared against the measurement: exits non-zero when
   the mean absolute IPC error, any single configuration's error, or a
-  register-pressure bracket leaves the accepted bands.
+  register-pressure bracket leaves the accepted bands. --deadline-secs
+  bounds the wall time of the --check simulation batch (overrunning
+  configurations fail and rfstudy exits 1).
 
 REPORT OPTIONS:
   reads the run-history ledger written by the `all` suite binary
@@ -702,6 +750,21 @@ PROFILE OPTIONS:
   plus a coverage line, flame is collapsed-stack text every standard
   flamegraph renderer loads, json is the ledger's profile-tree
   encoding. --out FILE writes the rendering instead of stdout.
+  --deadline-secs bounds the wall time of the instrumented batch
+  (an overrunning run is cancelled and rfstudy exits 1).
+
+TOP OPTIONS:
+  attaches to the live telemetry stream a suite run started with
+  RF_TELEMETRY=1 writes (default results/telemetry/live.jsonl; --file
+  overrides) and renders an in-place terminal view: per-worker
+  utilization bars, sims in flight / done / total, commits per second,
+  cache hit rate, and an ETA weighted by per-harness medians from the
+  run-history ledger (--ledger overrides the default
+  results/history/suite.jsonl). --interval-ms sets the refresh period
+  (default 500). --once renders a single frame and exits — useful in
+  scripts and CI. --spawn launches the suite binary itself with
+  RF_TELEMETRY=1 set and attaches to it, so a one-command live run
+  needs no second terminal.
 
 EXIT STATUS:
   0  success
@@ -841,11 +904,12 @@ mod tests {
     #[test]
     fn parses_model_with_pins_check_and_format() {
         match parse(&argv("model")).unwrap() {
-            Command::Model { pins, check, format } => {
+            Command::Model { pins, check, format, deadline_secs } => {
                 assert_eq!(pins.bench, None);
                 assert_eq!(pins.seed, 12);
                 assert!(!check);
                 assert_eq!(format, ModelFormat::Text);
+                assert_eq!(deadline_secs, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -855,7 +919,7 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Model { pins, check, format } => {
+            Command::Model { pins, check, format, .. } => {
                 assert_eq!(pins.bench.as_deref(), Some("tomcatv"));
                 assert_eq!(pins.width, Some(8));
                 assert_eq!(pins.exceptions, Some(ExceptionModel::Imprecise));
@@ -869,6 +933,22 @@ mod tests {
         }
         let err = parse(&argv("model --format xml")).unwrap_err();
         assert!(err.contains("text or json"), "{err}");
+    }
+
+    #[test]
+    fn model_parses_a_deadline_and_rejects_malformed_ones() {
+        match parse(&argv("model --check --deadline-secs 4.5")).unwrap() {
+            Command::Model { check, deadline_secs, .. } => {
+                assert!(check);
+                assert_eq!(deadline_secs, Some(4.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in ["0", "-2", "nan", "inf", "abc"] {
+            let err =
+                parse(&argv(&format!("model --check --deadline-secs {bad}"))).unwrap_err();
+            assert!(err.contains("positive number of seconds"), "{bad}: {err}");
+        }
     }
 
     #[test]
@@ -985,7 +1065,7 @@ mod tests {
     #[test]
     fn parses_profile_with_defaults_and_pins() {
         match parse(&argv("profile")).unwrap() {
-            Command::Profile { pins, format, top, out } => {
+            Command::Profile { pins, format, top, out, deadline_secs } => {
                 assert_eq!(pins.bench, None);
                 assert_eq!(pins.width, None);
                 assert_eq!(pins.exceptions, None);
@@ -995,6 +1075,7 @@ mod tests {
                 assert_eq!(format, ProfileFormat::Text);
                 assert_eq!(top, 20);
                 assert_eq!(out, None);
+                assert_eq!(deadline_secs, None);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1004,7 +1085,7 @@ mod tests {
         ))
         .unwrap()
         {
-            Command::Profile { pins, format, top, out } => {
+            Command::Profile { pins, format, top, out, .. } => {
                 assert_eq!(pins.bench.as_deref(), Some("tomcatv"));
                 assert_eq!(pins.width, Some(8));
                 assert_eq!(pins.exceptions, Some(ExceptionModel::Imprecise));
@@ -1019,6 +1100,49 @@ mod tests {
         }
         let err = parse(&argv("profile --format xml")).unwrap_err();
         assert!(err.contains("flame, json, or text"), "{err}");
+    }
+
+    #[test]
+    fn profile_parses_a_deadline_and_rejects_malformed_ones() {
+        match parse(&argv("profile --bench ora --deadline-secs 3.5")).unwrap() {
+            Command::Profile { deadline_secs, .. } => assert_eq!(deadline_secs, Some(3.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+        for bad in ["0", "-2", "nan", "inf", "abc"] {
+            let err = parse(&argv(&format!("profile --deadline-secs {bad}"))).unwrap_err();
+            assert!(err.contains("positive number of seconds"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_top_with_defaults_and_options() {
+        match parse(&argv("top")).unwrap() {
+            Command::Top { file, ledger, interval_ms, once, spawn } => {
+                assert_eq!(file, rf_obs::live::LIVE_PATH);
+                assert_eq!(ledger, rf_obs::ledger::LEDGER_PATH);
+                assert_eq!(interval_ms, 500);
+                assert!(!once);
+                assert!(!spawn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match parse(&argv(
+            "top --file /tmp/live.jsonl --ledger /tmp/l.jsonl --interval-ms 100 \
+             --once --spawn",
+        ))
+        .unwrap()
+        {
+            Command::Top { file, ledger, interval_ms, once, spawn } => {
+                assert_eq!(file, "/tmp/live.jsonl");
+                assert_eq!(ledger, "/tmp/l.jsonl");
+                assert_eq!(interval_ms, 100);
+                assert!(once);
+                assert!(spawn);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("top --interval-ms 0")).is_err());
+        assert!(parse(&argv("top --interval-ms fast")).is_err());
     }
 
     #[test]
@@ -1074,7 +1198,7 @@ mod tests {
     fn usage_lists_every_subcommand() {
         for sub in [
             "list", "run", "trace", "record", "replay", "check", "model", "dataflow",
-            "report", "profile", "timing", "dump",
+            "report", "profile", "top", "timing", "dump",
         ] {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }

@@ -1,8 +1,8 @@
 //! The `rfstudy` command-line simulator.
 //!
 //! Run `rfstudy help` for usage. Commands: `list`, `run`, `record`,
-//! `replay`, `check`, `model`, `profile`, `dump`, `dataflow`, `report`,
-//! `timing`.
+//! `replay`, `check`, `model`, `profile`, `top`, `dump`, `dataflow`,
+//! `report`, `timing`.
 //!
 //! Exit status: 0 on success, 1 on a runtime failure (simulation error,
 //! sanitizer violation, failed gate, exceeded deadline), 2 on a usage
@@ -162,8 +162,15 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             run_replay(&trace, insts, target, &machine)
         }
         Command::Check { pins, deadline_secs } => run_check(&pins, deadline_secs),
-        Command::Model { pins, check, format } => run_model(&pins, check, format),
-        Command::Profile { pins, format, top, out } => run_profile(&pins, format, top, out),
+        Command::Model { pins, check, format, deadline_secs } => {
+            run_model(&pins, check, format, deadline_secs)
+        }
+        Command::Profile { pins, format, top, out, deadline_secs } => {
+            run_profile(&pins, format, top, out, deadline_secs)
+        }
+        Command::Top { file, ledger, interval_ms, once, spawn } => {
+            run_top(&file, &ledger, interval_ms, once, spawn)
+        }
         Command::Report {
             ledger,
             baseline,
@@ -323,7 +330,12 @@ const MODEL_MEAN_ERR_CAP_PCT: f64 = 15.0;
 /// change inside a matrix slice (registers, exception model) enter only
 /// at evaluation time — so they are memoized and each configuration is
 /// a microsecond-scale closed-form evaluation on a cached summary.
-fn run_model(pins: &cli::MatrixPins, check: bool, format: cli::ModelFormat) -> Result<(), String> {
+fn run_model(
+    pins: &cli::MatrixPins,
+    check: bool,
+    format: cli::ModelFormat,
+    deadline_secs: Option<f64>,
+) -> Result<(), String> {
     let matrix = pins.expand()?;
     let extract = std::time::Instant::now();
     let mut summaries: HashMap<(String, usize), rf_model::WorkloadSummary> = HashMap::new();
@@ -354,7 +366,7 @@ fn run_model(pins: &cli::MatrixPins, check: bool, format: cli::ModelFormat) -> R
     let eval_ns = eval.elapsed().as_nanos() as u64;
 
     if check {
-        return model_check(&matrix, &summaries, &estimates, extract_ns, eval_ns);
+        return model_check(&matrix, &summaries, &estimates, extract_ns, eval_ns, deadline_secs);
     }
     match format {
         cli::ModelFormat::Json => {
@@ -414,18 +426,23 @@ fn run_model(pins: &cli::MatrixPins, check: bool, format: cli::ModelFormat) -> R
 /// within [`MODEL_CONFIG_ERR_CAP_PCT`], matrix-wide mean within
 /// [`MODEL_MEAN_ERR_CAP_PCT`], and every register-pressure peak inside
 /// the static oracle's [floor, ceiling] bracket (the same bracket
-/// `rfstudy check` holds the simulator to).
+/// `rfstudy check` holds the simulator to). The optional deadline
+/// bounds the whole validation batch, matching `rfstudy check`.
 fn model_check(
     matrix: &[CheckParams],
     summaries: &HashMap<(String, usize), rf_model::WorkloadSummary>,
     estimates: &[rf_model::ModelEstimate],
     extract_ns: u64,
     eval_ns: u64,
+    deadline_secs: Option<f64>,
 ) -> Result<(), String> {
-    use rf_experiments::runner::{RunCache, SimPool};
+    use rf_experiments::runner::{BatchOpts, RunCache, SimPool};
     let specs: Vec<_> = matrix.iter().map(spec_for).collect();
+    let opts = deadline_secs.map_or_else(BatchOpts::unbounded, |secs| {
+        BatchOpts::with_deadline(std::time::Duration::from_secs_f64(secs))
+    });
     let sim_wall = std::time::Instant::now();
-    let results = SimPool::from_env().try_run_many_cached(&specs, &RunCache::disabled());
+    let results = SimPool::from_env().try_run_many_opts(&specs, &RunCache::disabled(), opts);
     let sim_ns = sim_wall.elapsed().as_nanos() as u64;
 
     let mut failures = 0u64;
@@ -505,17 +522,21 @@ fn run_profile(
     format: cli::ProfileFormat,
     top: usize,
     out: Option<String>,
+    deadline_secs: Option<f64>,
 ) -> Result<(), String> {
-    use rf_experiments::runner::{RunCache, SimPool};
+    use rf_experiments::runner::{BatchOpts, RunCache, SimPool};
     let matrix = pins.expand()?;
     let commits = matrix.first().map_or(0, |p| p.commits);
     let specs: Vec<_> = matrix.iter().map(spec_for).collect();
+    let opts = deadline_secs.map_or_else(BatchOpts::unbounded, |secs| {
+        BatchOpts::with_deadline(std::time::Duration::from_secs_f64(secs))
+    });
 
     rf_prof::set_enabled(true);
     let wall = std::time::Instant::now();
     // A fresh disabled cache so every configuration actually simulates:
     // cache hits would attribute near-zero time and skew the profile.
-    let results = SimPool::new(1).try_run_many_cached(&specs, &RunCache::disabled());
+    let results = SimPool::new(1).try_run_many_opts(&specs, &RunCache::disabled(), opts);
     let wall_ns = wall.elapsed().as_nanos() as u64;
     let root = rf_prof::collect();
     rf_prof::set_enabled(false);
@@ -549,6 +570,281 @@ fn run_profile(
             );
         }
         None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+/// Harness execution order from the most recent ledger record. The
+/// median map is keyed by name and loses order, but the latest record's
+/// harness array preserves the order the suite actually ran in.
+fn latest_plan(records: &[rf_obs::json::Value]) -> Vec<String> {
+    records
+        .last()
+        .and_then(|r| r.get("harnesses"))
+        .and_then(rf_obs::json::Value::as_array)
+        .map(|hs| hs.iter().filter_map(|h| h.get_str("name").map(str::to_owned)).collect())
+        .unwrap_or_default()
+}
+
+/// Suite ETA in seconds: each remaining harness is charged its ledger
+/// median (names without history are charged the median of the known
+/// medians), and the in-flight harness is charged whatever of its
+/// median is left. `None` without a plan or any history — an honest
+/// "unknown" beats a fabricated zero.
+fn top_eta(
+    plan: &[String],
+    medians: &[(String, f64)],
+    suite: &rf_obs::live::SuiteView,
+) -> Option<f64> {
+    if plan.is_empty() || medians.is_empty() {
+        return None;
+    }
+    let mut known: Vec<f64> = medians.iter().map(|(_, s)| *s).collect();
+    known.sort_by(f64::total_cmp);
+    let mid = known.len() / 2;
+    let fallback =
+        if known.len().is_multiple_of(2) { (known[mid - 1] + known[mid]) / 2.0 } else { known[mid] };
+    let cost =
+        |name: &str| medians.iter().find(|(n, _)| n == name).map_or(fallback, |(_, s)| *s);
+    let mut eta = 0.0;
+    for name in plan.iter().skip(suite.done as usize) {
+        if Some(name.as_str()) == suite.current.as_deref() {
+            eta += (cost(name) - suite.current_elapsed_s).max(0.0);
+        } else {
+            eta += cost(name);
+        }
+    }
+    Some(eta)
+}
+
+/// `[#####-----]` with `frac` of `width` cells filled.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("[{}{}]", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+/// `1234567.0` -> `"1.23M"`; keeps dashboard columns narrow.
+fn human_count(n: f64) -> String {
+    if n >= 1e9 {
+        format!("{:.2}G", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2}M", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1}k", n / 1e3)
+    } else {
+        format!("{n:.0}")
+    }
+}
+
+/// One dashboard frame for `rfstudy top`, rendered from the parsed
+/// telemetry stream. Rates and worker utilization come from the delta
+/// between the last two snapshots (cumulative values when only one
+/// exists yet); the ETA weighs the remaining plan by ledger medians.
+fn render_top_frame(
+    file: &str,
+    header: Option<&rf_obs::live::StreamHeader>,
+    snaps: &[rf_obs::live::Snap],
+    plan: &[String],
+    medians: &[(String, f64)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "rfstudy top — {file}");
+    let Some(last) = snaps.last() else {
+        let _ = writeln!(out, "waiting for first snapshot...");
+        return out;
+    };
+    if let Some(h) = header {
+        let _ = writeln!(
+            out,
+            "run: commits={} jobs={} interval={}ms   elapsed {:.1}s{}",
+            h.commits,
+            h.jobs,
+            h.interval_ms,
+            last.elapsed_s,
+            if last.is_final { "   FINISHED" } else { "" },
+        );
+    }
+    let s = &last.suite;
+    let done_frac = if s.total > 0 { s.done as f64 / s.total as f64 } else { 0.0 };
+    let current = s
+        .current
+        .as_ref()
+        .map_or_else(String::new, |n| format!("   current {n} ({:.1}s)", s.current_elapsed_s));
+    let eta = top_eta(plan, medians, s)
+        .map_or_else(|| "--".to_owned(), |e| format!("{e:.1}s"));
+    let _ = writeln!(
+        out,
+        "suite: {} {}/{} harnesses{current}   eta {eta}",
+        bar(done_frac, 20),
+        s.done,
+        s.total,
+    );
+    let c = &last.counters;
+    let prev = (snaps.len() >= 2).then(|| &snaps[snaps.len() - 2]);
+    let (delta_committed, window_s) = match prev {
+        Some(p) => (
+            c.instructions_committed.saturating_sub(p.counters.instructions_committed) as f64,
+            last.elapsed_s - p.elapsed_s,
+        ),
+        None => (c.instructions_committed as f64, last.elapsed_s),
+    };
+    let rate = if window_s > 0.0 { delta_committed / window_s } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "sims: {} done / {} failed / {} cached / {} pruned ({} started, {} in flight)   \
+         commits/s {}",
+        c.sims_completed,
+        c.sims_failed,
+        c.sims_cached,
+        c.sims_pruned,
+        c.sims_started,
+        c.sims_started.saturating_sub(c.sims_completed + c.sims_failed),
+        human_count(rate),
+    );
+    let lookups = c.cache_hits + c.cache_misses;
+    let hit_pct = if lookups > 0 { 100.0 * c.cache_hits as f64 / lookups as f64 } else { 0.0 };
+    let _ = writeln!(
+        out,
+        "cache: {} hits / {} misses ({hit_pct:.1}% hit rate)   evictions {}   committed {}",
+        c.cache_hits,
+        c.cache_misses,
+        c.cache_evictions,
+        human_count(c.instructions_committed as f64),
+    );
+    if !last.workers.is_empty() {
+        let _ = writeln!(out, "workers:");
+        for w in &last.workers {
+            let base = prev
+                .and_then(|p| p.workers.iter().find(|pw| pw.id == w.id))
+                .map_or(0, |pw| pw.busy_ns);
+            let busy_s = w.busy_ns.saturating_sub(base) as f64 / 1e9;
+            let util = if window_s > 0.0 { busy_s / window_s } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  w{} {} {:>5.1}%  {} sims",
+                w.id,
+                bar(util, 20),
+                100.0 * util,
+                w.sims,
+            );
+        }
+    }
+    out
+}
+
+/// The `top` subcommand: attaches to the live telemetry stream the
+/// suite runner writes under `RF_TELEMETRY=1` and renders an in-place
+/// dashboard (suite progress, throughput, cache effectiveness, worker
+/// utilization, ledger-weighted ETA), refreshed every `interval_ms`
+/// until the stream's final snapshot arrives. `--once` renders a single
+/// plain frame (no escape codes) and exits, failing immediately when
+/// the stream is missing or malformed. `--spawn` resets the stream
+/// file, launches the suite runner (`all`, expected next to this
+/// executable) with telemetry enabled, attaches to it, and propagates
+/// its exit status.
+fn run_top(
+    file: &str,
+    ledger_path: &str,
+    interval_ms: u64,
+    once: bool,
+    spawn: bool,
+) -> Result<(), String> {
+    let mut child = None;
+    if spawn {
+        let exe =
+            std::env::current_exe().map_err(|e| format!("cannot locate this executable: {e}"))?;
+        let suite = exe.with_file_name("all");
+        // A stale stream ending in a final snapshot would end the attach
+        // loop before the new run writes its header.
+        match std::fs::remove_file(file) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot reset {file}: {e}")),
+        }
+        let spawned = std::process::Command::new(&suite)
+            .env("RF_TELEMETRY", "1")
+            .env("RF_TELEMETRY_INTERVAL_MS", interval_ms.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn suite runner {}: {e}", suite.display()))?;
+        child = Some(spawned);
+    }
+    if once {
+        // One-shot with a spawned run: wait it out, then render its
+        // closing frame below instead of leaving an orphan behind.
+        if let Some(c) = child.as_mut() {
+            let status =
+                c.wait().map_err(|e| format!("cannot reap spawned suite runner: {e}"))?;
+            if !status.success() {
+                return Err(format!("spawned suite runner failed ({status})"));
+            }
+        }
+    }
+
+    let records =
+        rf_obs::ledger::read_ledger(std::path::Path::new(ledger_path)).unwrap_or_default();
+    let plan = latest_plan(&records);
+    let mut reported_wait = false;
+    let mut child_already_exited = false;
+    loop {
+        let parsed = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read {file}: {e}"))
+            .and_then(|text| rf_obs::live::parse_stream(&text));
+        match parsed {
+            Ok((header, snaps)) => {
+                let medians = rf_obs::ledger::harness_median_seconds(
+                    &records,
+                    header.as_ref().map(|h| h.commits),
+                );
+                let frame = render_top_frame(file, header.as_ref(), &snaps, &plan, &medians);
+                if once {
+                    print!("{frame}");
+                    return Ok(());
+                }
+                // Clear + home: redraw in place instead of scrolling.
+                print!("\x1b[2J\x1b[H{frame}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                if snaps.last().is_some_and(|s| s.is_final) {
+                    break;
+                }
+                if child_already_exited {
+                    // One grace poll already happened; the run died
+                    // without closing its stream.
+                    return Err(format!(
+                        "spawned suite runner exited without a final snapshot in {file}"
+                    ));
+                }
+            }
+            Err(e) => {
+                // Attaching before the run starts and torn in-flight
+                // appends are both transient while a producer may still
+                // show up; `--once` treats them as hard errors instead.
+                if once {
+                    return Err(e);
+                }
+                if !reported_wait {
+                    println!("waiting for telemetry stream: {e}");
+                    reported_wait = true;
+                }
+            }
+        }
+        if let Some(c) = child.as_mut() {
+            if !child_already_exited && matches!(c.try_wait(), Ok(Some(_))) {
+                // Grant one more poll so a final snapshot racing the
+                // process exit still gets rendered.
+                child_already_exited = true;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    if let Some(mut c) = child {
+        let status = c.wait().map_err(|e| format!("cannot reap spawned suite runner: {e}"))?;
+        if !status.success() {
+            return Err(format!("spawned suite runner failed ({status})"));
+        }
     }
     Ok(())
 }
@@ -623,5 +919,121 @@ fn print_stats(name: &str, stats: &SimStats) {
         let p90 = stats.live_percentile(class, LiveModel::Precise, 90.0);
         let i90 = stats.live_percentile(class, LiveModel::Imprecise, 90.0);
         println!("{label} live regs (90th)  : precise {p90}, imprecise {i90}");
+    }
+}
+
+#[cfg(test)]
+mod top_tests {
+    use super::*;
+    use rf_obs::live::{CounterSnapshot, Snap, SuiteView, WorkerSample};
+
+    fn plan() -> Vec<String> {
+        vec!["fig3".into(), "fig4".into(), "mystery".into()]
+    }
+
+    fn medians() -> Vec<(String, f64)> {
+        vec![("fig3".into(), 1.0), ("fig4".into(), 3.0)]
+    }
+
+    fn suite(done: u64, current: Option<&str>, current_elapsed_s: f64) -> SuiteView {
+        SuiteView { total: 3, done, current: current.map(str::to_owned), current_elapsed_s }
+    }
+
+    #[test]
+    fn eta_charges_remaining_harnesses_and_the_partial_current_one() {
+        // Nothing started: 1.0 + 3.0 + 2.0 (unknown name charged the
+        // median of the known medians).
+        assert_eq!(top_eta(&plan(), &medians(), &suite(0, None, 0.0)), Some(6.0));
+        // fig4 one second in: (3 - 1) + 2.
+        assert_eq!(top_eta(&plan(), &medians(), &suite(1, Some("fig4"), 1.0)), Some(4.0));
+        // Overrun current harness clamps at zero, never negative.
+        assert_eq!(top_eta(&plan(), &medians(), &suite(1, Some("fig4"), 99.0)), Some(2.0));
+        assert_eq!(top_eta(&plan(), &medians(), &suite(3, None, 0.0)), Some(0.0));
+        assert_eq!(top_eta(&[], &medians(), &suite(0, None, 0.0)), None);
+        assert_eq!(top_eta(&plan(), &[], &suite(0, None, 0.0)), None);
+    }
+
+    #[test]
+    fn bar_fills_proportionally_and_clamps() {
+        assert_eq!(bar(0.5, 4), "[##--]");
+        assert_eq!(bar(-1.0, 4), "[----]");
+        assert_eq!(bar(7.0, 4), "[####]");
+    }
+
+    #[test]
+    fn human_count_picks_sensible_units() {
+        assert_eq!(human_count(12.0), "12");
+        assert_eq!(human_count(1_500.0), "1.5k");
+        assert_eq!(human_count(2_000_000.0), "2.00M");
+        assert_eq!(human_count(3_500_000_000.0), "3.50G");
+    }
+
+    fn snap(seq: u64, elapsed_s: f64, committed: u64, busy_ns: u64, is_final: bool) -> Snap {
+        Snap {
+            seq,
+            elapsed_s,
+            is_final,
+            counters: CounterSnapshot {
+                sims_started: 10,
+                sims_completed: 7,
+                sims_failed: 1,
+                sims_cached: 2,
+                sims_pruned: 3,
+                instructions_committed: committed,
+                cycles: committed / 2,
+                cycles_skipped: 0,
+                wakeup_events: 0,
+                cache_hits: 2,
+                cache_misses: 6,
+                cache_evictions: 1,
+            },
+            workers: vec![WorkerSample { id: 0, busy_ns, sims: 7 }],
+            suite: suite(1, Some("fig4"), 0.5),
+            digest: is_final.then(|| "feedbeef".to_owned()),
+        }
+    }
+
+    #[test]
+    fn frame_rates_and_utilization_come_from_the_last_window() {
+        let header = rf_obs::live::StreamHeader {
+            schema: rf_obs::live::SNAPSHOT_SCHEMA_VERSION,
+            interval_ms: 250,
+            commits: 200_000,
+            jobs: 2,
+        };
+        // Window: 1s wall, 2M commits, worker 0 busy 0.5s -> 50%.
+        let snaps =
+            vec![snap(1, 1.0, 1_000_000, 0, false), snap(2, 2.0, 3_000_000, 500_000_000, false)];
+        let frame = render_top_frame("live.jsonl", Some(&header), &snaps, &plan(), &medians());
+        assert!(frame.contains("commits/s 2.00M"), "{frame}");
+        assert!(frame.contains("w0 [##########----------]  50.0%  7 sims"), "{frame}");
+        assert!(frame.contains("1/3 harnesses   current fig4 (0.5s)"), "{frame}");
+        // fig4 charged (3 - 0.5) + mystery charged 2.
+        assert!(frame.contains("eta 4.5s"), "{frame}");
+        assert!(frame.contains("7 done / 1 failed / 2 cached / 3 pruned"), "{frame}");
+        assert!(frame.contains("(25.0% hit rate)"), "{frame}");
+        assert!(!frame.contains("FINISHED"));
+
+        let fin = vec![snaps[1].clone(), snap(3, 3.0, 3_000_000, 500_000_000, true)];
+        let final_frame =
+            render_top_frame("live.jsonl", Some(&header), &fin, &plan(), &medians());
+        assert!(final_frame.contains("FINISHED"), "{final_frame}");
+    }
+
+    #[test]
+    fn frame_without_snapshots_says_it_is_waiting() {
+        let frame = render_top_frame("live.jsonl", None, &[], &[], &[]);
+        assert!(frame.contains("rfstudy top — live.jsonl"));
+        assert!(frame.contains("waiting for first snapshot"), "{frame}");
+    }
+
+    #[test]
+    fn latest_plan_reads_harness_order_from_the_newest_record() {
+        let records = vec![
+            rf_obs::json::parse(r#"{"harnesses":[{"name":"old"}]}"#).unwrap(),
+            rf_obs::json::parse(r#"{"harnesses":[{"name":"fig3"},{"name":"fig4"}]}"#).unwrap(),
+        ];
+        assert_eq!(latest_plan(&records), vec!["fig3".to_owned(), "fig4".to_owned()]);
+        assert!(latest_plan(&[]).is_empty());
     }
 }

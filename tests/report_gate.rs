@@ -59,6 +59,7 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         headlines,
         model_error: None,
         alloc: None,
+        telemetry: None,
     }
 }
 
