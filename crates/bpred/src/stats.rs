@@ -29,6 +29,21 @@ impl PredictorStats {
         Self::default()
     }
 
+    /// Reconstitutes an accumulator from raw counts, e.g. when decoding
+    /// serialized statistics. `mispredicted` must not exceed `predicted`.
+    ///
+    /// # Panics
+    ///
+    /// If `mispredicted > predicted` — such a pair can never have been
+    /// produced by [`PredictorStats::record`].
+    pub fn from_counts(predicted: u64, mispredicted: u64) -> Self {
+        assert!(
+            mispredicted <= predicted,
+            "mispredicted ({mispredicted}) exceeds predicted ({predicted})"
+        );
+        Self { predicted, mispredicted }
+    }
+
     /// Records one executed conditional branch.
     #[inline]
     pub fn record(&mut self, predicted_taken: bool, actual_taken: bool) {

@@ -18,7 +18,7 @@ use crate::runner::{
 use rf_core::{skip_telemetry, NullObserver, Observer as _, Pipeline, StallCause};
 use rf_obs::ledger::{
     AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
-    TelemetryRecord,
+    StoreRecord, TelemetryRecord,
 };
 use rf_obs::Recorder;
 use rf_workload::{spec92, TraceGenerator};
@@ -463,6 +463,18 @@ impl SuiteBench {
         }
         let _ = writeln!(out, "  \"cache_evictions\": {},", cache.evictions());
         let _ = writeln!(out, "  \"cache_resident_bytes\": {},", cache.resident_bytes());
+        match crate::runner::store_counters() {
+            Some((hits, misses, writes)) => {
+                let _ = writeln!(
+                    out,
+                    "  \"store\": {{\"hits\": {hits}, \"misses\": {misses}, \
+                     \"writes\": {writes}}},"
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"store\": null,");
+            }
+        }
         match self.speedup {
             Some(s) => {
                 let _ = writeln!(out, "  \"speedup_vs_1_worker\": {s:.2},");
@@ -635,6 +647,8 @@ impl SuiteBench {
             model_error: self.model_error.clone(),
             alloc,
             telemetry: self.telemetry.clone(),
+            store: crate::runner::store_counters()
+                .map(|(hits, misses, writes)| StoreRecord { hits, misses, writes }),
         }
     }
 
@@ -746,6 +760,7 @@ mod tests {
             "\"committed_per_second\"",
             "\"cache_hits\"",
             "\"cache_misses\"",
+            "\"store\"",
             "\"speedup_vs_1_worker\": null",
             "\"sanitizer\": null",
             "\"harnesses\"",
@@ -921,6 +936,8 @@ mod tests {
         assert!(probe.cycles > 0);
         assert_eq!(record.headlines.len(), 1);
         assert!(!record.git_rev.is_empty());
+        // The store tier is off in tests, so the block renders null.
+        assert!(record.store.is_none());
         // The record renders as one valid ledger line.
         let line = record.to_line();
         rf_obs::json::validate(&line).expect("ledger line must be valid JSON");

@@ -31,7 +31,9 @@
 //!
 //! RF_JOBS sets the number of parallel simulation workers (default: all
 //! cores); RF_CACHE=0/off/false/no disables the shared run cache;
-//! RF_CACHE_CAP bounds it; RF_LOG=text|json emits a structured progress
+//! RF_CACHE_CAP bounds it; RF_STORE=1 layers the durable on-disk run
+//! store under the cache (warm re-runs replay results byte-identically
+//! from `RF_STORE_DIR`); RF_LOG=text|json emits a structured progress
 //! line on stderr as each harness finishes plus a final suite-summary
 //! record. With the `fault-probe` feature, RF_FAULT=<harness> injects a
 //! panicking simulation into that harness (the CI smoke path).
@@ -69,6 +71,10 @@ environment:
   RF_JOBS         parallel simulation workers (default: all cores)
   RF_CACHE        0/off/false/no disables the shared run cache
   RF_CACHE_CAP    same as --cache-cap
+  RF_STORE        1/on/true/yes enables the durable content-addressed
+                  run store: executed results persist under RF_STORE_DIR
+                  and warm re-runs are served from disk byte-identically
+  RF_STORE_DIR    store directory (default: results/store)
   RF_LOG          text|json progress lines on stderr
   RF_PREFILTER    1/on/true/yes lets the rf-model analytic prefilter
                   prune saturated register-sweep points (substituted
@@ -360,6 +366,13 @@ fn run_suite(scale: &Scale) -> std::io::Result<ExitCode> {
             m.mean_abs_pct_err, m.configs, m.worst_pct_err, m.worst_config
         );
         bench.set_model_error(m);
+    }
+    // Seal the durable store once, after the last batch: per-append
+    // fsyncs would serialize the pool on disk latency, and an unsynced
+    // tail is dropped cleanly by the next reader's checksum scan.
+    runner::store_sync();
+    if let Some((hits, misses, writes)) = runner::store_counters() {
+        println!("store: {hits} hits, {misses} misses, {writes} writes");
     }
     let json = bench.to_json();
     fs::write("results/BENCH_suite.json", &json)?;

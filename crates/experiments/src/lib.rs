@@ -45,6 +45,7 @@
 pub mod ablation;
 pub mod aggregate;
 pub mod bench;
+pub mod codec;
 pub mod dataflow;
 pub mod extensions;
 pub mod fig10;

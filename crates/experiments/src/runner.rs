@@ -61,8 +61,9 @@ fn env_u64(name: &str) -> Result<Option<u64>, String> {
 }
 
 /// Validates every runner environment variable (`RF_COMMITS`, `RF_JOBS`,
-/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_PREFILTER`, `RF_PROFILE`,
-/// `RF_TELEMETRY`, `RF_TELEMETRY_INTERVAL_MS`, `RF_METRICS_ADDR`)
+/// `RF_CACHE`, `RF_CACHE_CAP`, `RF_PREFILTER`, `RF_STORE`,
+/// `RF_STORE_DIR`, `RF_PROFILE`, `RF_TELEMETRY`,
+/// `RF_TELEMETRY_INTERVAL_MS`, `RF_METRICS_ADDR`)
 /// without acting on any of them, so a binary can fail fast with one
 /// clear message before doing work.
 ///
@@ -74,9 +75,40 @@ pub fn validate_env() -> Result<(), String> {
     SimPool::try_from_env()?;
     cache_env_mode()?;
     prefilter_env_mode()?;
+    store_env_mode()?;
     rf_prof::env_mode()?;
     rf_obs::live::env_config()?;
     Ok(())
+}
+
+/// Validates the `RF_STORE` toggle and `RF_STORE_DIR` path for the
+/// durable on-disk run store, returning the store directory when
+/// enabled (unset means disabled; the default directory is
+/// `results/store`). `RF_STORE_DIR` is validated even while the store
+/// is off, so a typo can't lie dormant until the first `RF_STORE=1`
+/// run.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed value.
+pub fn store_env_mode() -> Result<Option<std::path::PathBuf>, String> {
+    let dir = match std::env::var("RF_STORE_DIR") {
+        Err(_) => std::path::PathBuf::from("results/store"),
+        Ok(raw) if raw.trim().is_empty() => {
+            return Err(format!("RF_STORE_DIR={raw:?} is empty"));
+        }
+        Ok(raw) => std::path::PathBuf::from(raw),
+    };
+    match std::env::var("RF_STORE") {
+        Err(_) => Ok(None),
+        Ok(raw) => match raw.to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" | "no" => Ok(None),
+            "1" | "on" | "true" | "yes" => Ok(Some(dir)),
+            _ => Err(format!(
+                "RF_STORE={raw:?} is not recognized (use 0/off/false/no or 1/on/true/yes)"
+            )),
+        },
+    }
 }
 
 /// Validates the `RF_PREFILTER` toggle for analytic-model sweep
@@ -664,11 +696,17 @@ pub fn cache_env_mode() -> Result<(bool, Option<usize>), String> {
     Ok((enabled, cap))
 }
 
-/// The interior of a [`RunCache`]: the spec→stats map plus the LRU
+/// The interior of a [`RunCache`]: the digest→entry map plus the LRU
 /// clock and byte accounting, all guarded by one mutex.
+///
+/// Keys are the *stable* content digests from [`crate::codec`] — the
+/// same identity the on-disk store uses — not std's per-process
+/// randomized `Hash` of the spec. Each entry retains its full spec and
+/// lookups verify it, so even a digest collision cannot serve another
+/// spec's results.
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: HashMap<RunSpec, CacheEntry>,
+    map: HashMap<rf_store::Digest, CacheEntry>,
     /// Monotonic use counter; each `get` hit and each `insert` stamps
     /// the entry, so the minimum stamp is the least-recently-used entry.
     clock: u64,
@@ -676,22 +714,22 @@ struct CacheInner {
     bytes: u64,
 }
 
-/// One cached result with its LRU stamp and size accounting.
+/// One cached result with its originating spec (verified on lookup),
+/// LRU stamp, and size accounting.
 #[derive(Debug)]
 struct CacheEntry {
+    spec: RunSpec,
     stats: Arc<SimStats>,
     last_use: u64,
     bytes: u64,
 }
 
-/// Approximate resident size of one cache entry: the key's heap plus the
-/// stats record. Deterministic for equal `(spec, stats)` pairs, which
-/// keeps the ledger's byte accounting reproducible.
+/// Approximate resident size of one cache entry: the entry (which embeds
+/// its spec) plus the spec's heap and the stats record. Deterministic
+/// for equal `(spec, stats)` pairs, which keeps the ledger's byte
+/// accounting reproducible.
 fn entry_bytes(spec: &RunSpec, stats: &SimStats) -> u64 {
-    (std::mem::size_of::<RunSpec>()
-        + spec.benchmark.len()
-        + std::mem::size_of::<CacheEntry>()
-        + stats.approx_bytes()) as u64
+    (spec.benchmark.len() + std::mem::size_of::<CacheEntry>() + stats.approx_bytes()) as u64
 }
 
 /// A keyed memo of simulation results: [`RunSpec`] → [`SimStats`].
@@ -803,13 +841,18 @@ impl RunCache {
             }
             return None;
         }
+        let digest = crate::codec::spec_digest(spec);
         let mut inner = self.inner();
         inner.clock += 1;
         let now = inner.clock;
-        let found = inner.map.get_mut(spec).map(|entry| {
-            entry.last_use = now;
-            Arc::clone(&entry.stats)
-        });
+        let found = inner
+            .map
+            .get_mut(&digest)
+            .filter(|entry| entry.spec == *spec)
+            .map(|entry| {
+                entry.last_use = now;
+                Arc::clone(&entry.stats)
+            });
         drop(inner);
         match &found {
             Some(_) => {
@@ -837,7 +880,11 @@ impl RunCache {
         if self.disabled {
             return None;
         }
-        self.inner().map.get(spec).map(|entry| Arc::clone(&entry.stats))
+        self.inner()
+            .map
+            .get(&crate::codec::spec_digest(spec))
+            .filter(|entry| entry.spec == *spec)
+            .map(|entry| Arc::clone(&entry.stats))
     }
 
     /// Stores a result (no-op when disabled), evicting
@@ -847,11 +894,12 @@ impl RunCache {
             return;
         }
         let bytes = entry_bytes(&spec, &stats);
+        let digest = crate::codec::spec_digest(&spec);
         let mut inner = self.inner();
         inner.clock += 1;
         let now = inner.clock;
         if let Some(old) =
-            inner.map.insert(spec, CacheEntry { stats, last_use: now, bytes })
+            inner.map.insert(digest, CacheEntry { spec, stats, last_use: now, bytes })
         {
             inner.bytes -= old.bytes;
         }
@@ -861,7 +909,7 @@ impl RunCache {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| e.last_use)
-                .map(|(k, _)| k.clone())
+                .map(|(k, _)| *k)
                 .expect("over-capacity map is non-empty");
             let evicted = inner.map.remove(&victim).expect("victim just found");
             inner.bytes -= evicted.bytes;
@@ -905,6 +953,160 @@ impl RunCache {
     /// Whether the cache holds no results.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// The durable tier under the in-memory [`RunCache`]: a read-through /
+/// write-behind view of the on-disk [`rf_store::Store`] (`RF_STORE=1`).
+///
+/// Reads go through one [`rf_store::Snapshot`] opened at first use —
+/// batch resolution must be immune to concurrent appends and
+/// compactions by other processes. Writes append behind the executed
+/// result, deduplicated against the snapshot (same key-schema only) and
+/// against this process's own appends. Both sides share the cache's
+/// stable identity from [`crate::codec`], so a result written by any
+/// past process is a hit here.
+struct StoreTier {
+    store: rf_store::Store,
+    snapshot: rf_store::Snapshot,
+    /// Digests appended by this process (the snapshot cannot see them).
+    written: Mutex<std::collections::HashSet<rf_store::Digest>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    /// Latch so a persistent I/O failure warns once, not per record.
+    io_warned: std::sync::atomic::AtomicBool,
+}
+
+impl StoreTier {
+    /// The process-wide store tier: `None` when `RF_STORE` is off *or*
+    /// the store directory cannot be opened (a warning is printed and
+    /// the run proceeds purely in memory — a broken disk store must
+    /// never take the suite down).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `RF_STORE`/`RF_STORE_DIR` is malformed (on first use
+    /// only; binaries pre-validate with [`validate_env`]).
+    fn global() -> Option<&'static StoreTier> {
+        static TIER: OnceLock<Option<StoreTier>> = OnceLock::new();
+        TIER.get_or_init(|| {
+            let dir = store_env_mode().unwrap_or_else(|e| panic!("{e}"))?;
+            let opened = rf_store::Store::open(&dir)
+                .and_then(|store| Ok((store.snapshot()?, store)));
+            match opened {
+                Ok((snapshot, store)) => Some(StoreTier {
+                    store,
+                    snapshot,
+                    written: Mutex::new(std::collections::HashSet::new()),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    writes: AtomicU64::new(0),
+                    io_warned: std::sync::atomic::AtomicBool::new(false),
+                }),
+                Err(e) => {
+                    eprintln!(
+                        "warning: RF_STORE=1 but the store at {} cannot be opened \
+                         ({e}); continuing without the durable tier",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        })
+        .as_ref()
+    }
+
+    /// Looks up a spec in the snapshot, decoding its payload. Counts a
+    /// store hit or miss either way (store lookups happen only after an
+    /// in-memory cache miss, so store hits are a subset of cache
+    /// misses).
+    fn get(&self, spec: &RunSpec) -> Option<SimStats> {
+        let key = crate::codec::spec_key_bytes(spec);
+        let digest = rf_store::Digest::of(&key);
+        let found = self
+            .snapshot
+            .get(crate::codec::DIGEST_SCHEMA, &digest, &key)
+            .and_then(|payload| match crate::codec::decode_stats(&payload) {
+                Ok(stats) => Some(stats),
+                Err(e) => {
+                    self.warn_io(&format!("undecodable payload for {digest}: {e}"));
+                    None
+                }
+            });
+        match &found {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                rf_obs::live::store_hit();
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                rf_obs::live::store_miss();
+            }
+        }
+        found
+    }
+
+    /// Appends an executed result unless the store already has it under
+    /// the current key schema (or this process already appended it).
+    fn put(&self, spec: &RunSpec, stats: &SimStats) {
+        let key = crate::codec::spec_key_bytes(spec);
+        let digest = rf_store::Digest::of(&key);
+        if self.snapshot.contains_schema(crate::codec::DIGEST_SCHEMA, &digest) {
+            return;
+        }
+        {
+            let mut written =
+                self.written.lock().unwrap_or_else(PoisonError::into_inner);
+            if !written.insert(digest) {
+                return;
+            }
+        }
+        let payload = crate::codec::encode_stats(stats);
+        match self.store.append(crate::codec::DIGEST_SCHEMA, digest, &key, &payload) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                rf_obs::live::store_write();
+            }
+            Err(e) => self.warn_io(&format!("append failed: {e}")),
+        }
+    }
+
+    fn warn_io(&self, what: &str) {
+        if !self.io_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: run store at {}: {what} (further store warnings suppressed)",
+                self.store.dir().display()
+            );
+        }
+    }
+}
+
+/// The durable store tier's `(hits, misses, writes)` counters, `None`
+/// when `RF_STORE` is off (or the store failed to open). Misses count
+/// lookups that fell through to a real simulation; hits count sims
+/// served from disk.
+pub fn store_counters() -> Option<(u64, u64, u64)> {
+    StoreTier::global()
+        .map(|t| {
+            (
+                t.hits.load(Ordering::Relaxed),
+                t.misses.load(Ordering::Relaxed),
+                t.writes.load(Ordering::Relaxed),
+            )
+        })
+}
+
+/// Flushes the durable store tier (fsyncs the active segment). A no-op
+/// when `RF_STORE` is off. Binaries call this once after their last
+/// batch; per-append fsyncs would serialize the worker pool on disk
+/// latency for no recovery benefit (an unsynced tail is dropped cleanly
+/// by the next reader's checksum scan).
+pub fn store_sync() {
+    if let Some(tier) = StoreTier::global() {
+        if let Err(e) = tier.store.sync() {
+            tier.warn_io(&format!("sync failed: {e}"));
+        }
     }
 }
 
@@ -1068,12 +1270,23 @@ impl SimPool {
 
         // Resolve cache hits and deduplicate the remainder, preserving
         // first-appearance order for determinism. With the cache disabled
-        // every spec becomes its own task (the true uncached workload).
+        // every spec becomes its own task (the true uncached workload);
+        // the durable store tier follows the cache's enablement, so an
+        // explicitly uncached batch (e.g. the speedup probe) is also
+        // genuinely unstored.
+        let tier = if cache.is_enabled() { StoreTier::global() } else { None };
         let mut tasks: Vec<&RunSpec> = Vec::new();
         let mut needers: Vec<Vec<usize>> = Vec::new();
         let mut task_of: HashMap<&RunSpec, usize> = HashMap::new();
         for (i, spec) in specs.iter().enumerate() {
             if let Some(found) = cache.get(spec) {
+                results[i] = Some(Ok(found));
+            } else if let Some(found) = tier.and_then(|t| t.get(spec)) {
+                // Read-through: promote the disk record into the
+                // in-memory cache so the batch's own duplicates (and
+                // later batches) hit there.
+                let found = Arc::new(found);
+                cache.insert(spec.clone(), Arc::clone(&found));
                 results[i] = Some(Ok(found));
             } else if cache.is_enabled() {
                 let t = *task_of.entry(spec).or_insert_with(|| {
@@ -1113,6 +1326,13 @@ impl SimPool {
             let t = exec_idx[e];
             if let Ok(stats) = &outcome {
                 cache.insert(tasks[t].clone(), Arc::clone(stats));
+                // Write-behind: only *executed* outcomes reach the
+                // durable store. Substituted (pruned) results are
+                // estimates and sit below this point, so they can
+                // never be persisted as measurements.
+                if let Some(tier) = tier {
+                    tier.put(tasks[t], stats);
+                }
             }
             outcomes[t] = Some(outcome);
         }
@@ -1582,7 +1802,7 @@ mod tests {
 
     #[test]
     fn strict_env_parsing_rejects_malformed_values() {
-        // Env mutation is process-global, so this test owns all eight
+        // Env mutation is process-global, so this test owns all ten
         // variables for its duration and restores them at the end; it is
         // the only test in this binary that touches them.
         let vars = [
@@ -1591,13 +1811,15 @@ mod tests {
             "RF_CACHE",
             "RF_CACHE_CAP",
             "RF_PREFILTER",
+            "RF_STORE",
+            "RF_STORE_DIR",
             "RF_TELEMETRY",
             "RF_TELEMETRY_INTERVAL_MS",
             "RF_METRICS_ADDR",
         ];
         let saved: Vec<Option<String>> =
             vars.iter().map(|v| std::env::var(v).ok()).collect();
-        let cases: [(&str, &str, &str); 13] = [
+        let cases: [(&str, &str, &str); 16] = [
             ("RF_COMMITS", "200k", "RF_COMMITS"),
             ("RF_JOBS", "abc", "RF_JOBS"),
             ("RF_JOBS", "0", "RF_JOBS=0"),
@@ -1606,6 +1828,9 @@ mod tests {
             ("RF_CACHE_CAP", "0", "RF_CACHE_CAP=0"),
             ("RF_PREFILTER", "fast", "RF_PREFILTER"),
             ("RF_PREFILTER", "2", "RF_PREFILTER"),
+            ("RF_STORE", "maybe", "RF_STORE"),
+            ("RF_STORE", "2", "RF_STORE"),
+            ("RF_STORE_DIR", "  ", "RF_STORE_DIR"),
             ("RF_TELEMETRY", "maybe", "RF_TELEMETRY"),
             ("RF_TELEMETRY_INTERVAL_MS", "fast", "RF_TELEMETRY_INTERVAL_MS"),
             ("RF_TELEMETRY_INTERVAL_MS", "0", "RF_TELEMETRY_INTERVAL_MS value '0'"),
@@ -1632,8 +1857,23 @@ mod tests {
             std::env::set_var("RF_PREFILTER", ok);
             assert!(validate_env().is_ok(), "RF_PREFILTER={ok} should be accepted");
         }
-        std::env::remove_var("RF_CACHE");
         std::env::remove_var("RF_PREFILTER");
+        // RF_STORE_DIR is honored (and a stray value tolerated) even
+        // while the store itself stays off.
+        for ok in ["0", "OFF", "false", "No", "1", "on", "TRUE", "yes"] {
+            std::env::set_var("RF_STORE", ok);
+            assert!(validate_env().is_ok(), "RF_STORE={ok} should be accepted");
+        }
+        std::env::set_var("RF_STORE", "1");
+        std::env::set_var("RF_STORE_DIR", "results/elsewhere");
+        assert_eq!(
+            store_env_mode(),
+            Ok(Some(std::path::PathBuf::from("results/elsewhere")))
+        );
+        std::env::remove_var("RF_STORE");
+        std::env::remove_var("RF_STORE_DIR");
+        assert_eq!(store_env_mode(), Ok(None));
+        std::env::remove_var("RF_CACHE");
         assert_eq!(cache_env_mode(), Ok((true, None)));
         assert_eq!(prefilter_env_mode(), Ok(false));
         for (var, value) in vars.iter().zip(saved) {

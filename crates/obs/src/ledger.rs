@@ -49,7 +49,12 @@ use std::path::Path;
 /// snapshots streamed to `results/telemetry/live.jsonl`, and the
 /// FNV digest of the final snapshot's counter set — tying the ledger
 /// record to its telemetry stream (null when telemetry was off).
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7 added the top-level `store` block for `RF_STORE=1` runs: the
+/// durable run store's hit/miss/write counters (sims served from disk,
+/// lookups that fell through to execution, and results persisted), null
+/// when the store was off.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Default ledger location, relative to the repo root.
 pub const LEDGER_PATH: &str = "results/history/suite.jsonl";
@@ -175,6 +180,18 @@ pub struct TelemetryRecord {
     pub digest: String,
 }
 
+/// Durable run-store counters for a run with `RF_STORE=1`: how much of
+/// the suite the on-disk corpus absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRecord {
+    /// Simulations served from the on-disk store.
+    pub hits: u64,
+    /// Store lookups that fell through to a real simulation.
+    pub misses: u64,
+    /// Executed results persisted to the store by this run.
+    pub writes: u64,
+}
+
 /// One suite run: the unit the ledger appends.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LedgerRecord {
@@ -222,6 +239,8 @@ pub struct LedgerRecord {
     pub alloc: Option<AllocRecord>,
     /// Live-telemetry summary (`None` when `RF_TELEMETRY` was off).
     pub telemetry: Option<TelemetryRecord>,
+    /// Durable run-store counters (`None` when `RF_STORE` was off).
+    pub store: Option<StoreRecord>,
 }
 
 /// Rounds to microsecond precision so seconds fields stay compact.
@@ -315,6 +334,17 @@ impl LedgerRecord {
                 None => Value::Null,
             },
         ));
+        root.push((
+            "store".to_owned(),
+            match &self.store {
+                Some(s) => Value::Object(vec![
+                    ("hits".to_owned(), int(s.hits)),
+                    ("misses".to_owned(), int(s.misses)),
+                    ("writes".to_owned(), int(s.writes)),
+                ]),
+                None => Value::Null,
+            },
+        ));
         Value::Object(root)
     }
 
@@ -402,21 +432,34 @@ fn harness_value(h: &HarnessRecord) -> Value {
     Value::Object(members)
 }
 
-/// Appends one record line atomically: parent directories are created,
-/// the file is opened `O_APPEND`, and the line plus newline goes out in
-/// a single `write`, so records from concurrent suite invocations never
-/// interleave mid-line.
+/// Appends one record line atomically and durably: parent directories
+/// are created, the file is opened `O_APPEND`, the line plus newline
+/// goes out in a single `write` (so records from concurrent suite
+/// invocations never interleave mid-line), and the file is fsynced
+/// before returning — an append this function reported as succeeded
+/// survives a crash. When the append created the file, its directory
+/// entry is fsynced too, so the *file itself* survives as well.
 pub fn append_line(path: &Path, line: &str) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
-        }
+    let parent = path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map(Path::to_path_buf);
+    if let Some(parent) = &parent {
+        fs::create_dir_all(parent)?;
     }
+    let created = !path.exists();
     let mut payload = String::with_capacity(line.len() + 1);
     payload.push_str(line);
     payload.push('\n');
     let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
-    file.write_all(payload.as_bytes())
+    file.write_all(payload.as_bytes())?;
+    file.sync_all()?;
+    if created {
+        if let Some(parent) = &parent {
+            fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 /// Overwrites `path` with just this record line (the repo-root
@@ -426,19 +469,32 @@ pub fn write_latest(path: &Path, line: &str) -> io::Result<()> {
 }
 
 /// Reads and parses every record in a ledger file, in append order.
-/// Blank lines are skipped; a malformed line is an error naming its
-/// line number.
+/// Blank lines are skipped; a malformed *interior* line is an error
+/// naming its line number, but a malformed **final** line — the
+/// signature of a crash mid-append — is skipped with a warning on
+/// stderr, so a torn tail can never lock every future reader out of an
+/// otherwise healthy ledger.
 pub fn read_ledger(path: &Path) -> Result<Vec<Value>, String> {
     let text = fs::read_to_string(path)
         .map_err(|e| format!("cannot read ledger {}: {e}", path.display()))?;
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
     let mut records = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    for (k, &(i, line)) in lines.iter().enumerate() {
+        match crate::json::parse(line) {
+            Ok(value) => records.push(value),
+            Err(e) if k + 1 == lines.len() => {
+                eprintln!(
+                    "warning: {}:{}: skipping torn final record ({e})",
+                    path.display(),
+                    i + 1
+                );
+            }
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), i + 1)),
         }
-        let value = crate::json::parse(line)
-            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
-        records.push(value);
     }
     Ok(records)
 }
@@ -524,6 +580,11 @@ fn is_volatile_key(key: &str) -> bool {
         || key == "profile"
         || key == "model_error"
         || key == "telemetry"
+        // Store counters depend on what earlier runs left on disk (a
+        // warm run hits where a cold run writes), not on this run's
+        // simulation output, so they are not part of the deterministic
+        // payload.
+        || key == "store"
         || key.contains("seconds")
         || key.ends_with("per_second")
 }
@@ -615,6 +676,7 @@ mod tests {
                 snapshots: 9,
                 digest: "00ff00ff00ff00ff".to_owned(),
             }),
+            store: Some(StoreRecord { hits: 60, misses: 40, writes: 40 }),
         }
     }
 
@@ -731,11 +793,25 @@ mod tests {
     }
 
     #[test]
-    fn read_ledger_reports_malformed_lines() {
+    fn read_ledger_reports_malformed_interior_lines() {
         let path = tmp("bad.jsonl");
-        fs::write(&path, "{\"schema\":1}\nnot json\n").unwrap();
+        // The malformed line is NOT the last one: real corruption, not a
+        // torn tail — still a hard error naming the line.
+        fs::write(&path, "{\"schema\":1}\nnot json\n{\"schema\":2}\n").unwrap();
         let err = read_ledger(&path).unwrap_err();
         assert!(err.contains(":2:"), "names the offending line: {err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_ledger_skips_a_torn_final_line() {
+        let path = tmp("torn.jsonl");
+        // A crash mid-append leaves a truncated last line; every record
+        // before it must still be served.
+        fs::write(&path, "{\"schema\":1}\n{\"schema\":2}\n{\"schema\":3,\"tot").unwrap();
+        let records = read_ledger(&path).expect("torn tail is tolerated");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].get_f64("schema"), Some(2.0));
         let _ = fs::remove_file(&path);
     }
 

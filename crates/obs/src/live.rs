@@ -139,6 +139,9 @@ static CYCLES: AtomicU64 = AtomicU64::new(0);
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
 static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static STORE_HITS: AtomicU64 = AtomicU64::new(0);
+static STORE_MISSES: AtomicU64 = AtomicU64::new(0);
+static STORE_WRITES: AtomicU64 = AtomicU64::new(0);
 static SKIP_BASE_CYCLES: AtomicU64 = AtomicU64::new(0);
 static SKIP_BASE_WAKEUPS: AtomicU64 = AtomicU64::new(0);
 
@@ -226,6 +229,33 @@ pub fn cache_evicted(n: u64) {
     }
 }
 
+/// The durable run store served a simulation from disk. Unlike the
+/// cache hooks, the store hooks have no private/test instances — the
+/// store tier is inherently process-global — so they always reconcile
+/// with the suite's store totals.
+#[inline]
+pub fn store_hit() {
+    if is_enabled() {
+        STORE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The durable run store missed a lookup (the simulation executed).
+#[inline]
+pub fn store_miss() {
+    if is_enabled() {
+        STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The durable run store persisted one executed result.
+#[inline]
+pub fn store_write() {
+    if is_enabled() {
+        STORE_WRITES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// The model prefilter pruned `n` simulation points from a batch.
 #[inline]
 pub fn sims_pruned(n: u64) {
@@ -277,6 +307,9 @@ fn reset_counters() {
         &CACHE_HITS,
         &CACHE_MISSES,
         &CACHE_EVICTIONS,
+        &STORE_HITS,
+        &STORE_MISSES,
+        &STORE_WRITES,
     ] {
         c.store(0, Ordering::Relaxed);
     }
@@ -323,12 +356,20 @@ pub struct CounterSnapshot {
     pub cache_misses: u64,
     /// Global run-cache LRU evictions.
     pub cache_evictions: u64,
+    /// Durable run-store hits (sims served from disk; 0 with `RF_STORE`
+    /// off).
+    pub store_hits: u64,
+    /// Durable run-store misses (lookups that fell through to a real
+    /// simulation).
+    pub store_misses: u64,
+    /// Executed results persisted to the durable run store.
+    pub store_writes: u64,
 }
 
 impl CounterSnapshot {
     /// Canonical (name, value) order used by the JSONL records, the
     /// Prometheus rendering, and the final-snapshot digest.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 12] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
         [
             ("sims_started", self.sims_started),
             ("sims_completed", self.sims_completed),
@@ -342,6 +383,9 @@ impl CounterSnapshot {
             ("cache_hits", self.cache_hits),
             ("cache_misses", self.cache_misses),
             ("cache_evictions", self.cache_evictions),
+            ("store_hits", self.store_hits),
+            ("store_misses", self.store_misses),
+            ("store_writes", self.store_writes),
         ]
     }
 
@@ -362,6 +406,9 @@ impl CounterSnapshot {
             cache_hits: g("cache_hits"),
             cache_misses: g("cache_misses"),
             cache_evictions: g("cache_evictions"),
+            store_hits: g("store_hits"),
+            store_misses: g("store_misses"),
+            store_writes: g("store_writes"),
         }
     }
 }
@@ -406,6 +453,9 @@ pub fn counters_now() -> CounterSnapshot {
         cache_hits: CACHE_HITS.load(Ordering::Relaxed),
         cache_misses: CACHE_MISSES.load(Ordering::Relaxed),
         cache_evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
+        store_hits: STORE_HITS.load(Ordering::Relaxed),
+        store_misses: STORE_MISSES.load(Ordering::Relaxed),
+        store_writes: STORE_WRITES.load(Ordering::Relaxed),
     }
 }
 
@@ -844,17 +894,36 @@ fn snap_from_value(v: &Value) -> Result<Snap, String> {
 /// its snapshots (a new `start` record resets the accumulation, so a
 /// re-used `live.jsonl` yields the most recent run).
 ///
+/// A malformed **final** line is skipped with a warning on stderr
+/// instead of failing the parse: `rfstudy top` tails this file while a
+/// sampler is appending to it (and a crashed sampler leaves a torn
+/// tail), so the last line being incomplete is an expected state, not
+/// corruption.
+///
 /// # Errors
 ///
-/// Returns a message for malformed lines or unknown schema versions.
+/// Returns a message for malformed interior lines or unknown schema
+/// versions.
 pub fn parse_stream(text: &str) -> Result<(Option<StreamHeader>, Vec<Snap>), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
     let mut header = None;
     let mut snaps = Vec::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = crate::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+    for (k, &(i, line)) in lines.iter().enumerate() {
+        let v = match crate::json::parse(line) {
+            Ok(v) => v,
+            Err(e) if k + 1 == lines.len() => {
+                eprintln!(
+                    "warning: telemetry line {}: skipping torn final record ({e})",
+                    i + 1
+                );
+                continue;
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        };
         match v.get_str("event") {
             Some("start") => {
                 let schema = v.get_f64("schema").unwrap_or(0.0) as u64;
@@ -883,6 +952,35 @@ pub fn parse_stream(text: &str) -> Result<(Option<StreamHeader>, Vec<Snap>), Str
 }
 
 #[cfg(test)]
+mod torn_tests {
+    use super::*;
+
+    #[test]
+    fn parse_stream_skips_a_torn_final_line() {
+        let c = CounterSnapshot::default();
+        let s = SuiteView::default();
+        let whole = format!(
+            "{}\n{}\n",
+            header_value(1, 250, 100, 1, None),
+            snapshot_value(1, 0.1, false, &c, &[], &s),
+        );
+        // A crash (or an in-flight append) truncates the stream
+        // mid-record; everything before the tear still parses.
+        let torn = &whole[..whole.len() - 10];
+        let (header, snaps) = parse_stream(torn).expect("torn tail is tolerated");
+        assert!(header.is_some());
+        assert_eq!(snaps.len(), 0, "the torn snapshot is dropped");
+        let torn_later = format!("{whole}{{\"event\":\"snap\",\"tr");
+        let (header, snaps) = parse_stream(&torn_later).expect("torn tail is tolerated");
+        assert!(header.is_some());
+        assert_eq!(snaps.len(), 1, "intact records before the tear survive");
+        // An interior malformed line is still a hard error.
+        let bad = format!("not json\n{whole}");
+        assert!(parse_stream(&bad).is_err());
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
@@ -900,6 +998,9 @@ mod tests {
             cache_hits: 13,
             cache_misses: 41,
             cache_evictions: 3,
+            store_hits: 9,
+            store_misses: 32,
+            store_writes: 30,
         }
     }
 

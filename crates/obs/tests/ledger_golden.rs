@@ -14,7 +14,7 @@
 use rf_obs::json::{self, Value};
 use rf_obs::ledger::{
     AllocRecord, HarnessRecord, LedgerRecord, ModelErrorRecord, PhaseRecord, ProbeRecord,
-    TelemetryRecord, SCHEMA_VERSION,
+    StoreRecord, TelemetryRecord, SCHEMA_VERSION,
 };
 
 const GOLDEN: &str = include_str!("golden/ledger_record.jsonl");
@@ -145,6 +145,7 @@ fn full_record() -> LedgerRecord {
             snapshots: 338,
             digest: "9d2c5e7f01a3b486".to_owned(),
         }),
+        store: Some(StoreRecord { hits: 1_156, misses: 78, writes: 78 }),
     }
 }
 
@@ -171,6 +172,7 @@ fn minimal_record() -> LedgerRecord {
         model_error: None,
         alloc: None,
         telemetry: None,
+        store: None,
     }
 }
 
@@ -204,6 +206,7 @@ fn golden_lines_parse_back_to_current_schema() {
             "headlines",
             "model_error",
             "telemetry",
+            "store",
         ] {
             assert!(v.get(key).is_some(), "line {} missing {key}", i + 1);
         }
@@ -281,8 +284,14 @@ fn full_golden_line_round_trips_through_the_parser() {
     assert_eq!(telemetry.get_f64("interval_ms"), Some(250.0));
     assert_eq!(telemetry.get_f64("snapshots"), Some(338.0));
     assert_eq!(telemetry.get_str("digest"), Some("9d2c5e7f01a3b486"));
+    // The durable-store block survives the round trip.
+    let store = v.get("store").unwrap();
+    assert_eq!(store.get_f64("hits"), Some(1_156.0));
+    assert_eq!(store.get_f64("misses"), Some(78.0));
+    assert_eq!(store.get_f64("writes"), Some(78.0));
     let minimal = json::parse(GOLDEN.lines().nth(1).unwrap()).unwrap();
     assert_eq!(minimal.get("alloc"), Some(&Value::Null));
     assert_eq!(minimal.get("model_error"), Some(&Value::Null));
     assert_eq!(minimal.get("telemetry"), Some(&Value::Null));
+    assert_eq!(minimal.get("store"), Some(&Value::Null));
 }

@@ -31,6 +31,9 @@ fn counters() -> CounterSnapshot {
         cache_hits: 57,
         cache_misses: 436,
         cache_evictions: 12,
+        store_hits: 101,
+        store_misses: 335,
+        store_writes: 330,
     }
 }
 

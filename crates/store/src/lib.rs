@@ -1,0 +1,990 @@
+//! A durable, content-addressed record store: append-only segment files
+//! of length-prefixed, checksummed records plus a rebuildable in-memory
+//! index.
+//!
+//! The store maps a 128-bit [`Digest`] (plus the full key bytes it was
+//! derived from) to an opaque payload. It is generic over what the key
+//! and payload mean — the experiment layer uses it as a durable
+//! `RunSpec → SimStats` corpus, keyed by a stable digest of the spec's
+//! canonical byte encoding.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   store.lock        advisory lock file (rotation & compaction)
+//!   seg-00000001.log  append-only segment (oldest)
+//!   seg-00000002.log  ...
+//!   seg-0000000N.log  active segment (highest number)
+//! ```
+//!
+//! Each segment is a sequence of records:
+//!
+//! ```text
+//! magic "RFR1" | schema u32 | key_len u32 | payload_len u32
+//! | digest [16] | checksum u64 | key bytes | payload bytes
+//! ```
+//!
+//! (all integers little-endian; the checksum is SipHash-2-4 under a
+//! fixed key over everything after the magic except the checksum itself).
+//!
+//! # Durability & concurrency
+//!
+//! - **Appends** are a single `O_APPEND` `write` of the whole record
+//!   while holding the store lock *shared*, so concurrent processes
+//!   interleave whole records, never bytes. Appends are not individually
+//!   fsynced; call [`Store::sync`] to flush (the suite does at exit).
+//! - **Rotation** (when the active segment exceeds the size bound) and
+//!   **compaction** take the lock *exclusively*: the sealed segment is
+//!   fsynced, the new one is created, and the directory entry is fsynced
+//!   before the lock drops.
+//! - **Reads** go through a [`Snapshot`]: the segment set and each
+//!   segment's length are captured at open, and every read stays inside
+//!   those bounds — concurrent appends past the captured length are
+//!   invisible, and a concurrent compaction cannot disturb the open file
+//!   descriptors (POSIX keeps unlinked-but-open files readable).
+//! - **Crash recovery** is by construction: a torn tail record fails its
+//!   length bound or checksum and is skipped (and counted); everything
+//!   before it is intact because records are never modified in place.
+//!
+//! Records are immutable once written; re-appending a digest supersedes
+//! the older record (last-written wins, with later segments outranking
+//! earlier ones). [`Store::compact`] rewrites the live record set into a
+//! fresh segment and deletes the old ones; its `keep_schema` filter is
+//! how stale key-schema generations are garbage-collected.
+
+#![warn(missing_docs)]
+
+pub mod hash;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every record.
+pub const RECORD_MAGIC: [u8; 4] = *b"RFR1";
+
+/// Fixed byte length of a record header (everything before the key).
+pub const HEADER_LEN: usize = 40;
+
+/// Default segment size bound: appends past this rotate to a fresh
+/// segment. Small enough that compaction and verification work in
+/// bounded pieces, large enough that a full suite corpus fits in a
+/// handful of segments.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Name of the advisory lock file inside the store directory.
+const LOCK_FILE: &str = "store.lock";
+
+/// A stable 128-bit content identity (see [`hash::digest128`]).
+///
+/// Equal digests *almost certainly* mean equal keys, but the store never
+/// relies on that: reads verify the full key bytes, so a collision can
+/// only cause a miss, never a wrong payload.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 16]);
+
+impl Digest {
+    /// Digest of raw key bytes.
+    pub fn of(key: &[u8]) -> Self {
+        Self(hash::digest128(key))
+    }
+
+    /// Lowercase hex rendering (32 chars).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            use fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Serialises one record into its on-disk byte form.
+fn encode_record(schema: u32, digest: Digest, key: &[u8], payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + key.len() + payload.len());
+    buf.extend_from_slice(&RECORD_MAGIC);
+    buf.extend_from_slice(&schema.to_le_bytes());
+    buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&digest.0);
+    buf.extend_from_slice(&[0u8; 8]); // checksum placeholder
+    buf.extend_from_slice(key);
+    buf.extend_from_slice(payload);
+    let sum = record_checksum(&buf);
+    buf[32..40].copy_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// The checksum of an encoded record: everything after the magic except
+/// the checksum field itself.
+fn record_checksum(record: &[u8]) -> u64 {
+    let mut h = Vec::with_capacity(record.len() - 12);
+    h.extend_from_slice(&record[4..32]);
+    h.extend_from_slice(&record[HEADER_LEN..]);
+    hash::checksum(&h)
+}
+
+/// A parsed record header. (The checksum field is not carried here:
+/// verification recomputes it against the stored bytes directly.)
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    schema: u32,
+    key_len: u32,
+    payload_len: u32,
+    digest: Digest,
+}
+
+impl Header {
+    fn parse(bytes: &[u8; HEADER_LEN]) -> Option<Self> {
+        if bytes[..4] != RECORD_MAGIC {
+            return None;
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().expect("4 bytes"));
+        let mut digest = [0u8; 16];
+        digest.copy_from_slice(&bytes[16..32]);
+        Some(Self {
+            schema: u32_at(4),
+            key_len: u32_at(8),
+            payload_len: u32_at(12),
+            digest: Digest(digest),
+        })
+    }
+
+    fn record_len(&self) -> u64 {
+        HEADER_LEN as u64 + self.key_len as u64 + self.payload_len as u64
+    }
+}
+
+/// Sanity bound on a single key or payload: anything larger is treated
+/// as corruption, not a record (a real liveness-histogram payload is
+/// tens of kilobytes).
+const MAX_FIELD_BYTES: u32 = 256 * 1024 * 1024;
+
+/// A durable record store rooted at one directory. Cheap to construct;
+/// every operation re-derives its file handles, so one `Store` value can
+/// be shared freely and concurrent `Store`s (in this or other processes)
+/// on the same directory cooperate through the advisory lock.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+    segment_bytes: u64,
+}
+
+impl Store {
+    /// Opens (creating if necessary) a store rooted at `dir`, fsyncing
+    /// the created directory entry so the store itself survives a crash
+    /// immediately after creation.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or syncing the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        sync_dir(&dir)?;
+        if let Some(parent) = dir.parent().filter(|p| !p.as_os_str().is_empty()) {
+            sync_dir(parent)?;
+        }
+        let store = Self { dir, segment_bytes: DEFAULT_SEGMENT_BYTES };
+        store.recover()?;
+        Ok(store)
+    }
+
+    /// Crash recovery at open: when the active segment ends in a torn or
+    /// corrupt record (a crash mid-append), it is sealed and a fresh
+    /// segment takes over. Readers stop scanning a segment at its first
+    /// bad record, so appending *after* one would strand every later
+    /// record; rotating instead keeps new appends reachable while the
+    /// damaged tail stays skip-and-counted until the next compaction.
+    fn recover(&self) -> io::Result<()> {
+        let Some((no, path)) = self.segments()?.pop() else { return Ok(()) };
+        if segment_is_clean(&path)? {
+            return Ok(());
+        }
+        let lock = self.lock_file()?;
+        lock.lock()?;
+        let result = (|| {
+            // Re-check under the lock: another opener may have already
+            // rotated past the damage.
+            let (cur_no, cur_path) = self.active_segment()?;
+            if cur_no != no || segment_is_clean(&cur_path)? {
+                return Ok(());
+            }
+            File::open(&cur_path)?.sync_all()?; // seal
+            let next = self.dir.join(segment_name(cur_no + 1));
+            OpenOptions::new().create_new(true).write(true).open(&next)?.sync_all()?;
+            sync_dir(&self.dir)
+        })();
+        let _ = lock.unlock();
+        result
+    }
+
+    /// Overrides the segment-size bound (tests use tiny segments to
+    /// force rotation; the default is [`DEFAULT_SEGMENT_BYTES`]).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.segment_bytes = bytes.max(1);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Opens the advisory lock file (creating it if absent).
+    fn lock_file(&self) -> io::Result<File> {
+        OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(self.dir.join(LOCK_FILE))
+    }
+
+    /// Lists segment files as `(number, path)` in ascending order.
+    fn segments(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut segs = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(no) = parse_segment_name(name) {
+                segs.push((no, entry.path()));
+            }
+        }
+        segs.sort_unstable_by_key(|(no, _)| *no);
+        Ok(segs)
+    }
+
+    /// The active segment `(number, path)`: the highest-numbered one, or
+    /// segment 1 (not yet created) on an empty store.
+    fn active_segment(&self) -> io::Result<(u64, PathBuf)> {
+        Ok(match self.segments()?.pop() {
+            Some(seg) => seg,
+            None => (1, self.dir.join(segment_name(1))),
+        })
+    }
+
+    /// Appends one record. The write is a single `O_APPEND` `write_all`
+    /// of the whole encoded record under a shared lock, so records from
+    /// concurrent appenders interleave whole, never torn. Not fsynced —
+    /// see [`Store::sync`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error locking, rotating, or writing.
+    pub fn append(
+        &self,
+        schema: u32,
+        digest: Digest,
+        key: &[u8],
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let record = encode_record(schema, digest, key, payload);
+        self.rotate_if_needed()?;
+        let lock = self.lock_file()?;
+        lock.lock_shared()?;
+        let result = (|| {
+            let (_, path) = self.active_segment()?;
+            let mut seg = OpenOptions::new().create(true).append(true).open(path)?;
+            seg.write_all(&record)
+        })();
+        let _ = lock.unlock();
+        result
+    }
+
+    /// Rotates to a fresh segment when the active one has outgrown the
+    /// bound: under the exclusive lock, the outgoing segment is sealed
+    /// (fsynced) and the successor is created and made durable before
+    /// any appender can proceed.
+    fn rotate_if_needed(&self) -> io::Result<()> {
+        let (no, path) = self.active_segment()?;
+        if fs::metadata(&path).map(|m| m.len()).unwrap_or(0) < self.segment_bytes {
+            return Ok(());
+        }
+        let lock = self.lock_file()?;
+        lock.lock()?;
+        let result = (|| {
+            // Re-check under the lock: another process may have rotated
+            // while we waited.
+            let (cur_no, cur_path) = self.active_segment()?;
+            if cur_no != no || fs::metadata(&cur_path).map(|m| m.len()).unwrap_or(0)
+                < self.segment_bytes
+            {
+                return Ok(());
+            }
+            File::open(&cur_path)?.sync_all()?; // seal
+            let next = self.dir.join(segment_name(cur_no + 1));
+            OpenOptions::new().create_new(true).write(true).open(&next)?.sync_all()?;
+            sync_dir(&self.dir)
+        })();
+        let _ = lock.unlock();
+        result
+    }
+
+    /// Fsyncs the active segment, making every record appended so far
+    /// durable. The suite calls this once at exit rather than per
+    /// append; records lost to a crash before `sync` are simply absent
+    /// (never torn — the next reader's checksum scan drops any partial
+    /// tail).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening or syncing the segment.
+    pub fn sync(&self) -> io::Result<()> {
+        let (_, path) = self.active_segment()?;
+        match File::open(path) {
+            Ok(f) => f.sync_all(),
+            // An empty store has nothing to sync.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Opens a snapshot-consistent reader over the current segment set.
+    /// Retries a few times if a concurrent compaction unlinks a segment
+    /// between listing and opening.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error listing or reading segments (after retries).
+    pub fn snapshot(&self) -> io::Result<Snapshot> {
+        let mut last_err = None;
+        for _ in 0..5 {
+            match Snapshot::open(self) {
+                Ok(snap) => return Ok(snap),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("retries imply at least one error"))
+    }
+
+    /// Compacts the store: rewrites the live record set (latest record
+    /// per digest, valid checksum, and — when `keep_schema` is given —
+    /// only that key-schema version) into one fresh segment, then
+    /// deletes the old segments. Runs entirely under the exclusive lock;
+    /// readers with open snapshots are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading, writing, or replacing segments.
+    pub fn compact(&self, keep_schema: Option<u32>) -> io::Result<CompactReport> {
+        let lock = self.lock_file()?;
+        lock.lock()?;
+        let result = self.compact_locked(keep_schema);
+        let _ = lock.unlock();
+        result
+    }
+
+    fn compact_locked(&self, keep_schema: Option<u32>) -> io::Result<CompactReport> {
+        let snap = Snapshot::open(self)?;
+        let old_segs = self.segments()?;
+        let max_no = old_segs.last().map_or(0, |(no, _)| *no);
+        let mut report = CompactReport {
+            kept: 0,
+            dropped_stale_schema: 0,
+            dropped_superseded: snap.records.saturating_sub(snap.index.len() as u64),
+            dropped_corrupt: snap.torn + snap.corrupt,
+            bytes_before: snap.bytes,
+            bytes_after: 0,
+        };
+        // Deterministic output order: ascending digest.
+        let mut live: Vec<(&Digest, &Loc)> = snap.index.iter().collect();
+        live.sort_unstable_by_key(|(d, _)| **d);
+        let mut out = Vec::new();
+        for (digest, loc) in live {
+            let Some(record) = snap.read_record(loc) else {
+                report.dropped_corrupt += 1;
+                continue;
+            };
+            if keep_schema.is_some_and(|keep| loc.schema != keep) {
+                report.dropped_stale_schema += 1;
+                continue;
+            }
+            debug_assert_eq!(Digest(record[16..32].try_into().expect("16 bytes")), *digest);
+            out.extend_from_slice(&record);
+            report.kept += 1;
+        }
+        report.bytes_after = out.len() as u64;
+        // Write the compacted segment under a temp name, make it
+        // durable, then rename it into place as the new highest segment
+        // and delete the superseded ones. A reader listing at any point
+        // sees either the old segments, both (the compacted one wins:
+        // higher number, scanned last), or just the new one.
+        let new_path = self.dir.join(segment_name(max_no + 1));
+        let tmp_path = self.dir.join(format!("{}.tmp", segment_name(max_no + 1)));
+        let mut tmp = OpenOptions::new().create(true).truncate(true).write(true).open(&tmp_path)?;
+        tmp.write_all(&out)?;
+        tmp.sync_all()?;
+        drop(tmp);
+        fs::rename(&tmp_path, &new_path)?;
+        sync_dir(&self.dir)?;
+        for (_, path) in old_segs {
+            fs::remove_file(path)?;
+        }
+        sync_dir(&self.dir)?;
+        Ok(report)
+    }
+}
+
+/// What [`Store::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Records carried into the compacted segment.
+    pub kept: u64,
+    /// Live records dropped because their key-schema version was stale.
+    pub dropped_stale_schema: u64,
+    /// Superseded records (older writes of a re-appended digest).
+    pub dropped_superseded: u64,
+    /// Torn or corrupt records dropped.
+    pub dropped_corrupt: u64,
+    /// Segment bytes before compaction.
+    pub bytes_before: u64,
+    /// Segment bytes after compaction.
+    pub bytes_after: u64,
+}
+
+/// One record's location inside a snapshot.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    seg: usize,
+    offset: u64,
+    len: u64,
+    schema: u32,
+}
+
+/// A read-only, snapshot-consistent view of the store.
+///
+/// The segment set and each segment's byte length are captured at open;
+/// reads never look past them, so concurrent appends and compactions
+/// cannot tear what this snapshot returns. The index maps each digest to
+/// its *latest* record at capture time.
+#[derive(Debug)]
+pub struct Snapshot {
+    segs: Vec<SegView>,
+    index: HashMap<Digest, Loc>,
+    /// Records scanned (including superseded duplicates).
+    pub records: u64,
+    /// Total segment bytes scanned.
+    pub bytes: u64,
+    /// Torn (incomplete) tail records skipped.
+    pub torn: u64,
+    /// Records abandoned to corruption (bad magic / absurd lengths); the
+    /// rest of that segment is unreachable and also uncounted.
+    pub corrupt: u64,
+    /// Live record count per key-schema version.
+    pub schemas: BTreeMap<u32, u64>,
+}
+
+#[derive(Debug)]
+struct SegView {
+    file: File,
+    len: u64,
+}
+
+impl Snapshot {
+    fn open(store: &Store) -> io::Result<Self> {
+        let mut snap = Self {
+            segs: Vec::new(),
+            index: HashMap::new(),
+            records: 0,
+            bytes: 0,
+            torn: 0,
+            corrupt: 0,
+            schemas: BTreeMap::new(),
+        };
+        for (_, path) in store.segments()? {
+            let file = File::open(&path)?;
+            let len = file.metadata()?.len();
+            snap.segs.push(SegView { file, len });
+        }
+        for s in 0..snap.segs.len() {
+            snap.scan_segment(s)?;
+        }
+        for loc in snap.index.values() {
+            *snap.schemas.entry(loc.schema).or_insert(0) += 1;
+        }
+        Ok(snap)
+    }
+
+    /// Walks one segment's records, indexing each digest (later records
+    /// supersede earlier ones). Stops at the first torn or corrupt
+    /// record: everything after it is unreachable without its length.
+    fn scan_segment(&mut self, s: usize) -> io::Result<()> {
+        let len = self.segs[s].len;
+        self.bytes += len;
+        let mut pos = 0u64;
+        let mut header = [0u8; HEADER_LEN];
+        while pos < len {
+            if pos + HEADER_LEN as u64 > len {
+                self.torn += 1;
+                return Ok(());
+            }
+            self.segs[s].file.read_exact_at(&mut header, pos)?;
+            let Some(h) = Header::parse(&header) else {
+                self.corrupt += 1;
+                return Ok(());
+            };
+            if h.key_len > MAX_FIELD_BYTES || h.payload_len > MAX_FIELD_BYTES {
+                self.corrupt += 1;
+                return Ok(());
+            }
+            if pos + h.record_len() > len {
+                self.torn += 1;
+                return Ok(());
+            }
+            self.index.insert(
+                h.digest,
+                Loc { seg: s, offset: pos, len: h.record_len(), schema: h.schema },
+            );
+            self.records += 1;
+            pos += h.record_len();
+        }
+        Ok(())
+    }
+
+    /// Reads and checksum-verifies the record at `loc`; `None` when the
+    /// stored checksum does not match (bit rot or a torn interior, which
+    /// cannot happen for whole-record appends but is still checked).
+    fn read_record(&self, loc: &Loc) -> Option<Vec<u8>> {
+        let mut buf = vec![0u8; loc.len as usize];
+        self.segs[loc.seg].file.read_exact_at(&mut buf, loc.offset).ok()?;
+        let stored = u64::from_le_bytes(buf[32..40].try_into().expect("8 bytes"));
+        (record_checksum(&buf) == stored).then_some(buf)
+    }
+
+    /// Distinct digests resolvable through this snapshot.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the snapshot indexes no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Segment files in this snapshot's view.
+    pub fn segment_count(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Whether `digest` has a (not necessarily valid) record.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains_key(digest)
+    }
+
+    /// Whether `digest` has a record under exactly this key-schema
+    /// version (what a write-behind tier checks before appending — a
+    /// stale-schema record must not suppress the fresh write).
+    pub fn contains_schema(&self, schema: u32, digest: &Digest) -> bool {
+        self.index.get(digest).is_some_and(|loc| loc.schema == schema)
+    }
+
+    /// Looks up a payload by digest, verifying the record end to end:
+    /// the key-schema version must match, the record checksum must hold,
+    /// and the stored key bytes must equal `key` exactly — so even a
+    /// digest collision cannot return another key's payload.
+    pub fn get(&self, schema: u32, digest: &Digest, key: &[u8]) -> Option<Vec<u8>> {
+        let loc = self.index.get(digest)?;
+        if loc.schema != schema {
+            return None;
+        }
+        let record = self.read_record(loc)?;
+        let h = Header::parse(record[..HEADER_LEN].try_into().expect("header bytes"))?;
+        let key_end = HEADER_LEN + h.key_len as usize;
+        if &record[HEADER_LEN..key_end] != key {
+            return None;
+        }
+        Some(record[key_end..].to_vec())
+    }
+
+    /// Re-reads and checksum-verifies every *live* record, returning a
+    /// full integrity report (`rfstudy store verify`).
+    pub fn verify(&self) -> VerifyReport {
+        let mut report = VerifyReport {
+            live: self.index.len() as u64,
+            records: self.records,
+            bytes: self.bytes,
+            torn: self.torn,
+            corrupt: self.corrupt,
+            bad_checksum: 0,
+            schemas: self.schemas.clone(),
+        };
+        for loc in self.index.values() {
+            if self.read_record(loc).is_none() {
+                report.bad_checksum += 1;
+            }
+        }
+        report
+    }
+}
+
+/// Integrity report from [`Snapshot::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Distinct live digests.
+    pub live: u64,
+    /// Records scanned, including superseded ones.
+    pub records: u64,
+    /// Segment bytes scanned.
+    pub bytes: u64,
+    /// Torn tail records skipped at scan time.
+    pub torn: u64,
+    /// Corrupt records abandoned at scan time.
+    pub corrupt: u64,
+    /// Live records whose checksum failed on re-read.
+    pub bad_checksum: u64,
+    /// Live record count per key-schema version.
+    pub schemas: BTreeMap<u32, u64>,
+}
+
+impl VerifyReport {
+    /// Whether every live record verified clean (torn tails are expected
+    /// after a crash and do not fail verification — they were already
+    /// excluded from the live set).
+    pub fn is_clean(&self) -> bool {
+        self.bad_checksum == 0 && self.corrupt == 0
+    }
+}
+
+/// `seg-NNNNNNNN.log` for segment `no`.
+fn segment_name(no: u64) -> String {
+    format!("seg-{no:08}.log")
+}
+
+/// Parses a segment file name back to its number.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if rest.len() != 8 || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Fsyncs a directory so renames/creates/unlinks inside it are durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Whether `path` frames only whole, well-formed records — i.e. a
+/// header walk lands exactly on the file's end. Checksums are *not*
+/// recomputed: bit rot inside a whole record does not block appends
+/// (readers reject it record-by-record), only a torn or unparsable
+/// tail does.
+fn segment_is_clean(path: &Path) -> io::Result<bool> {
+    let file = File::open(path)?;
+    let len = file.metadata()?.len();
+    let mut pos = 0u64;
+    let mut header = [0u8; HEADER_LEN];
+    while pos < len {
+        if pos + HEADER_LEN as u64 > len {
+            return Ok(false);
+        }
+        file.read_exact_at(&mut header, pos)?;
+        let Some(h) = Header::parse(&header) else { return Ok(false) };
+        if h.key_len > MAX_FIELD_BYTES
+            || h.payload_len > MAX_FIELD_BYTES
+            || pos + h.record_len() > len
+        {
+            return Ok(false);
+        }
+        pos += h.record_len();
+    }
+    Ok(true)
+}
+
+/// Reads a whole file (test helper surface kept out of the public API).
+#[cfg(test)]
+fn read_file(path: &Path) -> Vec<u8> {
+    fs::read(path).expect("read file")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rf-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_a_record() {
+        let dir = temp_dir("roundtrip");
+        let store = Store::open(&dir).unwrap();
+        let key = b"spec bytes".as_slice();
+        let digest = Digest::of(key);
+        store.append(1, digest, key, b"payload bytes").unwrap();
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.get(1, &digest, key).as_deref(), Some(b"payload bytes".as_slice()));
+        // Wrong schema, wrong key, unknown digest: all miss.
+        assert_eq!(snap.get(2, &digest, key), None);
+        assert_eq!(snap.get(1, &digest, b"other key"), None);
+        assert_eq!(snap.get(1, &Digest::of(b"other"), key), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_append_supersedes_earlier() {
+        let dir = temp_dir("supersede");
+        let store = Store::open(&dir).unwrap();
+        let key = b"k".as_slice();
+        let digest = Digest::of(key);
+        store.append(1, digest, key, b"old").unwrap();
+        store.append(1, digest, key, b"new").unwrap();
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.records, 2);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.get(1, &digest, key).as_deref(), Some(b"new".as_slice()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_seals_and_continues() {
+        let dir = temp_dir("rotate");
+        let store = Store::open(&dir).unwrap().with_segment_bytes(64);
+        for i in 0u32..8 {
+            let key = i.to_le_bytes();
+            store.append(1, Digest::of(&key), &key, &[0u8; 64]).unwrap();
+        }
+        let segs = store.segments().unwrap();
+        assert!(segs.len() > 1, "tiny bound must force rotation, got {segs:?}");
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.len(), 8);
+        for i in 0u32..8 {
+            let key = i.to_le_bytes();
+            assert!(snap.get(1, &Digest::of(&key), &key).is_some(), "record {i}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_counted() {
+        let dir = temp_dir("torn");
+        let store = Store::open(&dir).unwrap();
+        let (ka, kb) = (b"a".as_slice(), b"b".as_slice());
+        store.append(1, Digest::of(ka), ka, b"payload a").unwrap();
+        store.append(1, Digest::of(kb), kb, b"payload b").unwrap();
+        // Crash simulation: truncate the segment mid-record.
+        let (_, path) = store.active_segment().unwrap();
+        let full = read_file(&path);
+        let torn_len = full.len() - 5;
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn_len as u64)
+            .unwrap();
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.torn, 1);
+        assert_eq!(snap.len(), 1);
+        assert!(snap.get(1, &Digest::of(ka), ka).is_some(), "intact record survives");
+        assert_eq!(snap.get(1, &Digest::of(kb), kb), None, "torn record is invisible");
+        // The next append goes after the torn bytes; the scan then stops
+        // at the torn record, so the re-appended record must land in a
+        // *fresh* segment to be visible. Verify compaction heals this:
+        // compact drops the torn tail and the store stays usable.
+        let report = store.compact(None).unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped_corrupt, 1);
+        let healed = store.snapshot().unwrap();
+        assert_eq!(healed.torn, 0);
+        assert!(healed.get(1, &Digest::of(ka), ka).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_a_torn_tail_rotates_so_new_appends_stay_reachable() {
+        let dir = temp_dir("recover");
+        let store = Store::open(&dir).unwrap();
+        let (ka, kb, kc) = (b"a".as_slice(), b"b".as_slice(), b"c".as_slice());
+        store.append(1, Digest::of(ka), ka, b"payload a").unwrap();
+        store.append(1, Digest::of(kb), kb, b"payload b").unwrap();
+        // Crash simulation: the process dies mid-append, tearing the tail.
+        let (_, path) = store.active_segment().unwrap();
+        let torn_len = read_file(&path).len() - 5;
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(torn_len as u64).unwrap();
+        drop(store);
+        // The next open recovers by sealing the damaged segment and
+        // rotating, so this append is NOT stranded behind the tear.
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.segments().unwrap().len(), 2, "recovery rotated");
+        store.append(1, Digest::of(kc), kc, b"payload c").unwrap();
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.torn, 1, "the damaged tail is still counted");
+        assert!(snap.get(1, &Digest::of(ka), ka).is_some());
+        assert!(snap.get(1, &Digest::of(kc), kc).is_some(), "post-crash append visible");
+        // A clean store reopens without rotating.
+        store.compact(None).unwrap();
+        let before = store.segments().unwrap();
+        let reopened = Store::open(&dir).unwrap();
+        assert_eq!(reopened.segments().unwrap(), before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_detects_bit_rot() {
+        let dir = temp_dir("bitrot");
+        let store = Store::open(&dir).unwrap();
+        let key = b"k".as_slice();
+        let digest = Digest::of(key);
+        store.append(7, digest, key, b"payload").unwrap();
+        // Flip one payload byte in place.
+        let (_, path) = store.active_segment().unwrap();
+        let mut bytes = read_file(&path);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        let snap = store.snapshot().unwrap();
+        assert!(snap.contains(&digest), "indexed by header");
+        assert_eq!(snap.get(7, &digest, key), None, "checksum rejects the payload");
+        let report = snap.verify();
+        assert_eq!(report.bad_checksum, 1);
+        assert!(!report.is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_ignores_concurrent_appends() {
+        let dir = temp_dir("snapshot");
+        let store = Store::open(&dir).unwrap();
+        let ka = b"a".as_slice();
+        store.append(1, Digest::of(ka), ka, b"payload a").unwrap();
+        let snap = store.snapshot().unwrap();
+        // Appends (and even a re-append of the same digest) after the
+        // snapshot opened are invisible to it.
+        let kb = b"b".as_slice();
+        store.append(1, Digest::of(kb), kb, b"payload b").unwrap();
+        store.append(1, Digest::of(ka), ka, b"changed").unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.get(1, &Digest::of(ka), ka).as_deref(), Some(b"payload a".as_slice()));
+        assert_eq!(snap.get(1, &Digest::of(kb), kb), None);
+        // A fresh snapshot sees everything.
+        let fresh = store.snapshot().unwrap();
+        assert_eq!(fresh.len(), 2);
+        assert_eq!(fresh.get(1, &Digest::of(ka), ka).as_deref(), Some(b"changed".as_slice()));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_survives_compaction() {
+        let dir = temp_dir("compaction");
+        let store = Store::open(&dir).unwrap();
+        for i in 0u32..4 {
+            let key = i.to_le_bytes();
+            store.append(1, Digest::of(&key), &key, &i.to_le_bytes()).unwrap();
+        }
+        let snap = store.snapshot().unwrap();
+        let report = store.compact(None).unwrap();
+        assert_eq!(report.kept, 4);
+        // The old segments are gone from the directory, but the open
+        // snapshot still reads coherently through its captured FDs.
+        for i in 0u32..4 {
+            let key = i.to_le_bytes();
+            assert_eq!(
+                snap.get(1, &Digest::of(&key), &key).as_deref(),
+                Some(i.to_le_bytes().as_slice()),
+                "record {i} via pre-compaction snapshot"
+            );
+        }
+        let fresh = store.snapshot().unwrap();
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(fresh.records, 4, "superseded duplicates compacted away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_drops_stale_schema_generations() {
+        let dir = temp_dir("gc");
+        let store = Store::open(&dir).unwrap();
+        let (old_key, new_key) = (b"old".as_slice(), b"new".as_slice());
+        store.append(1, Digest::of(old_key), old_key, b"v1 payload").unwrap();
+        store.append(2, Digest::of(new_key), new_key, b"v2 payload").unwrap();
+        let report = store.compact(Some(2)).unwrap();
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.dropped_stale_schema, 1);
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.get(2, &Digest::of(new_key), new_key).as_deref(), Some(b"v2 payload".as_slice()));
+        assert_eq!(snap.get(1, &Digest::of(old_key), old_key), None);
+        assert_eq!(snap.schemas.get(&1), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_appenders_interleave_whole_records() {
+        let dir = temp_dir("concurrent");
+        let store = Store::open(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0u32..4 {
+                let store = store.clone();
+                scope.spawn(move || {
+                    for i in 0u32..25 {
+                        let key = (w * 1000 + i).to_le_bytes();
+                        let payload = vec![w as u8; 100 + i as usize];
+                        store.append(1, Digest::of(&key), &key, &payload).unwrap();
+                    }
+                });
+            }
+        });
+        let snap = store.snapshot().unwrap();
+        assert_eq!(snap.records, 100);
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.torn, 0);
+        assert_eq!(snap.corrupt, 0);
+        for w in 0u32..4 {
+            for i in 0u32..25 {
+                let key = (w * 1000 + i).to_le_bytes();
+                let got = snap.get(1, &Digest::of(&key), &key).expect("record present");
+                assert_eq!(got, vec![w as u8; 100 + i as usize]);
+            }
+        }
+        assert!(snap.verify().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_name(1), "seg-00000001.log");
+        assert_eq!(parse_segment_name("seg-00000001.log"), Some(1));
+        assert_eq!(parse_segment_name("seg-00012345.log"), Some(12345));
+        assert_eq!(parse_segment_name("seg-1.log"), None);
+        assert_eq!(parse_segment_name("seg-00000001.log.tmp"), None);
+        assert_eq!(parse_segment_name("store.lock"), None);
+    }
+
+    #[test]
+    fn empty_store_is_empty_and_syncs() {
+        let dir = temp_dir("empty");
+        let store = Store::open(&dir).unwrap();
+        store.sync().unwrap();
+        let snap = store.snapshot().unwrap();
+        assert!(snap.is_empty());
+        assert_eq!(snap.records, 0);
+        assert!(snap.verify().is_clean());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -223,6 +223,36 @@ impl MatrixPins {
     }
 }
 
+/// Maintenance action of the `store` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreAction {
+    /// Print snapshot statistics (records, segments, schema mix).
+    Stats,
+    /// Re-read and checksum-verify every live record; exit nonzero on
+    /// corruption.
+    Verify,
+    /// Rewrite the store down to its latest record per digest.
+    Compact,
+    /// Compact and additionally drop records written under a stale
+    /// key-schema version.
+    Gc,
+}
+
+impl StoreAction {
+    /// Parses the positional ACTION argument.
+    pub fn parse(v: &str) -> Result<Self, String> {
+        match v {
+            "stats" => Ok(StoreAction::Stats),
+            "verify" => Ok(StoreAction::Verify),
+            "compact" => Ok(StoreAction::Compact),
+            "gc" => Ok(StoreAction::Gc),
+            other => Err(format!(
+                "unknown store action {other:?} (expected stats, verify, compact, or gc)"
+            )),
+        }
+    }
+}
+
 /// A parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -372,6 +402,14 @@ pub enum Command {
         /// Spawn the suite binary with RF_TELEMETRY=1 and attach to it.
         spawn: bool,
     },
+    /// Inspect or maintain the durable content-addressed run store.
+    Store {
+        /// What to do.
+        action: StoreAction,
+        /// Store directory (`None` = `RF_STORE_DIR` or
+        /// `results/store`).
+        dir: Option<String>,
+    },
     /// Register-file timing table.
     Timing {
         /// Issue width.
@@ -501,6 +539,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
         Some(c) => c,
     };
+    // `store` is the one subcommand with a positional ACTION argument;
+    // grab it before the option loop (which rejects bare words).
+    let mut store_action: Option<String> = None;
+    if cmd == "store" {
+        if let Some(a) = it.peek() {
+            if !a.starts_with("--") {
+                store_action = it.next().map(str::to_owned);
+            }
+        }
+    }
     // Collect option/value pairs.
     let mut opts: Vec<(String, Option<String>)> = Vec::new();
     while let Some(opt) = it.next() {
@@ -637,6 +685,14 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 spawn: opts.iter().any(|(o, _)| o == "--spawn"),
             })
         }
+        "store" => {
+            let action = store_action
+                .ok_or("store requires an action: stats, verify, compact, or gc")?;
+            Ok(Command::Store {
+                action: StoreAction::parse(&action)?,
+                dir: take("--dir", &opts),
+            })
+        }
         "timing" => Ok(Command::Timing {
             width: take("--width", &opts).map_or(Ok(4), |v| parse_num("--width", &v))?,
         }),
@@ -676,6 +732,7 @@ USAGE:
                    [--deadline-secs S]
   rfstudy top      [--file FILE] [--ledger FILE] [--interval-ms N]
                    [--once] [--spawn]
+  rfstudy store    stats|verify|compact|gc [--dir DIR]
   rfstudy timing   [--width N]
   rfstudy dump     --trace FILE [--count N]
   rfstudy help
@@ -766,11 +823,24 @@ TOP OPTIONS:
   RF_TELEMETRY=1 set and attaches to it, so a one-command live run
   needs no second terminal.
 
+STORE OPTIONS:
+  operates on the durable content-addressed run store that suite runs
+  populate under RF_STORE=1 (--dir overrides the directory; default
+  RF_STORE_DIR or results/store). stats prints snapshot statistics:
+  live entries, records scanned, segments, bytes, torn/corrupt tails
+  skipped, and the per-schema mix. verify re-reads and checksums every
+  live record and exits 1 if any record fails. compact rewrites the
+  store down to its latest record per digest (dropping superseded
+  writes and torn tails). gc additionally drops records written under
+  a stale key-schema version.
+
 EXIT STATUS:
   0  success
   1  runtime failure (simulation error, sanitizer violation, failed
-     check/report gate, exceeded --deadline-secs)
-  2  usage error (unknown command or option, malformed value)
+     check/report gate, store verification failure, exceeded
+     --deadline-secs)
+  2  usage error (unknown command or option, malformed value, a `top`
+     attach to a stream file that does not exist)
 ";
 
 #[cfg(test)]
@@ -1146,6 +1216,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_store_actions_and_rejects_junk() {
+        assert_eq!(
+            parse(&argv("store stats")).unwrap(),
+            Command::Store { action: StoreAction::Stats, dir: None }
+        );
+        assert_eq!(
+            parse(&argv("store verify --dir /tmp/store")).unwrap(),
+            Command::Store { action: StoreAction::Verify, dir: Some("/tmp/store".into()) }
+        );
+        assert_eq!(
+            parse(&argv("store compact")).unwrap(),
+            Command::Store { action: StoreAction::Compact, dir: None }
+        );
+        assert_eq!(
+            parse(&argv("store gc")).unwrap(),
+            Command::Store { action: StoreAction::Gc, dir: None }
+        );
+        let err = parse(&argv("store")).unwrap_err();
+        assert!(err.contains("requires an action"), "{err}");
+        let err = parse(&argv("store defrag")).unwrap_err();
+        assert!(err.contains("unknown store action"), "{err}");
+        assert!(parse(&argv("store stats extra")).is_err());
+    }
+
+    #[test]
     fn parses_dump() {
         let cmd = parse(&argv("dump --trace x.rft --count 10")).unwrap();
         assert_eq!(cmd, Command::Dump { trace: "x.rft".into(), count: 10 });
@@ -1198,7 +1293,7 @@ mod tests {
     fn usage_lists_every_subcommand() {
         for sub in [
             "list", "run", "trace", "record", "replay", "check", "model", "dataflow",
-            "report", "profile", "top", "timing", "dump",
+            "report", "profile", "top", "store", "timing", "dump",
         ] {
             assert!(USAGE.contains(&format!("rfstudy {sub}")), "usage missing {sub}");
         }

@@ -6,11 +6,12 @@
 //!
 //! Exit status: 0 on success, 1 on a runtime failure (simulation error,
 //! sanitizer violation, failed gate, exceeded deadline), 2 on a usage
-//! error (unknown command/option or malformed value).
+//! error (unknown command/option, malformed value, or a `top` attach to
+//! a telemetry stream file that does not exist).
 
 mod cli;
 
-use cli::{Command, MachineOpts, TraceFormat};
+use cli::{Command, MachineOpts, StoreAction, TraceFormat};
 use rf_check::{CheckParams, Sanitizer};
 use rf_core::dataflow::analyze;
 use rf_core::{CancelToken, Cancelled, LiveModel, Pipeline, SimStats};
@@ -31,6 +32,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Attaching to a stream file that does not exist is a usage error
+    // (exit 2), not something to hang on: without `--spawn` no producer
+    // is coming, so waiting for the file would wait forever.
+    if let Command::Top { file, spawn: false, .. } = &cmd {
+        if !std::path::Path::new(file).exists() {
+            eprintln!(
+                "error: telemetry stream {file:?} does not exist \
+                 (run the suite with RF_TELEMETRY=1, or use --spawn)"
+            );
+            return ExitCode::from(2);
+        }
+    }
     match dispatch(cmd) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -221,6 +234,7 @@ fn dispatch(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Store { action, dir } => run_store(action, dir.as_deref()),
         Command::Timing { width } => {
             let model = TimingModel::cmos_05um();
             println!("{width}-way issue register-file timing (0.5um CMOS)");
@@ -849,6 +863,99 @@ fn run_top(
     Ok(())
 }
 
+/// The `store` subcommand: inspects or maintains the durable
+/// content-addressed run store that suite runs populate under
+/// `RF_STORE=1`. The directory resolves `--dir`, then `RF_STORE_DIR`,
+/// then `results/store` — the same default the write path uses.
+fn run_store(action: StoreAction, dir: Option<&str>) -> Result<(), String> {
+    let dir: std::path::PathBuf = match dir {
+        Some(d) => d.into(),
+        None => std::env::var("RF_STORE_DIR")
+            .ok()
+            .filter(|v| !v.trim().is_empty())
+            .map_or_else(|| "results/store".into(), Into::into),
+    };
+    // Opening would create an empty store; maintenance on a store that
+    // was never written is a mistake worth reporting instead.
+    if !dir.is_dir() {
+        return Err(format!(
+            "store directory {} does not exist (populate it with an RF_STORE=1 suite run)",
+            dir.display()
+        ));
+    }
+    let store =
+        rf_store::Store::open(&dir).map_err(|e| format!("cannot open store: {e}"))?;
+    let fmt_schemas = |schemas: &std::collections::BTreeMap<u32, u64>| -> String {
+        if schemas.is_empty() {
+            "none".to_owned()
+        } else {
+            schemas
+                .iter()
+                .map(|(schema, n)| format!("v{schema}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    match action {
+        StoreAction::Stats => {
+            let snap = store.snapshot().map_err(|e| format!("cannot read store: {e}"))?;
+            println!("store            : {}", dir.display());
+            println!("live entries     : {}", snap.len());
+            println!("records scanned  : {}", snap.records);
+            println!("segments         : {}", snap.segment_count());
+            println!("bytes            : {}", snap.bytes);
+            println!("torn tails       : {}", snap.torn);
+            println!("corrupt records  : {}", snap.corrupt);
+            println!("schema mix       : {}", fmt_schemas(&snap.schemas));
+            Ok(())
+        }
+        StoreAction::Verify => {
+            let snap = store.snapshot().map_err(|e| format!("cannot read store: {e}"))?;
+            let report = snap.verify();
+            println!(
+                "verified {} live record(s) over {} bytes: {} bad checksum, \
+                 {} corrupt, {} torn (schema mix {})",
+                report.live,
+                report.bytes,
+                report.bad_checksum,
+                report.corrupt,
+                report.torn,
+                fmt_schemas(&report.schemas),
+            );
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "store verification failed: {} bad-checksum and {} corrupt record(s) \
+                     (compact to drop them)",
+                    report.bad_checksum, report.corrupt
+                ))
+            }
+        }
+        StoreAction::Compact | StoreAction::Gc => {
+            // `gc` keeps only the current key-schema generation; plain
+            // `compact` keeps every schema.
+            let keep = match action {
+                StoreAction::Gc => Some(rf_experiments::codec::DIGEST_SCHEMA),
+                _ => None,
+            };
+            let report =
+                store.compact(keep).map_err(|e| format!("compaction failed: {e}"))?;
+            println!(
+                "kept {} record(s); dropped {} superseded, {} stale-schema, {} corrupt; \
+                 {} -> {} bytes",
+                report.kept,
+                report.dropped_superseded,
+                report.dropped_stale_schema,
+                report.dropped_corrupt,
+                report.bytes_before,
+                report.bytes_after,
+            );
+            Ok(())
+        }
+    }
+}
+
 /// The `report` subcommand: compares the latest run-history ledger
 /// record against a baseline and scores paper fidelity. With `--check`,
 /// returns `Err` (process exit code 1) when the analysis fails.
@@ -986,6 +1093,9 @@ mod top_tests {
                 cache_hits: 2,
                 cache_misses: 6,
                 cache_evictions: 1,
+                store_hits: 0,
+                store_misses: 0,
+                store_writes: 0,
             },
             workers: vec![WorkerSample { id: 0, busy_ns, sims: 7 }],
             suite: suite(1, Some("fig4"), 0.5),

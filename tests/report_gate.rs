@@ -60,6 +60,7 @@ fn record(seq: u64, scale: f64, drift: &[(&str, f64)]) -> LedgerRecord {
         model_error: None,
         alloc: None,
         telemetry: None,
+        store: None,
     }
 }
 
